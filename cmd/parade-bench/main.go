@@ -1,0 +1,49 @@
+// Command parade-bench regenerates the paper's evaluation figures
+// (Figs. 6-11) as text tables. See EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"parade/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 6..11 or 'all'")
+	nodesFlag := flag.String("nodes", "1,2,4,8", "comma-separated node counts")
+	scale := flag.String("scale", "bench", "workload scale: bench or paper")
+	flag.Parse()
+
+	var nodes []int
+	for _, s := range strings.Split(*nodesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "parade-bench: bad node count %q\n", s)
+			os.Exit(2)
+		}
+		nodes = append(nodes, n)
+	}
+
+	ids := []int{6, 7, 8, 9, 10, 11}
+	if *fig != "all" {
+		id, err := strconv.Atoi(*fig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parade-bench: bad figure %q\n", *fig)
+			os.Exit(2)
+		}
+		ids = []int{id}
+	}
+	for _, id := range ids {
+		f, err := harness.ByID(id, nodes, harness.Scale(*scale))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parade-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(f.Render())
+	}
+}

@@ -1,0 +1,103 @@
+// Command parade-run executes one of the paper's applications under a
+// chosen cluster configuration and prints the result with the protocol
+// counter report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parade/internal/apps"
+	"parade/internal/core"
+	"parade/internal/hlrc"
+	"parade/internal/kdsm"
+	"parade/internal/netsim"
+)
+
+// printPages renders the hottest-pages table when requested.
+func printPages(rep core.Report, n int) {
+	if n <= 0 {
+		return
+	}
+	stats := rep.PageReport
+	if len(stats) > n {
+		stats = stats[:n]
+	}
+	fmt.Println(hlrc.RenderPageReport(stats))
+}
+
+func main() {
+	app := flag.String("app", "cg", "application: cg, ep, helmholtz, md")
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	tpn := flag.Int("tpn", 1, "computational threads per node")
+	cpus := flag.Int("cpus", 2, "CPUs per node")
+	mode := flag.String("mode", "parade", "runtime mode: parade or kdsm")
+	class := flag.String("class", "T", "problem class for cg/ep (T,S,W,A)")
+	fabric := flag.String("fabric", "via", "interconnect: via or tcp")
+	pages := flag.Int("pages", 0, "print the N hottest shared pages after the run")
+	flag.Parse()
+
+	cfg := core.Config{Nodes: *nodes, ThreadsPerNode: *tpn, CPUsPerNode: *cpus,
+		Mode: core.Hybrid, HomeMigration: true}
+	if *fabric == "tcp" {
+		cfg.Fabric = netsim.TCP()
+	}
+	cfg = cfg.WithDefaults()
+	if *mode == "kdsm" {
+		cfg = kdsm.FromParade(cfg)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "parade-run: %v\n", err)
+		os.Exit(1)
+	}
+	switch *app {
+	case "cg":
+		cl, err := apps.CGClassByName(*class)
+		if err != nil {
+			fail(err)
+		}
+		r, err := apps.RunCG(cfg, cl)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("CG class %s: zeta=%.12f rnorm=%.3e nz=%d kernel=%v util=%.2f\n",
+			cl.Name, r.Zeta, r.RNorm, r.NZ, r.KernelTime, r.Report.Utilization())
+		fmt.Println(r.Report.Counters.String())
+		printPages(r.Report, *pages)
+	case "ep":
+		cl, err := apps.EPClassByName(*class)
+		if err != nil {
+			fail(err)
+		}
+		r, err := apps.RunEP(cfg, cl)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("EP class %s: sx=%.6f sy=%.6f accepted=%.0f kernel=%v util=%.2f\n",
+			cl.Name, r.Sx, r.Sy, r.Accepted, r.KernelTime, r.Report.Utilization())
+		fmt.Println(r.Report.Counters.String())
+		printPages(r.Report, *pages)
+	case "helmholtz":
+		r, err := apps.RunHelmholtz(cfg, apps.HelmholtzDefault())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Helmholtz: err=%.3e iters=%d kernel=%v util=%.2f\n",
+			r.Error, r.Iterations, r.KernelTime, r.Report.Utilization())
+		fmt.Println(r.Report.Counters.String())
+		printPages(r.Report, *pages)
+	case "md":
+		r, err := apps.RunMD(cfg, apps.MDDefault())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("MD: e0=%.6f efinal=%.6f drift=%.3e kernel=%v util=%.2f\n",
+			r.E0, r.EFinal, r.MaxDrift, r.KernelTime, r.Report.Utilization())
+		fmt.Println(r.Report.Counters.String())
+		printPages(r.Report, *pages)
+	default:
+		fail(fmt.Errorf("unknown app %q", *app))
+	}
+}

@@ -1,0 +1,46 @@
+// Command parade-translate is the ParADE OpenMP translator CLI: it
+// compiles an OpenMP C source file into a Go program against the public
+// parade runtime API (paper §4).
+//
+//	parade-translate -o out.go input.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parade/internal/translator"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	threshold := flag.Int("threshold", 256, "hybridization threshold in bytes (paper §5.2.1)")
+	pkg := flag.String("pkg", "main", "emitted package name")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: parade-translate [-o out.go] [-threshold N] input.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parade-translate: %v\n", err)
+		os.Exit(1)
+	}
+	code, err := translator.Translate(string(src), translator.Options{
+		SmallThreshold: *threshold,
+		Package:        *pkg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parade-translate: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Print(code)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(code), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "parade-translate: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module parade
+
+go 1.22

@@ -1,0 +1,171 @@
+package apps
+
+import (
+	"math"
+
+	"parade/internal/core"
+	"parade/internal/sim"
+)
+
+// The MD application (§6.2, the md.f OpenMP sample): a simple molecular
+// dynamics simulation in continuous real space. All-pairs forces with the
+// sample's sin²-clamped potential, velocity-Verlet integration, and per-
+// step potential/kinetic energy reductions (two scalars, merged into one
+// collective by the translator's merged-reduction rule). Positions are
+// read cluster-wide each step but updated block-wise, so MD moves less
+// shared data than Helmholtz — the reason the paper sees it scale well
+// in every configuration.
+
+// MDParams sizes the simulation.
+type MDParams struct {
+	NP      int // particles
+	ND      int // spatial dimensions
+	Steps   int
+	Dt      float64
+	Mass    float64
+	BoxSize float64
+	PerPair sim.Duration // virtual cost per pair interaction
+}
+
+// MDDefault mirrors md.f's shape at a simulator-friendly size.
+func MDDefault() MDParams {
+	return MDParams{NP: 256, ND: 3, Steps: 20, Dt: 1e-4, Mass: 1, BoxSize: 10,
+		PerPair: 80 * sim.Nanosecond}
+}
+
+// MDTest is a small configuration for unit tests.
+func MDTest() MDParams {
+	return MDParams{NP: 48, ND: 3, Steps: 8, Dt: 1e-4, Mass: 1, BoxSize: 10,
+		PerPair: 80 * sim.Nanosecond}
+}
+
+// MDResult is the outcome of one run.
+type MDResult struct {
+	E0         float64 // initial total energy
+	EFinal     float64 // final total energy
+	MaxDrift   float64 // max |E - E0| / E0 over all steps
+	KernelTime sim.Duration
+	Report     core.Report
+}
+
+// mdV is the md.f potential: v(x) = sin²(min(x, π/2)); dv its derivative.
+func mdV(x float64) float64 {
+	if x > math.Pi/2 {
+		x = math.Pi / 2
+	}
+	s := math.Sin(x)
+	return s * s
+}
+
+func mdDV(x float64) float64 {
+	if x > math.Pi/2 {
+		return 0
+	}
+	return 2 * math.Sin(x) * math.Cos(x)
+}
+
+// RunMD executes the MD simulation under cfg.
+func RunMD(cfg core.Config, prm MDParams) (MDResult, error) {
+	cfg = cfg.WithDefaults()
+	need := 4*prm.NP*prm.ND*8 + (1 << 20)
+	if cfg.ShmBytes < need {
+		cfg.ShmBytes = need
+	}
+	var res MDResult
+	rep, err := core.Run(cfg, func(m *core.Thread) {
+		c := m.Cluster()
+		np, nd := prm.NP, prm.ND
+		pos := c.AllocF64(np * nd)
+		vel := c.AllocF64(np * nd)
+		acc := c.AllocF64(np * nd)
+		force := c.AllocF64(np * nd)
+
+		// Deterministic initial positions (md.f seeds an LCG likewise).
+		seed := DefaultSeed
+		for i := 0; i < np*nd; i++ {
+			pos.Set(m, i, prm.BoxSize*Randlc(&seed, LCGA))
+			vel.Set(m, i, 0)
+			acc.Set(m, i, 0)
+		}
+
+		var t0 sim.Time
+		var e0, eFinal, maxDrift float64
+		dt := prm.Dt
+
+		m.Parallel(func(tc *core.Thread) {
+			tc.Master(func() { t0 = tc.Now() })
+			for step := 0; step < prm.Steps; step++ {
+				// compute(): all-pairs forces plus energy partials.
+				var potL, kinL float64
+				tc.ForCostNowait(0, np, prm.PerPair*sim.Duration(np), func(i int) {
+					var fi [3]float64
+					var pi [3]float64
+					for d := 0; d < nd; d++ {
+						pi[d] = pos.Get(tc, i*nd+d)
+					}
+					for j := 0; j < np; j++ {
+						if j == i {
+							continue
+						}
+						var rij [3]float64
+						d2 := 0.0
+						for d := 0; d < nd; d++ {
+							rij[d] = pi[d] - pos.Get(tc, j*nd+d)
+							d2 += rij[d] * rij[d]
+						}
+						dist := math.Sqrt(d2)
+						potL += 0.5 * mdV(dist)
+						dv := mdDV(dist)
+						for d := 0; d < nd; d++ {
+							fi[d] -= rij[d] * dv / dist
+						}
+					}
+					for d := 0; d < nd; d++ {
+						force.Set(tc, i*nd+d, fi[d])
+					}
+					for d := 0; d < nd; d++ {
+						v := vel.Get(tc, i*nd+d)
+						kinL += 0.5 * prm.Mass * v * v
+					}
+				})
+				// Merged energy reduction: one collective for (pot, kin),
+				// per §4.2's merged-structure rule.
+				e2 := tc.ReduceVec("md-energy", core.OpSum, []float64{potL, kinL})
+				tc.Master(func() {
+					e := e2[0] + e2[1]
+					if step == 0 {
+						e0 = e
+					}
+					drift := math.Abs(e-e0) / math.Max(math.Abs(e0), 1e-30)
+					if drift > maxDrift {
+						maxDrift = drift
+					}
+					eFinal = e
+				})
+
+				// update(): velocity Verlet over the thread's block.
+				tc.ForCost(0, np, prm.PerPair*sim.Duration(nd), func(i int) {
+					for d := 0; d < nd; d++ {
+						idx := i*nd + d
+						f := force.Get(tc, idx) / prm.Mass
+						a := acc.Get(tc, idx)
+						p := pos.Get(tc, idx)
+						v := vel.Get(tc, idx)
+						pos.Set(tc, idx, p+v*dt+0.5*a*dt*dt)
+						vel.Set(tc, idx, v+0.5*dt*(f+a))
+						acc.Set(tc, idx, f)
+					}
+				})
+			}
+		})
+		res.E0 = e0
+		res.EFinal = eFinal
+		res.MaxDrift = maxDrift
+		res.KernelTime = sim.Duration(m.Now() - t0)
+	})
+	if err != nil {
+		return MDResult{}, err
+	}
+	res.Report = rep
+	return res, nil
+}

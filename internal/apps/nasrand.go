@@ -1,0 +1,75 @@
+// Package apps contains the paper's evaluation workloads implemented
+// against the ParADE runtime: the NAS CG and EP kernels (§6.2, NPB 2.3)
+// and the two OpenMP sample applications, Helmholtz (jacobi.f) and MD
+// (md.f). Each app executes its real numerics through the simulated
+// shared memory and charges calibrated virtual compute time, so both the
+// answers and the communication behaviour are meaningful.
+package apps
+
+// The NPB pseudo-random number generator: the linear congruential
+// x_{k+1} = a * x_k (mod 2^46) with a = 5^13, as specified in the NAS
+// Parallel Benchmarks report and used by both CG (matrix generation)
+// and EP (Gaussian deviates).
+
+const (
+	// r23..t46 are the NPB split-precision constants; using exact powers
+	// of two keeps the arithmetic identical to the reference code.
+	r23 = 1.0 / (1 << 23)
+	r46 = r23 * r23
+	t23 = 1 << 23
+	t46 = float64(t23) * float64(t23)
+)
+
+// Randlc advances *x one LCG step with multiplier a and returns the
+// result scaled into (0,1), exactly as NPB's randlc.
+func Randlc(x *float64, a float64) float64 {
+	// Break a and x into two 23-bit halves and multiply exactly.
+	t1 := r23 * a
+	a1 := float64(int64(t1))
+	a2 := a - t23*a1
+
+	t1 = r23 * *x
+	x1 := float64(int64(t1))
+	x2 := *x - t23*x1
+
+	t1 = a1*x2 + a2*x1
+	t2 := float64(int64(r23 * t1))
+	z := t1 - t23*t2
+	t3 := t23*z + a2*x2
+	t4 := float64(int64(r46 * t3))
+	*x = t3 - t46*t4
+	return r46 * *x
+}
+
+// Vranlc fills out with n successive LCG values (NPB's vranlc).
+func Vranlc(n int, x *float64, a float64, out []float64) {
+	for i := 0; i < n; i++ {
+		out[i] = Randlc(x, a)
+	}
+}
+
+// PowLC computes the seed a^exp (mod 2^46) * seed-style jump-ahead: it
+// returns the LCG state after advancing `steps` steps from state x0 with
+// multiplier a, in O(log steps) work (NPB EP's seed jumping).
+func PowLC(x0, a float64, steps int64) float64 {
+	x := x0
+	am := a
+	for steps > 0 {
+		if steps&1 == 1 {
+			mulLC(&x, am)
+		}
+		t := am
+		mulLC(&am, t)
+		steps >>= 1
+	}
+	return x
+}
+
+// mulLC sets *x = (*x * a) mod 2^46 using the exact split arithmetic.
+func mulLC(x *float64, a float64) { Randlc(x, a) }
+
+// DefaultSeed is NPB's canonical 271828183.
+const DefaultSeed = 271828183.0
+
+// LCGA is the NPB multiplier 5^13.
+const LCGA = 1220703125.0

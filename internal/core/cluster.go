@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+
+	"parade/internal/dsm"
+	"parade/internal/hlrc"
+	"parade/internal/mpi"
+	"parade/internal/netsim"
+	"parade/internal/sim"
+	"parade/internal/stats"
+)
+
+// Control message subtypes (netsim KindDSM space is owned by hlrc, so the
+// runtime uses its own kind).
+const (
+	ctlStartRegion = iota + 1
+	ctlStop
+)
+
+// KindCtl is the runtime's control traffic (region fork/join, shutdown).
+const KindCtl netsim.Kind = 100
+
+// Cluster is one simulated SMP cluster executing a ParADE program.
+type Cluster struct {
+	cfg      Config
+	s        *sim.Simulator
+	net      *netsim.Network
+	world    *mpi.World
+	engine   *hlrc.Engine
+	counters *stats.Counters
+
+	nodes   []*node
+	threads []*Thread // all team threads in gid order
+
+	region    func(*Thread) // current parallel region body
+	regionSeq int
+	stopping  bool
+
+	scalars    map[string]*Scalar
+	singles    map[string]int // single-site name -> SDSM flag address
+	lockIDs    map[string]int // directive site -> global SDSM lock id
+	slotArrays map[string]F64Array
+	dynLoops   map[string]*dynLoop // chunk-server state (master node)
+
+	programEnd sim.Time
+}
+
+// node is the per-node runtime state: the processors, the communication
+// thread's plumbing, the pthread-level synchronization objects.
+type node struct {
+	id  int
+	s   *sim.Simulator
+	cpu *sim.CPU
+
+	mutexes map[string]*sim.Mutex // named intra-node (pthread) mutexes
+
+	// Fork-join signalling between the comm thread and team threads.
+	workMu   *sim.Mutex
+	workCond *sim.Cond
+	workSeq  int
+
+	// Node-local sense barrier.
+	barMu    *sim.Mutex
+	barCond  *sim.Cond
+	barCount int
+	barGen   int
+
+	rendezvous map[string]*rendezvous
+	gates      map[string]*gateInfo
+
+	// Dynamic-schedule chunk requests in flight from this node.
+	chunkSeq   int
+	chunkWaits map[int]*chunkWait
+}
+
+// localPthreadOp approximates the cost of an uncontended pthread
+// mutex/cond operation on the paper's hardware.
+const localPthreadOp = 300 * sim.Nanosecond
+
+// Report is the outcome of a cluster run.
+type Report struct {
+	// Time is the virtual time at which the program (master thread)
+	// finished, excluding shutdown.
+	Time sim.Duration
+	// Counters are the protocol/traffic statistics of the whole run.
+	Counters stats.Counters
+	// Config echoes the configuration that produced the report.
+	Config Config
+	// CPUBusy is each node's accumulated processor busy time — the
+	// idle-time signal the paper's §8 adaptive-configuration idea wants
+	// to measure.
+	CPUBusy []sim.Duration
+	// PageReport lists the hottest shared pages (top 16 by fetches) —
+	// the diagnostic behind the paper's §7 locality guidelines.
+	PageReport []hlrc.PageStat
+}
+
+// Utilization returns mean processor utilization across the cluster in
+// [0,1]: busy time divided by (nodes x CPUs x elapsed time).
+func (r Report) Utilization() float64 {
+	if r.Time <= 0 || len(r.CPUBusy) == 0 {
+		return 0
+	}
+	var busy sim.Duration
+	for _, b := range r.CPUBusy {
+		busy += b
+	}
+	capacity := float64(r.Time) * float64(len(r.CPUBusy)*r.Config.CPUsPerNode)
+	u := float64(busy) / capacity
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Run builds a cluster from cfg and executes program on the master
+// thread (global thread 0 on node 0). The program performs serial work
+// directly and forks parallel regions with Thread.Parallel. Run drives
+// the simulation to completion and returns the report.
+func Run(cfg Config, program func(master *Thread)) (Report, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		s:        sim.New(cfg.Seed),
+		counters: &stats.Counters{},
+		scalars:  map[string]*Scalar{},
+		singles:  map[string]int{},
+	}
+	cpus := make([]*sim.CPU, cfg.Nodes)
+	c.nodes = make([]*node, cfg.Nodes)
+	for i := range c.nodes {
+		cpu := sim.NewCPU(c.s, cfg.CPUsPerNode, cfg.Quantum)
+		cpus[i] = cpu
+		n := &node{
+			id: i, s: c.s, cpu: cpu,
+			mutexes:    map[string]*sim.Mutex{},
+			rendezvous: map[string]*rendezvous{},
+			gates:      map[string]*gateInfo{},
+			chunkWaits: map[int]*chunkWait{},
+		}
+		n.workMu = sim.NewMutex(c.s)
+		n.workCond = sim.NewCond(n.workMu)
+		n.barMu = sim.NewMutex(c.s)
+		n.barCond = sim.NewCond(n.barMu)
+		c.nodes[i] = n
+	}
+	c.net = netsim.New(c.s, cfg.Nodes, cfg.Fabric, cpus, c.counters)
+	c.world = mpi.NewWorld(c.s, c.net, c.counters)
+	c.engine = hlrc.New(c.s, c.net, cpus, hlrc.Config{
+		Nodes: cfg.Nodes, ShmBytes: cfg.ShmBytes,
+		HomeMigration: cfg.HomeMigration, LockCaching: cfg.LockCaching,
+		Strategy: cfg.Strategy, Cost: cfg.Cost,
+	}, c.counters)
+
+	// Communication threads (paper §5.3): one per node, dispatching MPI
+	// traffic to the matching engine, DSM traffic to the protocol
+	// handler, and control traffic to the fork-join machinery.
+	for i := range c.nodes {
+		i := i
+		c.s.Spawn(fmt.Sprintf("comm%d", i), func(p *sim.Proc) { c.commLoop(p, i) })
+	}
+
+	// Team threads: gid = node*ThreadsPerNode + lid. Thread 0 is the
+	// master and runs the program; the rest wait for parallel regions.
+	total := cfg.Nodes * cfg.ThreadsPerNode
+	c.threads = make([]*Thread, total)
+	for gid := 0; gid < total; gid++ {
+		gid := gid
+		t := &Thread{c: c, gid: gid, node: c.nodes[gid/cfg.ThreadsPerNode]}
+		c.threads[gid] = t
+		name := fmt.Sprintf("n%dt%d", t.node.id, gid%cfg.ThreadsPerNode)
+		c.s.Spawn(name, func(p *sim.Proc) {
+			t.p = p
+			if gid == 0 {
+				program(t)
+				c.programEnd = c.s.Now()
+				c.shutdown(p)
+				return
+			}
+			t.workerLoop(p)
+		})
+	}
+
+	if err := c.s.Run(); err != nil {
+		return Report{}, err
+	}
+	busy := make([]sim.Duration, cfg.Nodes)
+	for i, cpu := range cpus {
+		busy[i] = cpu.BusyTime
+	}
+	return Report{
+		Time:       sim.Duration(c.programEnd),
+		Counters:   c.counters.Snapshot(),
+		Config:     cfg,
+		CPUBusy:    busy,
+		PageReport: c.engine.PageReport(16),
+	}, nil
+}
+
+// commLoop is one node's communication thread. It exits on the stop
+// control message.
+func (c *Cluster) commLoop(p *sim.Proc, nodeID int) {
+	inbox := c.net.Inbox(nodeID)
+	for {
+		m := inbox.Pop(p)
+		c.net.RecvCost(p, nodeID)
+		switch m.Kind {
+		case netsim.KindMPI:
+			c.world.Rank(nodeID).Deliver(m)
+		case netsim.KindDSM:
+			c.engine.Handle(p, nodeID, m)
+		case KindCtl:
+			switch m.Type {
+			case ctlStartRegion:
+				if notices, ok := m.Payload.([]dsm.WriteNotice); ok {
+					c.engine.ApplyNotices(nodeID, notices)
+				}
+				c.startRegionLocal(p, nodeID)
+			case ctlChunkReq:
+				c.handleChunkReq(p, m)
+			case ctlChunkReply:
+				c.handleChunkReply(nodeID, m)
+			case ctlStop:
+				c.stopLocal(p, nodeID)
+				return
+			default:
+				panic(fmt.Sprintf("core: unknown control type %d", m.Type))
+			}
+		default:
+			panic(fmt.Sprintf("core: unknown message kind %d", m.Kind))
+		}
+	}
+}
+
+// startRegionLocal wakes the node's team threads for a new region.
+func (c *Cluster) startRegionLocal(p *sim.Proc, nodeID int) {
+	n := c.nodes[nodeID]
+	n.workMu.Lock(p)
+	n.workSeq++
+	n.workCond.Broadcast()
+	n.workMu.Unlock(p)
+}
+
+// stopLocal wakes the node's team threads for shutdown.
+func (c *Cluster) stopLocal(p *sim.Proc, nodeID int) {
+	n := c.nodes[nodeID]
+	n.workMu.Lock(p)
+	n.workSeq++
+	n.workCond.Broadcast()
+	n.workMu.Unlock(p)
+}
+
+// shutdown is executed by the master after the program returns: tell
+// every communication thread to stop (which in turn releases the
+// node's worker threads).
+func (c *Cluster) shutdown(p *sim.Proc) {
+	c.stopping = true
+	for i := 0; i < c.cfg.Nodes; i++ {
+		c.net.Send(p, &netsim.Message{From: 0, To: i, Kind: KindCtl, Type: ctlStop, Bytes: 8})
+	}
+}
+
+// Sim exposes the simulator (used by apps to read the virtual clock).
+func (c *Cluster) Sim() *sim.Simulator { return c.s }
+
+// Engine exposes the protocol engine (used by tests and the harness).
+func (c *Cluster) Engine() *hlrc.Engine { return c.engine }
+
+// Counters exposes the run's statistics counters.
+func (c *Cluster) Counters() *stats.Counters { return c.counters }
+
+// Config returns the cluster's (defaulted) configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// TotalThreads returns the team size: Nodes * ThreadsPerNode.
+func (c *Cluster) TotalThreads() int { return c.cfg.Nodes * c.cfg.ThreadsPerNode }
+
+// mutex returns the node's named pthread mutex, creating it on first use.
+func (n *node) mutex(name string) *sim.Mutex {
+	m := n.mutexes[name]
+	if m == nil {
+		// All node state is owned by the single-threaded simulation, so
+		// creating on first use is race-free.
+		m = sim.NewMutex(n.s)
+		n.mutexes[name] = m
+	}
+	return m
+}

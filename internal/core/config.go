@@ -1,0 +1,136 @@
+// Package core implements the ParADE runtime system (paper §3, §5): a
+// multi-threaded SDSM cluster runtime with a hybrid execution model. The
+// OpenMP-level API lives on Thread (fork-join Parallel, work-sharing For,
+// Critical/Atomic/Single/Master, reductions, barriers); the consistency
+// machinery underneath is the HLRC engine plus, in Hybrid mode, explicit
+// message-passing collectives for directives that guard small data.
+//
+// The same runtime configured with Mode=SDSM and HomeMigration=false is
+// the conventional lock-based SDSM baseline (KDSM) used by the paper's
+// microbenchmarks; parade/internal/kdsm packages that configuration.
+package core
+
+import (
+	"fmt"
+
+	"parade/internal/dsm"
+	"parade/internal/hlrc"
+	"parade/internal/netsim"
+	"parade/internal/sim"
+)
+
+// Mode selects how synchronization and work-sharing directives execute.
+type Mode int
+
+const (
+	// Hybrid is the ParADE execution model: directives over small,
+	// analyzable data use message-passing collectives; everything else
+	// uses the SDSM with migratory home.
+	Hybrid Mode = iota
+	// SDSM is the conventional model: every directive maps to SDSM locks
+	// and barriers (the KDSM baseline).
+	SDSM
+)
+
+func (m Mode) String() string {
+	if m == Hybrid {
+		return "parade-hybrid"
+	}
+	return "sdsm"
+}
+
+// Config describes one simulated cluster run.
+type Config struct {
+	Nodes          int
+	ThreadsPerNode int // computational threads per node
+	CPUsPerNode    int // processors per node
+	Fabric         netsim.Fabric
+	Mode           Mode
+	HomeMigration  bool
+	LockCaching    bool // lazy-release lock tokens for the SDSM lock path
+	SmallThreshold int  // bytes; directives guarding <= this use collectives
+	ShmBytes       int  // shared memory pool size
+	Seed           int64
+	Quantum        sim.Duration
+	Strategy       dsm.UpdateStrategy
+	Cost           hlrc.CostModel
+}
+
+// DefaultSmallThreshold is the paper's update/invalidate switch point for
+// the Linux cluster (§5.2.1).
+const DefaultSmallThreshold = 256
+
+// WithDefaults fills zero fields with the paper's defaults: VIA fabric,
+// hybrid mode with home migration, 256-byte threshold, dual Pentium-III
+// nodes (2 CPUs), one thread per node, 16 MiB pool.
+func (c Config) WithDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.ThreadsPerNode == 0 {
+		c.ThreadsPerNode = 1
+	}
+	if c.CPUsPerNode == 0 {
+		c.CPUsPerNode = 2
+	}
+	if c.Fabric.Name == "" {
+		c.Fabric = netsim.VIA()
+	}
+	if c.SmallThreshold == 0 {
+		c.SmallThreshold = DefaultSmallThreshold
+	}
+	if c.ShmBytes == 0 {
+		c.ShmBytes = 16 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Strategy == dsm.SingleMapping {
+		c.Strategy = dsm.FileMapping
+	}
+	if c.Cost == (hlrc.CostModel{}) {
+		c.Cost = hlrc.DefaultCosts()
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("core: Nodes = %d", c.Nodes)
+	}
+	if c.ThreadsPerNode < 1 {
+		return fmt.Errorf("core: ThreadsPerNode = %d", c.ThreadsPerNode)
+	}
+	if c.CPUsPerNode < 1 {
+		return fmt.Errorf("core: CPUsPerNode = %d", c.CPUsPerNode)
+	}
+	if !c.Strategy.Dual() {
+		return fmt.Errorf("core: update strategy %v cannot support a multi-threaded SDSM (atomic page update problem)", c.Strategy)
+	}
+	if c.SmallThreshold < 8 {
+		return fmt.Errorf("core: SmallThreshold = %d", c.SmallThreshold)
+	}
+	return nil
+}
+
+// Configurations used throughout the paper's evaluation (§6.2).
+
+// Config1T1C is "1Thread-1CPU": a uniprocessor kernel, one processor
+// handling both computation and communication. All three presets run the
+// full ParADE runtime: hybrid directives and migratory home.
+func Config1T1C(nodes int) Config {
+	return Config{Nodes: nodes, ThreadsPerNode: 1, CPUsPerNode: 1, HomeMigration: true}.WithDefaults()
+}
+
+// Config1T2C is "1Thread-2CPU": the SMP kernel with one computational
+// thread, leaving a processor free for the communication thread.
+func Config1T2C(nodes int) Config {
+	return Config{Nodes: nodes, ThreadsPerNode: 1, CPUsPerNode: 2, HomeMigration: true}.WithDefaults()
+}
+
+// Config2T2C is "2Thread-2CPU": two computational threads plus the
+// communication thread sharing two processors.
+func Config2T2C(nodes int) Config {
+	return Config{Nodes: nodes, ThreadsPerNode: 2, CPUsPerNode: 2, HomeMigration: true}.WithDefaults()
+}

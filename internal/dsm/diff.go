@@ -1,0 +1,86 @@
+package dsm
+
+// Twin/diff machinery of the HLRC protocol (§5.2). A twin is a pristine
+// copy of a page taken at the first write fault of an interval; at flush
+// time the diff — the words that changed relative to the twin — is sent
+// to the page's home, which applies it to its master copy.
+
+// Run is a contiguous span of modified bytes within a page.
+type Run struct {
+	Off  int
+	Data []byte
+}
+
+// Diff is the set of modifications one node made to one page during an
+// interval, encoded as word-granularity runs.
+type Diff struct {
+	Page int
+	Runs []Run
+}
+
+// diffWord is the comparison granularity; real HLRC implementations scan
+// 32-bit words.
+const diffWord = 4
+
+// MakeDiff scans cur against twin and returns the modified runs.
+// Both slices must be PageSize long.
+func MakeDiff(page int, twin, cur []byte) Diff {
+	d := Diff{Page: page}
+	i := 0
+	for i < PageSize {
+		if wordEqual(twin, cur, i) {
+			i += diffWord
+			continue
+		}
+		start := i
+		for i < PageSize && !wordEqual(twin, cur, i) {
+			i += diffWord
+		}
+		data := make([]byte, i-start)
+		copy(data, cur[start:i])
+		d.Runs = append(d.Runs, Run{Off: start, Data: data})
+	}
+	return d
+}
+
+func wordEqual(a, b []byte, off int) bool {
+	end := off + diffWord
+	if end > PageSize {
+		end = PageSize
+	}
+	for i := off; i < end; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply writes the diff's runs into dst (a PageSize frame).
+func (d Diff) Apply(dst []byte) {
+	for _, r := range d.Runs {
+		copy(dst[r.Off:], r.Data)
+	}
+}
+
+// Empty reports whether the diff carries no modifications.
+func (d Diff) Empty() bool { return len(d.Runs) == 0 }
+
+// WireBytes is the modeled on-wire size: per-run offset/length headers
+// plus the payload bytes, plus a small per-diff header.
+func (d Diff) WireBytes() int {
+	n := 8 // page id + run count
+	for _, r := range d.Runs {
+		n += 4 + len(r.Data)
+	}
+	return n
+}
+
+// WriteNotice records that a node modified a page during the interval
+// that ended at a barrier. The master gathers these (piggybacked on
+// barrier-arrival messages), derives invalidations and home migrations,
+// and redistributes them with the barrier-departure message.
+type WriteNotice struct {
+	Page     int
+	Modifier int
+}

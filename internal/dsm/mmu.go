@@ -1,0 +1,254 @@
+package dsm
+
+// The simulated MMU. A real page-based SDSM manipulates page protections
+// with mprotect and catches SIGSEGV; under the Go runtime that mechanism
+// is unavailable (the runtime owns signal handling), so the MMU is
+// modeled explicitly: frames hold page contents, appPerm holds the
+// *application* address space permissions, and the protocol writes
+// through a separate *system* path.
+//
+// §5.1 of the paper describes the atomic-page-update problem: in a
+// single-mapping system the fault handler must make the application page
+// writable before copying in the fetched contents, which lets a second
+// application thread read a half-updated page without faulting. The four
+// remedies (file mapping, System V shared memory, the mdup() syscall,
+// child process creation) all create a second, always-writable mapping of
+// the same physical frame. UpdateStrategy selects between the buggy
+// single-mapping behaviour (for demonstrating the race) and the dual
+// mappings (used by the runtime).
+
+import (
+	"encoding/binary"
+	"math"
+
+	"parade/internal/sim"
+)
+
+// UpdateStrategy selects how the system path gains write access to a
+// page frame while the application path stays protected.
+type UpdateStrategy int
+
+const (
+	// SingleMapping reproduces the unprotected update of a conventional
+	// single-threaded SDSM: the application mapping is made writable for
+	// the duration of the update. Racy in a multi-threaded node.
+	SingleMapping UpdateStrategy = iota
+	// FileMapping maps a file twice (mmap), the conventional remedy.
+	FileMapping
+	// SysVShm attaches a System V shared memory segment twice (shmat).
+	SysVShm
+	// Mdup uses the paper's custom mdup() syscall to duplicate page
+	// table entries for an anonymous region.
+	Mdup
+	// ChildProcess forks a child whose page table shares the frames.
+	ChildProcess
+)
+
+func (u UpdateStrategy) String() string {
+	switch u {
+	case SingleMapping:
+		return "single-mapping"
+	case FileMapping:
+		return "file-mapping"
+	case SysVShm:
+		return "sysv-shm"
+	case Mdup:
+		return "mdup"
+	case ChildProcess:
+		return "child-process"
+	default:
+		return "unknown"
+	}
+}
+
+// Dual reports whether the strategy provides a second access path, i.e.
+// whether the application mapping can stay protected during updates.
+func (u UpdateStrategy) Dual() bool { return u != SingleMapping }
+
+// SetupCost is the one-time cost of establishing the mapping for the
+// whole pool; UpdateCost is the per-page-update overhead of the access
+// path. The paper's companion study found the dual methods comparable on
+// Linux; the numbers preserve that ordering without pretending precision.
+func (u UpdateStrategy) SetupCost() sim.Duration {
+	switch u {
+	case FileMapping:
+		return 120 * sim.Microsecond
+	case SysVShm:
+		return 80 * sim.Microsecond
+	case Mdup:
+		return 40 * sim.Microsecond
+	case ChildProcess:
+		return 300 * sim.Microsecond
+	default:
+		return 0
+	}
+}
+
+// UpdateCost is the extra per-update CPU cost of the strategy's access
+// path relative to a plain store.
+func (u UpdateStrategy) UpdateCost() sim.Duration {
+	switch u {
+	case SingleMapping:
+		return 2 * sim.Microsecond // two mprotect calls
+	case FileMapping:
+		return 1 * sim.Microsecond
+	case SysVShm:
+		return 1 * sim.Microsecond
+	case Mdup:
+		return 800 * sim.Nanosecond
+	case ChildProcess:
+		return 1200 * sim.Nanosecond
+	default:
+		return 0
+	}
+}
+
+// Memory is one node's view of the shared pool: lazily-allocated frames
+// plus the application address space permissions. Frames double as the
+// "physical memory"; the system path writes them directly.
+type Memory struct {
+	strategy UpdateStrategy
+	npages   int
+	frames   [][]byte
+	appPerm  []Perm
+}
+
+// NewMemory creates a node memory image of npages pages, all protected.
+func NewMemory(npages int, strategy UpdateStrategy) *Memory {
+	return &Memory{
+		strategy: strategy,
+		npages:   npages,
+		frames:   make([][]byte, npages),
+		appPerm:  make([]Perm, npages),
+	}
+}
+
+// Strategy returns the atomic-page-update strategy in use.
+func (m *Memory) Strategy() UpdateStrategy { return m.strategy }
+
+// NPages returns the number of pages in the pool.
+func (m *Memory) NPages() int { return m.npages }
+
+// Frame returns page pg's frame, allocating a zero frame on first touch.
+// This is the system access path: no permission check.
+func (m *Memory) Frame(pg int) []byte {
+	if m.frames[pg] == nil {
+		m.frames[pg] = make([]byte, PageSize)
+	}
+	return m.frames[pg]
+}
+
+// FrameIfPresent returns the frame or nil if the page was never touched.
+func (m *Memory) FrameIfPresent(pg int) []byte { return m.frames[pg] }
+
+// AppPerm returns the application address space permission of page pg.
+func (m *Memory) AppPerm(pg int) Perm { return m.appPerm[pg] }
+
+// SetAppPerm changes the application mapping's permission (mprotect).
+func (m *Memory) SetAppPerm(pg int, p Perm) { m.appPerm[pg] = p }
+
+// AppReadOK reports whether an application-path read of addr would
+// succeed, i.e. whether the access faults. The DSM fast path.
+func (m *Memory) AppReadOK(addr int) bool { return m.appPerm[PageOf(addr)] >= PermRead }
+
+// AppWriteOK reports whether an application-path write of addr would
+// succeed.
+func (m *Memory) AppWriteOK(addr int) bool { return m.appPerm[PageOf(addr)] == PermReadWrite }
+
+// BeginSystemUpdate prepares page pg for a protocol update (installing a
+// fetched page or applying a diff). With a dual-mapping strategy the
+// application permission is untouched; with SingleMapping the
+// application mapping itself must be opened for writing — the root of
+// the atomic-page-update problem. It returns the writable frame.
+func (m *Memory) BeginSystemUpdate(pg int) []byte {
+	if !m.strategy.Dual() {
+		m.appPerm[pg] = PermReadWrite
+	}
+	return m.Frame(pg)
+}
+
+// EndSystemUpdate completes a protocol update, installing the final
+// application permission.
+func (m *Memory) EndSystemUpdate(pg int, finalPerm Perm) {
+	m.appPerm[pg] = finalPerm
+}
+
+// Typed accessors over the pool. Addresses are byte offsets into the
+// shared address space; 8-byte values must be 8-byte aligned so they
+// never straddle a page boundary. These perform NO permission check —
+// the protocol layer's EnsureRead/EnsureWrite runs first.
+
+// ReadF64 loads the float64 at addr.
+func (m *Memory) ReadF64(addr int) float64 {
+	f := m.frames[PageOf(addr)]
+	if f == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(f[addr%PageSize:]))
+}
+
+// WriteF64 stores v at addr.
+func (m *Memory) WriteF64(addr int, v float64) {
+	f := m.Frame(PageOf(addr))
+	binary.LittleEndian.PutUint64(f[addr%PageSize:], math.Float64bits(v))
+}
+
+// ReadI64 loads the int64 at addr.
+func (m *Memory) ReadI64(addr int) int64 {
+	f := m.frames[PageOf(addr)]
+	if f == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(f[addr%PageSize:]))
+}
+
+// WriteI64 stores v at addr.
+func (m *Memory) WriteI64(addr int, v int64) {
+	f := m.Frame(PageOf(addr))
+	binary.LittleEndian.PutUint64(f[addr%PageSize:], uint64(v))
+}
+
+// CopyIn installs src as the new contents of page pg via the system
+// path. A nil src means the home never touched the page (all zeroes).
+func (m *Memory) CopyIn(pg int, src []byte) {
+	dst := m.Frame(pg)
+	if src == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	copy(dst, src)
+}
+
+// Allocator is a bump allocator over the shared address space.
+type Allocator struct {
+	next int
+	size int
+}
+
+// NewAllocator creates an allocator over a pool of size bytes.
+func NewAllocator(size int) *Allocator { return &Allocator{size: size} }
+
+// Alloc reserves n bytes with the given alignment and returns the base
+// address. It panics when the pool is exhausted — shared memory in the
+// paper's runtime is likewise a fixed-size pool.
+func (a *Allocator) Alloc(n, align int) int {
+	if align <= 0 {
+		align = 8
+	}
+	base := (a.next + align - 1) / align * align
+	if base+n > a.size {
+		panic("dsm: shared memory pool exhausted")
+	}
+	a.next = base + n
+	return base
+}
+
+// AllocPage reserves n bytes starting on a fresh page, so that unrelated
+// allocations never share a page (the paper's §7 guideline for reducing
+// false sharing).
+func (a *Allocator) AllocPage(n int) int { return a.Alloc(n, PageSize) }
+
+// Used returns the number of bytes allocated so far.
+func (a *Allocator) Used() int { return a.next }

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"parade/internal/core"
+	"parade/internal/sim"
+)
+
+// Adaptive configuration (paper §8): "more processors do not always give
+// better performance ... we want to find the best configuration". The
+// auto-tuner sweeps the three thread/CPU configurations over the node
+// counts, measures each on the simulated cluster, and reports the
+// fastest — the search the paper proposes automating.
+
+// Trial is one measured configuration.
+type Trial struct {
+	Label  string
+	Config core.Config
+	Time   sim.Duration
+}
+
+// TuneResult is the auto-tuner's outcome.
+type TuneResult struct {
+	Best   Trial
+	Trials []Trial
+}
+
+// AutoTune measures run under every configuration in the sweep and
+// returns the fastest. run must be deterministic in cfg (every app in
+// parade/internal/apps is).
+func AutoTune(run func(cfg core.Config) (sim.Duration, error), nodes []int) (TuneResult, error) {
+	var res TuneResult
+	for _, ac := range appConfigs {
+		for _, n := range nodes {
+			cfg := ac.make(n)
+			d, err := run(cfg)
+			if err != nil {
+				return TuneResult{}, fmt.Errorf("autotune %s/%d nodes: %w", ac.label, n, err)
+			}
+			tr := Trial{Label: fmt.Sprintf("%s x %d nodes", ac.label, n), Config: cfg, Time: d}
+			res.Trials = append(res.Trials, tr)
+			if res.Best.Label == "" || tr.Time < res.Best.Time {
+				res.Best = tr
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render formats the tuning table with the winner marked.
+func (r TuneResult) Render() string {
+	var b strings.Builder
+	b.WriteString("configuration                 time\n")
+	for _, tr := range r.Trials {
+		mark := " "
+		if tr.Label == r.Best.Label {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%s %-26s %10.4fs\n", mark, tr.Label, tr.Time.Seconds())
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"parade/internal/core"
+	"parade/internal/sim"
+)
+
+func TestFig6ShapeMatchesPaper(t *testing.T) {
+	fig, err := Fig6Critical([]int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 || fig.Series[0].Label != "ParADE" || fig.Series[1].Label != "KDSM" {
+		t.Fatalf("series %+v", fig.Series)
+	}
+	p, k := fig.Series[0].Y, fig.Series[1].Y
+	for i := range p {
+		if p[i] >= k[i] {
+			t.Fatalf("at %d nodes ParADE (%.1fus) not faster than KDSM (%.1fus)",
+				fig.Series[0].X[i], p[i], k[i])
+		}
+	}
+	// The gap widens with nodes (§6.1).
+	if k[2]-p[2] <= k[1]-p[1] {
+		t.Fatalf("gap not widening: %v vs %v", k, p)
+	}
+}
+
+func TestFig7ShapeMatchesPaper(t *testing.T) {
+	fig, err := Fig7Single([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, k := fig.Series[0].Y, fig.Series[1].Y
+	for i := range p {
+		if p[i] >= k[i] {
+			t.Fatalf("single: ParADE %v not faster than KDSM %v", p, k)
+		}
+	}
+}
+
+func TestFig9EPShape(t *testing.T) {
+	fig, err := Fig9EP([]int{1, 2, 4}, ScaleBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		// EP scales near-linearly for every configuration (§6.2).
+		if s.Y[2] >= s.Y[0]/3 {
+			t.Fatalf("series %s not near-linear: %v", s.Label, s.Y)
+		}
+	}
+	// 2T2C halves the time of 1T2C (twice the compute threads).
+	t1, t2 := fig.Series[1].Y[0], fig.Series[2].Y[0]
+	if t2 >= t1*0.75 {
+		t.Fatalf("2T2C (%v) should be about half of 1T2C (%v)", t2, t1)
+	}
+}
+
+func TestFig10HelmholtzShape(t *testing.T) {
+	fig, err := Fig10Helmholtz([]int{1, 2, 4}, ScaleBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneT1C, oneT2C := fig.Series[0], fig.Series[1]
+	// Times decrease with nodes for the overlapped configurations.
+	if oneT2C.Y[2] >= oneT2C.Y[0] {
+		t.Fatalf("1T2C not scaling: %v", oneT2C.Y)
+	}
+	// 1T1C is the slowest configuration on multiple nodes (§6.2).
+	for i := 1; i < 3; i++ {
+		if oneT1C.Y[i] < oneT2C.Y[i] {
+			t.Fatalf("at %d nodes 1T1C (%v) beat 1T2C (%v)", fig.Series[0].X[i], oneT1C.Y[i], oneT2C.Y[i])
+		}
+	}
+}
+
+func TestByIDValidation(t *testing.T) {
+	if _, err := ByID(5, DefaultNodes, ScaleBench); err == nil {
+		t.Fatal("figure 5 has no data series; ByID should reject it")
+	}
+	if _, err := ByID(12, DefaultNodes, ScaleBench); err == nil {
+		t.Fatal("figure 12 does not exist")
+	}
+}
+
+func TestRenderFormat(t *testing.T) {
+	fig := Figure{
+		ID: "FigX", Title: "test", XLabel: "nodes", YLabel: "s",
+		Series: []Series{{Label: "A", X: []int{1, 2}, Y: []float64{1.5, 0.75}}},
+		Notes:  "note",
+	}
+	out := fig.Render()
+	for _, want := range []string{"FigX: test", "(note)", "A", "1.5000", "0.7500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAutoTuneFindsFastest(t *testing.T) {
+	calls := 0
+	res, err := AutoTune(func(cfg core.Config) (sim.Duration, error) {
+		calls++
+		// Synthetic model: work/nodes + per-node overhead; 2T2C halves work.
+		work := 80.0
+		if cfg.ThreadsPerNode == 2 {
+			work /= 2
+		}
+		if cfg.CPUsPerNode == 1 {
+			work *= 1.3
+		}
+		return sim.Duration((work/float64(cfg.Nodes) + 3*float64(cfg.Nodes)) * float64(sim.Millisecond)), nil
+	}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 9 {
+		t.Fatalf("measured %d trials, want 9", calls)
+	}
+	for _, tr := range res.Trials {
+		if tr.Time < res.Best.Time {
+			t.Fatalf("best %v is not minimal (%v is faster)", res.Best, tr)
+		}
+	}
+	// The synthetic model's optimum: 2T2C at 4 nodes (10+12=22ms).
+	if res.Best.Config.ThreadsPerNode != 2 || res.Best.Config.Nodes != 4 {
+		t.Fatalf("best = %+v", res.Best)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatal("render does not mark the winner")
+	}
+}
+
+func TestAutoTunePropagatesErrors(t *testing.T) {
+	wantErr := false
+	_, err := AutoTune(func(cfg core.Config) (sim.Duration, error) {
+		wantErr = true
+		return 0, errTest
+	}, []int{1})
+	if err == nil || !wantErr {
+		t.Fatal("error not propagated")
+	}
+}
+
+var errTest = errors.New("boom")

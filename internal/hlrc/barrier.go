@@ -1,0 +1,122 @@
+package hlrc
+
+import (
+	"sort"
+
+	"parade/internal/dsm"
+	"parade/internal/sim"
+)
+
+// Barrier executes the SDSM global barrier for one node. Exactly one
+// representative process per node calls it (the runtime funnels all local
+// threads through a node-local barrier first). The sequence implements
+// §5.2.2: flush diffs to homes, await acknowledgements, send the barrier
+// arrival to the master with write notices piggybacked, and wait for the
+// departure that carries invalidations and home migrations.
+func (e *Engine) Barrier(p *sim.Proc, node int) {
+	ns := e.nodes[node]
+	notices := e.flush(p, node)
+	ns.barrierGate = sim.NewGate(e.sim)
+	e.send(p, node, 0, msgBarrierArrive, 16+8*len(notices),
+		barrierArrive{Epoch: e.epoch, Notices: notices})
+	ns.barrierGate.Wait(p)
+}
+
+// FlushForFork propagates the calling node's pending modifications to
+// their homes and returns the write notices, without a global barrier.
+// The runtime calls it on the master before forking a parallel region so
+// serial-section writes are visible cluster-wide; the notices travel
+// piggybacked on the region-start control messages and are applied with
+// ApplyNotices on the receiving nodes.
+func (e *Engine) FlushForFork(p *sim.Proc, node int) []dsm.WriteNotice {
+	return e.flush(p, node)
+}
+
+// ApplyNotices invalidates node's stale copies of the noticed pages (no
+// home election: fork-time notices describe a single modifier's interval).
+func (e *Engine) ApplyNotices(node int, notices []dsm.WriteNotice) {
+	ns := e.nodes[node]
+	for _, wn := range notices {
+		if wn.Modifier == node {
+			continue
+		}
+		pi := &ns.table.Pages[wn.Page]
+		if pi.Home == node {
+			continue // the home merged the modifier's diffs already
+		}
+		if pi.State == dsm.ReadOnly {
+			ns.table.Set(wn.Page, dsm.Invalid)
+			ns.mem.SetAppPerm(wn.Page, dsm.PermNone)
+			e.counters.Invalidations++
+			e.pgInval[wn.Page]++
+		}
+	}
+}
+
+// flush pushes every dirty page's modifications to its home and returns
+// the write notices describing them. Pages whose home is this node were
+// modified in place (the master copy is already current); the others are
+// diffed against their twins. The caller blocks until every home has
+// acknowledged its diff bundle, which guarantees remote fetches ordered
+// after the barrier see the new contents.
+func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
+	ns := e.nodes[node]
+	if len(ns.dirty) == 0 {
+		return nil
+	}
+	pages := make([]int, 0, len(ns.dirty))
+	for pg := range ns.dirty {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+
+	bundles := map[int][]dsm.Diff{}
+	notices := make([]dsm.WriteNotice, 0, len(pages))
+	for _, pg := range pages {
+		pi := &ns.table.Pages[pg]
+		notices = append(notices, dsm.WriteNotice{Page: pg, Modifier: node})
+		if pi.Home == node {
+			// Home modifications are already merged in place; just end
+			// the interval so the next write re-arms dirty tracking.
+			ns.table.Set(pg, dsm.ReadOnly)
+			ns.mem.SetAppPerm(pg, dsm.PermRead)
+			continue
+		}
+		e.cpus[node].Compute(p, e.cfg.Cost.DiffScan)
+		d := dsm.MakeDiff(pg, pi.Twin, ns.mem.Frame(pg))
+		e.counters.DiffsCreated++
+		e.counters.DiffBytes += int64(d.WireBytes())
+		if !d.Empty() {
+			bundles[pi.Home] = append(bundles[pi.Home], d)
+		}
+		pi.Twin = nil
+		ns.table.Set(pg, dsm.ReadOnly)
+		ns.mem.SetAppPerm(pg, dsm.PermRead)
+	}
+	for pg := range ns.dirty {
+		delete(ns.dirty, pg)
+	}
+
+	e.tracef("node %d: flush %d dirty pages, %d diff bundles", node, len(pages), len(bundles))
+	if len(bundles) > 0 {
+		// The gate must exist before the first send: an ack can arrive on
+		// the communication thread while we are still sending.
+		ns.flushGate = sim.NewGate(e.sim)
+		ns.flushPending = len(bundles)
+		homes := make([]int, 0, len(bundles))
+		for h := range bundles {
+			homes = append(homes, h)
+		}
+		sort.Ints(homes)
+		for _, h := range homes {
+			diffs := bundles[h]
+			bytes := 0
+			for _, d := range diffs {
+				bytes += d.WireBytes()
+			}
+			e.send(p, node, h, msgDiff, bytes, diffMsg{Diffs: diffs})
+		}
+		ns.flushGate.Wait(p)
+	}
+	return notices
+}

@@ -1,0 +1,256 @@
+// Package hlrc implements the ParADE memory consistency protocol
+// (paper §5.2): home-based lazy release consistency with migratory home.
+// Pages are fetched from their home on access faults, local writes are
+// captured with twins and propagated as diffs, write notices travel
+// piggybacked on barrier messages, and the home of a page migrates at
+// barrier time to its single modifier. A centralized lock manager
+// provides the conventional SDSM synchronization path that the baseline
+// (KDSM-style) configuration uses for critical/single directives.
+//
+// The engine's methods run in two kinds of simulated-process context:
+// application threads call EnsureRead/EnsureWrite/Barrier/AcquireLock/
+// ReleaseLock, and each node's communication thread calls Handle for
+// every incoming protocol message. The simulation kernel runs one
+// process at a time, so the engine needs no host-level locking.
+package hlrc
+
+import (
+	"fmt"
+	"io"
+
+	"parade/internal/dsm"
+	"parade/internal/netsim"
+	"parade/internal/sim"
+	"parade/internal/stats"
+)
+
+// CostModel holds the CPU costs of protocol operations, calibrated to a
+// Pentium-III/Linux-2.4 node like the paper's testbed.
+type CostModel struct {
+	FaultHandler   sim.Duration // SIGSEGV delivery + handler entry
+	PageCopy       sim.Duration // copy one 4 KiB page
+	TwinCreate     sim.Duration // allocate + copy a twin
+	DiffScan       sim.Duration // compare page against twin
+	DiffApply      sim.Duration // apply one diff at the home
+	ProtocolHandle sim.Duration // per-message protocol bookkeeping
+	LockManage     sim.Duration // lock manager queue operation
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		FaultHandler:   10 * sim.Microsecond,
+		PageCopy:       6 * sim.Microsecond,
+		TwinCreate:     6 * sim.Microsecond,
+		DiffScan:       15 * sim.Microsecond,
+		DiffApply:      3 * sim.Microsecond,
+		ProtocolHandle: 2 * sim.Microsecond,
+		LockManage:     1 * sim.Microsecond,
+	}
+}
+
+// Config selects the protocol variant.
+type Config struct {
+	Nodes         int
+	ShmBytes      int
+	HomeMigration bool               // paper's migratory-home extension
+	LockCaching   bool               // lazy-release lock tokens (Yun et al.)
+	Strategy      dsm.UpdateStrategy // atomic page update method
+	Cost          CostModel
+}
+
+// Protocol message subtypes carried in netsim.Message.Type.
+const (
+	msgPageReq = iota + 1
+	msgPageReply
+	msgDiff
+	msgDiffAck
+	msgBarrierArrive
+	msgBarrierDepart
+	msgLockReq
+	msgLockGrant
+	msgLockRelease
+	msgLockRevoke
+	msgLockToken
+)
+
+// pageReq asks the home for the current contents of a page.
+type pageReq struct{ Page int }
+
+// pageReply carries a snapshot of the page from its home.
+type pageReply struct {
+	Page int
+	Data []byte // nil when the home never materialized the frame (zeroes)
+}
+
+// diffMsg bundles the diffs one node flushes to one home.
+type diffMsg struct{ Diffs []dsm.Diff }
+
+// barrierArrive is a node's arrival at the global barrier, carrying its
+// write notices (paper §5.2.2: combined into a single message and
+// piggybacked on the barrier arrival).
+type barrierArrive struct {
+	Epoch   int
+	Notices []dsm.WriteNotice
+}
+
+// departEntry summarizes one modified page for the barrier departure:
+// who modified it and where its home now lives.
+type departEntry struct {
+	Page      int
+	NewHome   int
+	Modifiers []int
+}
+
+// barrierDepart releases a node from the barrier and delivers the global
+// write-notice summary.
+type barrierDepart struct {
+	Epoch   int
+	Entries []departEntry
+}
+
+// lockMsg is used by requests, grants, and releases. Notices carry the
+// consistency information piggybacked on grants (pages to invalidate)
+// and releases (pages dirtied in the critical section).
+type lockMsg struct {
+	Lock    int
+	Notices []dsm.WriteNotice
+}
+
+// nodeState is the per-node protocol state.
+type nodeState struct {
+	table *dsm.Table
+	mem   *dsm.Memory
+	dirty map[int]struct{} // pages written since the last flush
+
+	fetch map[int]*sim.Gate // in-flight page fetches
+
+	flushGate    *sim.Gate // waiting for diff acks
+	flushPending int
+
+	lockCache map[int]*nodeLock // cached-protocol token state
+
+	barrierGate *sim.Gate // waiting for barrier departure
+
+	lockGate map[int]*sim.Gate // waiting for a lock grant
+}
+
+// lockState is the manager-side state of one global lock.
+type lockState struct {
+	held    bool
+	holder  int
+	queue   []int
+	notices map[int]int // page -> last modifier, sent with grants
+}
+
+// masterBarrier is the master node's view of the in-progress barrier.
+type masterBarrier struct {
+	epoch     int
+	arrived   int
+	modifiers map[int]map[int]bool // page -> set of modifier nodes
+}
+
+// Engine drives the protocol for all nodes of one simulated cluster.
+type Engine struct {
+	sim      *sim.Simulator
+	net      *netsim.Network
+	cpus     []*sim.CPU
+	cfg      Config
+	counters *stats.Counters
+
+	Alloc *dsm.Allocator
+
+	nodes  []*nodeState
+	locks  map[int]*lockState
+	master masterBarrier
+	epoch  int
+
+	// Per-page activity for PageReport.
+	pgFetches    []int
+	pgInval      []int
+	pgMigrations []int
+
+	trace io.Writer // optional protocol trace (SetTrace)
+}
+
+// New creates a protocol engine for the given cluster.
+func New(s *sim.Simulator, net *netsim.Network, cpus []*sim.CPU, cfg Config, c *stats.Counters) *Engine {
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCosts()
+	}
+	npages := (cfg.ShmBytes + dsm.PageSize - 1) / dsm.PageSize
+	e := &Engine{
+		sim: s, net: net, cpus: cpus, cfg: cfg, counters: c,
+		Alloc:        dsm.NewAllocator(npages * dsm.PageSize),
+		locks:        map[int]*lockState{},
+		pgFetches:    make([]int, npages),
+		pgInval:      make([]int, npages),
+		pgMigrations: make([]int, npages),
+	}
+	e.nodes = make([]*nodeState, cfg.Nodes)
+	for i := range e.nodes {
+		e.nodes[i] = &nodeState{
+			table:     dsm.NewTable(i, npages),
+			mem:       dsm.NewMemory(npages, cfg.Strategy),
+			dirty:     map[int]struct{}{},
+			fetch:     map[int]*sim.Gate{},
+			lockGate:  map[int]*sim.Gate{},
+			lockCache: map[int]*nodeLock{},
+		}
+		// Master starts with every page readable (paper §5.2.3).
+		if i == 0 {
+			for pg := 0; pg < npages; pg++ {
+				e.nodes[i].mem.SetAppPerm(pg, dsm.PermRead)
+			}
+		}
+	}
+	e.master.modifiers = map[int]map[int]bool{}
+	return e
+}
+
+// Mem returns node's memory image (for typed accessors after EnsureRead/
+// EnsureWrite have granted access).
+func (e *Engine) Mem(node int) *dsm.Memory { return e.nodes[node].mem }
+
+// Table exposes node's page table (used by tests and the stats report).
+func (e *Engine) Table(node int) *dsm.Table { return e.nodes[node].table }
+
+// send injects a protocol control message from p's context.
+func (e *Engine) send(p *sim.Proc, from, to, typ int, bytes int, payload any) {
+	e.net.Send(p, &netsim.Message{
+		From: from, To: to, Kind: netsim.KindDSM, Type: typ,
+		Bytes: bytes, Payload: payload,
+	})
+}
+
+// Handle dispatches one incoming protocol message on node's
+// communication thread (process p).
+func (e *Engine) Handle(p *sim.Proc, node int, m *netsim.Message) {
+	e.cpus[node].Compute(p, e.cfg.Cost.ProtocolHandle)
+	switch m.Type {
+	case msgPageReq:
+		e.handlePageReq(p, node, m)
+	case msgPageReply:
+		e.handlePageReply(p, node, m)
+	case msgDiff:
+		e.handleDiff(p, node, m)
+	case msgDiffAck:
+		e.handleDiffAck(p, node, m)
+	case msgBarrierArrive:
+		e.handleBarrierArrive(p, node, m)
+	case msgBarrierDepart:
+		e.handleBarrierDepart(p, node, m)
+	case msgLockReq:
+		e.handleLockReq(p, node, m)
+	case msgLockGrant:
+		e.handleLockGrant(p, node, m)
+	case msgLockRelease:
+		e.handleLockRelease(p, node, m)
+	case msgLockRevoke:
+		e.handleLockRevoke(p, node, m)
+	case msgLockToken:
+		e.handleLockToken(p, node, m)
+	default:
+		panic(fmt.Sprintf("hlrc: unknown message type %d", m.Type))
+	}
+}

@@ -1,0 +1,102 @@
+package hlrc
+
+import (
+	"fmt"
+
+	"parade/internal/dsm"
+	"parade/internal/sim"
+)
+
+// EnsureRead guarantees that node may read addr: the fast path is a
+// permission check (free, as on real hardware); a miss simulates the
+// SIGSEGV fault handler, fetching the page from its home and blocking p
+// until the atomic page update completes.
+func (e *Engine) EnsureRead(p *sim.Proc, node, addr int) {
+	ns := e.nodes[node]
+	for !ns.mem.AppReadOK(addr) {
+		e.counters.ReadFaults++
+		e.fault(p, node, dsm.PageOf(addr), false)
+	}
+}
+
+// EnsureWrite guarantees that node may write addr, fetching the page if
+// absent and creating a twin on the first write of the interval.
+func (e *Engine) EnsureWrite(p *sim.Proc, node, addr int) {
+	ns := e.nodes[node]
+	for !ns.mem.AppWriteOK(addr) {
+		e.counters.WriteFaults++
+		e.fault(p, node, dsm.PageOf(addr), true)
+	}
+}
+
+// fault runs one iteration of the page fault handler for page pg.
+func (e *Engine) fault(p *sim.Proc, node, pg int, write bool) {
+	ns := e.nodes[node]
+	e.cpus[node].Compute(p, e.cfg.Cost.FaultHandler)
+	switch ns.table.Pages[pg].State {
+	case dsm.Invalid:
+		// First faulting thread starts the fetch.
+		home := ns.table.Pages[pg].Home
+		if home == node {
+			panic(fmt.Sprintf("hlrc: node %d is home of page %d but holds it INVALID", node, pg))
+		}
+		e.tracef("node %d: %s fault on page %d, fetching from home %d", node, faultKind(write), pg, home)
+		ns.table.Set(pg, dsm.Transient)
+		gate := sim.NewGate(e.sim)
+		ns.fetch[pg] = gate
+		e.send(p, node, home, msgPageReq, 16, pageReq{Page: pg})
+		gate.Wait(p)
+
+	case dsm.Transient:
+		// Another thread is already fetching: mark waiters present.
+		ns.table.Set(pg, dsm.Blocked)
+		ns.fetch[pg].Wait(p)
+
+	case dsm.Blocked:
+		ns.fetch[pg].Wait(p)
+
+	case dsm.ReadOnly:
+		if !write {
+			return // raced with a completed fetch; permission is there now
+		}
+		e.makeDirty(p, node, pg)
+
+	case dsm.Dirty:
+		// Valid and writable; nothing to do (permission check will pass).
+	}
+}
+
+// makeDirty performs the write-fault transition READ_ONLY -> DIRTY:
+// non-home nodes take a twin so the interval's modifications can be
+// diffed out at the next flush; the home writes its master copy in
+// place (its page is the merge target, no twin needed — §5.2.2).
+func (e *Engine) makeDirty(p *sim.Proc, node, pg int) {
+	ns := e.nodes[node]
+	if ns.table.Pages[pg].Home != node {
+		e.cpus[node].Compute(p, e.cfg.Cost.TwinCreate)
+		// Two local threads can write-fault on the same page and both
+		// reach this handler; the Compute above yields the processor, so
+		// re-check whether the other thread finished the transition. A
+		// second twin taken now would snapshot the first thread's write
+		// and silently drop it from the interval's diff — the
+		// multi-threaded variant of the atomic-page-update problem.
+		if ns.table.Pages[pg].State == dsm.Dirty {
+			return
+		}
+		twin := make([]byte, dsm.PageSize)
+		copy(twin, ns.mem.Frame(pg))
+		ns.table.Pages[pg].Twin = twin
+		e.counters.TwinsCreated++
+	}
+	ns.table.Set(pg, dsm.Dirty)
+	ns.mem.SetAppPerm(pg, dsm.PermReadWrite)
+	ns.dirty[pg] = struct{}{}
+}
+
+// faultKind names a fault for the trace.
+func faultKind(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}

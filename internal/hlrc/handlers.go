@@ -1,0 +1,196 @@
+package hlrc
+
+import (
+	"fmt"
+
+	"parade/internal/dsm"
+	"parade/internal/netsim"
+	"parade/internal/sim"
+)
+
+// handlePageReq serves a page fetch at the home node: snapshot the master
+// copy and send it back.
+func (e *Engine) handlePageReq(p *sim.Proc, node int, m *netsim.Message) {
+	req := m.Payload.(pageReq)
+	ns := e.nodes[node]
+	if ns.table.Pages[req.Page].Home != node {
+		panic(fmt.Sprintf("hlrc: node %d got page request for %d but home is %d",
+			node, req.Page, ns.table.Pages[req.Page].Home))
+	}
+	e.cpus[node].Compute(p, e.cfg.Cost.PageCopy)
+	var data []byte
+	if f := ns.mem.FrameIfPresent(req.Page); f != nil {
+		data = make([]byte, dsm.PageSize)
+		copy(data, f)
+	}
+	e.counters.PageFetches++
+	e.pgFetches[req.Page]++
+	e.send(p, node, m.From, msgPageReply, dsm.PageSize, pageReply{Page: req.Page, Data: data})
+}
+
+// handlePageReply installs a fetched page through the system access path
+// and releases the threads blocked on the fetch.
+func (e *Engine) handlePageReply(p *sim.Proc, node int, m *netsim.Message) {
+	rep := m.Payload.(pageReply)
+	ns := e.nodes[node]
+	pg := rep.Page
+	e.cpus[node].Compute(p, e.cfg.Cost.PageCopy+ns.mem.Strategy().UpdateCost())
+	frame := ns.mem.BeginSystemUpdate(pg)
+	_ = frame
+	ns.mem.CopyIn(pg, rep.Data)
+	ns.table.Set(pg, dsm.ReadOnly)
+	ns.mem.EndSystemUpdate(pg, dsm.PermRead)
+	gate := ns.fetch[pg]
+	delete(ns.fetch, pg)
+	gate.Open()
+}
+
+// handleDiff applies a flushed diff bundle at the home and acknowledges.
+func (e *Engine) handleDiff(p *sim.Proc, node int, m *netsim.Message) {
+	bundle := m.Payload.(diffMsg)
+	ns := e.nodes[node]
+	for _, d := range bundle.Diffs {
+		if ns.table.Pages[d.Page].Home != node {
+			panic(fmt.Sprintf("hlrc: node %d got diff for page %d but home is %d",
+				node, d.Page, ns.table.Pages[d.Page].Home))
+		}
+		e.cpus[node].Compute(p, e.cfg.Cost.DiffApply)
+		d.Apply(ns.mem.Frame(d.Page))
+		e.counters.DiffsApplied++
+	}
+	e.send(p, node, m.From, msgDiffAck, 8, nil)
+}
+
+// handleDiffAck counts down the flusher's outstanding acknowledgements.
+func (e *Engine) handleDiffAck(_ *sim.Proc, node int, _ *netsim.Message) {
+	ns := e.nodes[node]
+	ns.flushPending--
+	if ns.flushPending < 0 {
+		panic("hlrc: diff ack underflow")
+	}
+	if ns.flushPending == 0 && ns.flushGate != nil {
+		ns.flushGate.Open()
+		ns.flushGate = nil
+	}
+}
+
+// handleBarrierArrive runs at the master: gather write notices, and when
+// the last node arrives, elect new homes and broadcast the departure.
+func (e *Engine) handleBarrierArrive(p *sim.Proc, node int, m *netsim.Message) {
+	if node != 0 {
+		panic("hlrc: barrier arrival at non-master node")
+	}
+	arr := m.Payload.(barrierArrive)
+	if arr.Epoch != e.epoch {
+		panic(fmt.Sprintf("hlrc: arrival for epoch %d during epoch %d", arr.Epoch, e.epoch))
+	}
+	mb := &e.master
+	for _, wn := range arr.Notices {
+		set := mb.modifiers[wn.Page]
+		if set == nil {
+			set = map[int]bool{}
+			mb.modifiers[wn.Page] = set
+		}
+		set[wn.Modifier] = true
+		e.counters.WriteNotices++
+	}
+	mb.arrived++
+	if mb.arrived < e.cfg.Nodes {
+		return
+	}
+
+	// Last arrival: elect homes and release everyone.
+	entries := make([]departEntry, 0, len(mb.modifiers))
+	homes := e.nodes[0].table // any table works for reading current homes
+	for pg, set := range mb.modifiers {
+		mods := make([]int, 0, len(set))
+		for n := range set {
+			mods = append(mods, n)
+		}
+		cur := homes.Pages[pg].Home
+		newHome := cur
+		if e.cfg.HomeMigration && len(mods) == 1 && mods[0] != cur {
+			// Single modifier becomes the new home (§5.2.2). With
+			// multiple modifiers the current home keeps the highest
+			// priority, so it stays.
+			newHome = mods[0]
+			e.counters.HomeMigrations++
+			e.pgMigrations[pg]++
+			e.tracef("barrier %d: page %d home migrates %d -> %d", arr.Epoch, pg, cur, newHome)
+		}
+		entries = append(entries, departEntry{Page: pg, NewHome: newHome, Modifiers: mods})
+	}
+	// Deterministic order for reproducibility.
+	sortEntries(entries)
+	mb.modifiers = map[int]map[int]bool{}
+	mb.arrived = 0
+	e.counters.Barriers++
+	e.tracef("barrier %d: complete, %d modified pages", arr.Epoch, len(entries))
+
+	// Advance the epoch BEFORE sending departures: each send charges CPU
+	// time (the communication thread yields), and a node released by an
+	// early departure can reach its next barrier while the remaining
+	// departures are still being sent — it must observe the new epoch.
+	e.epoch++
+
+	bytes := 16 + 12*len(entries)
+	dep := barrierDepart{Epoch: arr.Epoch, Entries: entries}
+	for n := 0; n < e.cfg.Nodes; n++ {
+		e.send(p, 0, n, msgBarrierDepart, bytes, dep)
+	}
+}
+
+func sortEntries(entries []departEntry) {
+	// Insertion sort: entry counts are small (pages modified per interval).
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j].Page < entries[j-1].Page; j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+}
+
+// handleBarrierDepart applies invalidations and home updates at one node
+// and releases its representative from the barrier.
+func (e *Engine) handleBarrierDepart(p *sim.Proc, node int, m *netsim.Message) {
+	dep := m.Payload.(barrierDepart)
+	ns := e.nodes[node]
+	for _, ent := range dep.Entries {
+		pi := &ns.table.Pages[ent.Page]
+		pi.Home = ent.NewHome
+		soleLocal := len(ent.Modifiers) == 1 && ent.Modifiers[0] == node
+		if ent.NewHome == node || soleLocal {
+			// Our copy is current: we are the home that merged every
+			// diff, or the only writer of the interval (a node never
+			// invalidates on its own write notices). Clean for the next
+			// interval.
+			if pi.State == dsm.Dirty {
+				ns.table.Set(ent.Page, dsm.ReadOnly)
+			}
+			pi.Twin = nil
+			ns.mem.SetAppPerm(ent.Page, dsm.PermRead)
+			continue
+		}
+		// Someone else's modification invalidates our copy (coherence
+		// miss, §5.2.3).
+		switch pi.State {
+		case dsm.ReadOnly, dsm.Dirty:
+			ns.table.Set(ent.Page, dsm.Invalid)
+			ns.mem.SetAppPerm(ent.Page, dsm.PermNone)
+			pi.Twin = nil
+			e.counters.Invalidations++
+			e.pgInval[ent.Page]++
+		case dsm.Invalid:
+			// Nothing cached; only the directory update matters.
+		default:
+			panic(fmt.Sprintf("hlrc: page %d in %v during barrier", ent.Page, pi.State))
+		}
+	}
+	// The interval ended: every local modification was flushed before the
+	// arrival, so dirty bookkeeping must already be clean.
+	if len(ns.dirty) != 0 {
+		panic("hlrc: dirty pages survived the barrier flush")
+	}
+	gate := ns.barrierGate
+	ns.barrierGate = nil
+	gate.Open()
+}

@@ -1,0 +1,106 @@
+package hlrc
+
+import (
+	"math/rand"
+	"testing"
+
+	"parade/internal/sim"
+)
+
+// Model-checking test: a randomized workload against a sequential
+// oracle. Each interval every node writes a random set of addresses it
+// owns for that round (ownership rotates, so pages see single-writer,
+// multi-writer, and migration patterns); after the barrier, every node
+// reads a random sample of all addresses and must observe exactly the
+// oracle's values. This exercises fetches, twins, diffs, multi-writer
+// merging, invalidation, and home migration together.
+func TestDSMMatchesSequentialOracle(t *testing.T) {
+	for _, cfg := range []struct {
+		nodes     int
+		migration bool
+		seed      int64
+	}{
+		{2, true, 11}, {2, false, 12}, {4, true, 13}, {4, false, 14}, {8, true, 15},
+	} {
+		tc := newTestCluster(cfg.nodes, cfg.migration)
+		const (
+			addrSpace = 6 * 4096 // six pages
+			rounds    = 12
+			writesPer = 20
+			readsPer  = 30
+		)
+		rng := rand.New(rand.NewSource(cfg.seed))
+
+		// Pre-generate the schedule so every node proc and the oracle
+		// agree without sharing the RNG during the simulation.
+		type round struct {
+			writes []map[int]float64 // per node: addr -> value
+			reads  [][]int           // per node: addresses to check
+		}
+		script := make([]round, rounds)
+		for r := range script {
+			script[r].writes = make([]map[int]float64, cfg.nodes)
+			script[r].reads = make([][]int, cfg.nodes)
+			for n := 0; n < cfg.nodes; n++ {
+				script[r].writes[n] = map[int]float64{}
+			}
+			for w := 0; w < writesPer*cfg.nodes; w++ {
+				addr := rng.Intn(addrSpace/8) * 8
+				// The address's owner this round: rotates with the round
+				// so homes migrate and multi-writer pages occur (several
+				// owners share a page).
+				owner := (addr/8 + r) % cfg.nodes
+				val := float64(rng.Intn(1 << 20))
+				script[r].writes[owner][addr] = val
+			}
+			for n := 0; n < cfg.nodes; n++ {
+				for k := 0; k < readsPer; k++ {
+					script[r].reads[n] = append(script[r].reads[n], rng.Intn(addrSpace/8)*8)
+				}
+			}
+		}
+
+		// Precompute the oracle state after each round (a pure function
+		// of the script, so simulation-time ordering cannot skew it).
+		oracleAt := make([]map[int]float64, rounds)
+		acc := map[int]float64{}
+		for r := 0; r < rounds; r++ {
+			for n := 0; n < cfg.nodes; n++ {
+				for addr, val := range script[r].writes[n] {
+					acc[addr] = val
+				}
+			}
+			snap := make(map[int]float64, len(acc))
+			for k, v := range acc {
+				snap[k] = v
+			}
+			oracleAt[r] = snap
+		}
+
+		type mismatch struct {
+			round, node, addr int
+			got, want         float64
+		}
+		var bad []mismatch
+		tc.spawnNodes(t, func(p *sim.Proc, node int) {
+			for r := 0; r < rounds; r++ {
+				for addr, val := range script[r].writes[node] {
+					tc.write(p, node, addr, val)
+				}
+				tc.e.Barrier(p, node)
+				for _, addr := range script[r].reads[node] {
+					got := tc.read(p, node, addr)
+					if got != oracleAt[r][addr] {
+						bad = append(bad, mismatch{r, node, addr, got, oracleAt[r][addr]})
+					}
+				}
+				tc.e.Barrier(p, node)
+			}
+		})
+		if len(bad) != 0 {
+			m := bad[0]
+			t.Fatalf("cfg %+v: %d mismatches; first: round %d node %d addr %d got %v want %v",
+				cfg, len(bad), m.round, m.node, m.addr, m.got, m.want)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package hlrc
+
+import (
+	"fmt"
+	"io"
+)
+
+// Protocol tracing: an optional event log of faults, fetches, flushes,
+// barriers, and migrations, timestamped in virtual time. Used when
+// debugging protocol behaviour or explaining a page report.
+
+// SetTrace directs a line-per-event protocol trace to w (nil disables).
+func (e *Engine) SetTrace(w io.Writer) { e.trace = w }
+
+func (e *Engine) tracef(format string, args ...any) {
+	if e.trace == nil {
+		return
+	}
+	fmt.Fprintf(e.trace, "[%12s] ", e.sim.Now())
+	fmt.Fprintf(e.trace, format, args...)
+	fmt.Fprintln(e.trace)
+}

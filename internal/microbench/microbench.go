@@ -1,0 +1,159 @@
+// Package microbench implements the EPCC-style OpenMP synchronization
+// microbenchmarks (Bull, EWOMP'99) the paper uses for Figs. 6 and 7:
+// every team thread executes a directive in a tight loop, and the
+// reported number is the elapsed time divided by the iteration count.
+// Running the same measurement under the ParADE configuration and the
+// KDSM baseline isolates the cost of the directive lowering itself.
+package microbench
+
+import (
+	"fmt"
+
+	"parade/internal/core"
+	"parade/internal/sim"
+)
+
+// Result is one directive-overhead measurement.
+type Result struct {
+	Directive string
+	Config    core.Config
+	Reps      int
+	PerOp     sim.Duration // average time per directive execution
+	Report    core.Report
+}
+
+// measure runs body (one directive execution per call) reps times inside
+// a parallel region and divides the region time by reps.
+func measure(cfg core.Config, directive string, reps int,
+	setup func(c *core.Cluster) func(tc *core.Thread)) (Result, error) {
+	cfg = cfg.WithDefaults()
+	var start, end sim.Time
+	rep, err := core.Run(cfg, func(m *core.Thread) {
+		body := setup(m.Cluster())
+		// Warm the team and the directive's pages/sites once.
+		m.Parallel(func(tc *core.Thread) { body(tc) })
+		m.Parallel(func(tc *core.Thread) {
+			tc.Master(func() { start = tc.Now() })
+			for i := 0; i < reps; i++ {
+				body(tc)
+			}
+			tc.Barrier()
+			tc.Master(func() { end = tc.Now() })
+		})
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Directive: directive,
+		Config:    cfg,
+		Reps:      reps,
+		PerOp:     sim.Duration(end-start) / sim.Duration(reps),
+		Report:    rep,
+	}, nil
+}
+
+// Critical measures the critical directive guarding a small scalar
+// accumulation (the paper's Fig. 6 workload: the statically analyzable
+// critical block that ParADE lowers to a collective).
+func Critical(cfg core.Config, reps int) (Result, error) {
+	return measure(cfg, "critical", reps, func(c *core.Cluster) func(tc *core.Thread) {
+		s := c.ScalarVar("mb-critical")
+		return func(tc *core.Thread) {
+			tc.Critical("mb-critical", []*core.Scalar{s}, func() { s.Add(tc, 1) })
+		}
+	})
+}
+
+// Single measures the single directive initializing a small scalar
+// (Fig. 7's workload).
+func Single(cfg core.Config, reps int) (Result, error) {
+	return measure(cfg, "single", reps, func(c *core.Cluster) func(tc *core.Thread) {
+		s := c.ScalarVar("mb-single")
+		return func(tc *core.Thread) {
+			tc.Single("mb-single", s, func() { s.Set(tc, 1) })
+		}
+	})
+}
+
+// Atomic measures the atomic directive.
+func Atomic(cfg core.Config, reps int) (Result, error) {
+	return measure(cfg, "atomic", reps, func(c *core.Cluster) func(tc *core.Thread) {
+		s := c.ScalarVar("mb-atomic")
+		return func(tc *core.Thread) { tc.Atomic(s, 1) }
+	})
+}
+
+// Reduction measures the reduction clause.
+func Reduction(cfg core.Config, reps int) (Result, error) {
+	return measure(cfg, "reduction", reps, func(c *core.Cluster) func(tc *core.Thread) {
+		return func(tc *core.Thread) { tc.Reduce("mb-red", core.OpSum, 1) }
+	})
+}
+
+// Barrier measures the explicit barrier directive.
+func Barrier(cfg core.Config, reps int) (Result, error) {
+	return measure(cfg, "barrier", reps, func(c *core.Cluster) func(tc *core.Thread) {
+		return func(tc *core.Thread) { tc.Barrier() }
+	})
+}
+
+// ForOverhead measures an empty statically scheduled for directive
+// (fork/iteration bookkeeping plus the implicit barrier).
+func ForOverhead(cfg core.Config, reps int) (Result, error) {
+	return measure(cfg, "for", reps, func(c *core.Cluster) func(tc *core.Thread) {
+		return func(tc *core.Thread) { tc.For(0, 64, func(int) {}) }
+	})
+}
+
+// Parallel measures the fork-join overhead of an empty parallel region
+// (EPCC's "parallel" benchmark): region-start control messages, worker
+// wake-up, and the implicit end-of-region barrier.
+func Parallel(cfg core.Config, reps int) (Result, error) {
+	cfg = cfg.WithDefaults()
+	var start, end sim.Time
+	rep, err := core.Run(cfg, func(m *core.Thread) {
+		m.Parallel(func(tc *core.Thread) {}) // warm the team
+		start = m.Now()
+		for i := 0; i < reps; i++ {
+			m.Parallel(func(tc *core.Thread) {})
+		}
+		end = m.Now()
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Directive: "parallel",
+		Config:    cfg,
+		Reps:      reps,
+		PerOp:     sim.Duration(end-start) / sim.Duration(reps),
+		Report:    rep,
+	}, nil
+}
+
+// ByName resolves a directive measurement function.
+func ByName(name string) (func(core.Config, int) (Result, error), error) {
+	switch name {
+	case "critical":
+		return Critical, nil
+	case "single":
+		return Single, nil
+	case "atomic":
+		return Atomic, nil
+	case "reduction":
+		return Reduction, nil
+	case "barrier":
+		return Barrier, nil
+	case "for":
+		return ForOverhead, nil
+	case "parallel":
+		return Parallel, nil
+	}
+	return nil, fmt.Errorf("microbench: unknown directive %q", name)
+}
+
+// Directives lists the measurable directive names.
+func Directives() []string {
+	return []string{"critical", "single", "atomic", "reduction", "barrier", "for", "parallel"}
+}

@@ -1,0 +1,139 @@
+package microbench
+
+import (
+	"testing"
+
+	"parade/internal/core"
+	"parade/internal/kdsm"
+)
+
+func parade(n int) core.Config {
+	return core.Config{Nodes: n, ThreadsPerNode: 1, Mode: core.Hybrid, HomeMigration: true}.WithDefaults()
+}
+
+func TestAllDirectivesMeasurable(t *testing.T) {
+	for _, name := range Directives() {
+		bench, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := bench(parade(2), 10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.PerOp <= 0 {
+			t.Errorf("%s: non-positive per-op time %v", name, r.PerOp)
+		}
+		if r.Directive != name || r.Reps != 10 {
+			t.Errorf("%s: result metadata %+v", name, r)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("flush"); err == nil {
+		t.Fatal("unknown directive accepted")
+	}
+}
+
+func TestCriticalParADEBeatsKDSM(t *testing.T) {
+	for _, nodes := range []int{2, 4} {
+		p, err := Critical(parade(nodes), 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := Critical(kdsm.Config(nodes, 1, 2), 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.PerOp >= k.PerOp {
+			t.Fatalf("nodes=%d: ParADE critical %v not faster than KDSM %v", nodes, p.PerOp, k.PerOp)
+		}
+	}
+}
+
+func TestSingleParADEBeatsKDSM(t *testing.T) {
+	p, err := Single(parade(4), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Single(kdsm.Config(4, 1, 2), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PerOp >= k.PerOp {
+		t.Fatalf("ParADE single %v not faster than KDSM %v", p.PerOp, k.PerOp)
+	}
+}
+
+func TestGapWidensWithNodes(t *testing.T) {
+	// The paper's headline microbenchmark observation: the ParADE/KDSM
+	// gap grows as nodes are added.
+	ratio := func(nodes int) float64 {
+		p, err := Critical(parade(nodes), 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := Critical(kdsm.Config(nodes, 1, 2), 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(k.PerOp) / float64(p.PerOp)
+	}
+	if r2, r8 := ratio(2), ratio(8); r8 <= r2 {
+		t.Fatalf("KDSM/ParADE ratio at 8 nodes (%.1f) not larger than at 2 (%.1f)", r8, r2)
+	}
+}
+
+func TestReductionHybridCheaperThanSDSM(t *testing.T) {
+	p, err := Reduction(parade(4), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := Reduction(kdsm.Config(4, 1, 2), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PerOp >= k.PerOp {
+		t.Fatalf("hybrid reduction %v not cheaper than SDSM %v", p.PerOp, k.PerOp)
+	}
+}
+
+func TestBarrierCostGrowsWithNodes(t *testing.T) {
+	b2, err := Barrier(parade(2), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := Barrier(parade(8), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b8.PerOp <= b2.PerOp {
+		t.Fatalf("barrier at 8 nodes (%v) not slower than at 2 (%v)", b8.PerOp, b2.PerOp)
+	}
+}
+
+func TestSingleNodeDirectivesAreCheap(t *testing.T) {
+	r, err := Critical(parade(1), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One node: just the pthread mutex — no collectives, no locks.
+	if r.Report.Counters.Messages != 0 {
+		t.Fatalf("single-node critical sent %d network messages", r.Report.Counters.Messages)
+	}
+}
+
+func TestParallelForkJoinOverhead(t *testing.T) {
+	r1, err := Parallel(parade(1), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Parallel(parade(8), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.PerOp <= r1.PerOp {
+		t.Fatalf("fork-join at 8 nodes (%v) not costlier than 1 node (%v)", r8.PerOp, r1.PerOp)
+	}
+}

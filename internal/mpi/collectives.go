@@ -1,0 +1,85 @@
+package mpi
+
+import "parade/internal/sim"
+
+// Additional collectives beyond the paper's Bcast/Allreduce set. The
+// harness and downstream users get the standard algorithms with their
+// canonical message counts: ring allgather, linear scatter from the
+// root, and pairwise-exchange alltoall.
+
+// Allgather distributes every rank's contribution to all ranks, returned
+// as a slice indexed by rank. bytes is the per-contribution wire size.
+// Ring algorithm: n-1 rounds, each rank forwarding the newest block to
+// its successor — bandwidth-optimal for large blocks.
+func (e *Endpoint) Allgather(p *sim.Proc, val any, bytes int) []any {
+	n := e.world.Size()
+	out := make([]any, n)
+	out[e.rank] = val
+	if n == 1 {
+		return out
+	}
+	tag := e.nextCollTag()
+	succ := (e.rank + 1) % n
+	pred := (e.rank - 1 + n) % n
+	// In round r we send the block that originated at rank - r and
+	// receive the block that originated at pred - r.
+	for r := 0; r < n-1; r++ {
+		sendOrigin := (e.rank - r + n) % n
+		recvOrigin := (pred - r + n) % n
+		e.send(p, succ, tag+r, out[sendOrigin], bytes)
+		m := e.Recv(p, pred, tag+r)
+		out[recvOrigin] = m.Payload
+	}
+	return out
+}
+
+// Scatter distributes vals[i] from root to rank i and returns this
+// rank's element. vals is only read on the root. Linear sends: the
+// paper-era MPICH default for small scatters.
+func (e *Endpoint) Scatter(p *sim.Proc, root int, vals []any, bytes int) any {
+	n := e.world.Size()
+	tag := e.nextCollTag()
+	if e.rank == root {
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			e.send(p, r, tag, vals[r], bytes)
+		}
+		return vals[root]
+	}
+	return e.Recv(p, root, tag).Payload
+}
+
+// Alltoall performs a complete exchange: rank i sends vals[j] to rank j
+// and returns the slice of blocks received (indexed by source rank).
+// Pairwise exchange: n-1 rounds with partner rank^r for power-of-two
+// sizes, shifted partners otherwise.
+func (e *Endpoint) Alltoall(p *sim.Proc, vals []any, bytes int) []any {
+	n := e.world.Size()
+	out := make([]any, n)
+	out[e.rank] = vals[e.rank]
+	if n == 1 {
+		return out
+	}
+	tag := e.nextCollTag()
+	pow2 := n&(n-1) == 0
+	for r := 1; r < n; r++ {
+		var partner int
+		if pow2 {
+			partner = e.rank ^ r
+		} else {
+			partner = (e.rank + r) % n
+		}
+		e.send(p, partner, tag+r, vals[partner], bytes)
+		var from int
+		if pow2 {
+			from = partner
+		} else {
+			from = (e.rank - r + n) % n
+		}
+		m := e.Recv(p, from, tag+r)
+		out[from] = m.Payload
+	}
+	return out
+}

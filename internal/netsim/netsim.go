@@ -1,0 +1,167 @@
+// Package netsim models the cluster interconnect of the ParADE testbed:
+// per-node NICs connected through a switch, parameterized by send/receive
+// CPU overhead, wire latency, and bandwidth (a LogGP-style model). Two
+// fabric presets mirror the paper's hardware: a Giganet cLAN VIA switch
+// and a 3Com Fast Ethernet switch driven through TCP/IP.
+package netsim
+
+import (
+	"fmt"
+
+	"parade/internal/sim"
+	"parade/internal/stats"
+)
+
+// Fabric holds the performance parameters of an interconnect.
+type Fabric struct {
+	Name         string
+	SendOverhead sim.Duration // CPU time on the sender per message (o_s)
+	RecvOverhead sim.Duration // CPU time on the receiver per message (o_r)
+	Latency      sim.Duration // one-way wire latency (L)
+	BandwidthBps int64        // bytes per second through one NIC (1/G)
+	LocalLatency sim.Duration // same-node loopback delivery latency
+	HeaderBytes  int          // per-message protocol header on the wire
+	// EagerThreshold is the payload size above which the MPI library
+	// switches to a rendezvous protocol, modeled as one extra round trip
+	// before the payload moves. Zero disables rendezvous.
+	EagerThreshold int
+}
+
+// VIA approximates the Giganet cLAN Virtual Interface Architecture switch
+// used in the paper (user-level networking: low overhead, ~110 MB/s).
+func VIA() Fabric {
+	return Fabric{
+		Name:         "cLAN-VIA",
+		SendOverhead: 3 * sim.Microsecond,
+		RecvOverhead: 3 * sim.Microsecond,
+		Latency:      7 * sim.Microsecond,
+		BandwidthBps: 110 << 20,
+		LocalLatency: 500 * sim.Nanosecond,
+		HeaderBytes:  32,
+	}
+}
+
+// TCP approximates MPI/Pro over TCP/IP on the 3Com Fast Ethernet switch
+// (kernel networking on a 2.4 kernel: high per-message overhead, ~11 MB/s).
+func TCP() Fabric {
+	return Fabric{
+		Name:         "FastEthernet-TCP",
+		SendOverhead: 30 * sim.Microsecond,
+		RecvOverhead: 30 * sim.Microsecond,
+		Latency:      60 * sim.Microsecond,
+		BandwidthBps: 11 << 20,
+		LocalLatency: 2 * sim.Microsecond,
+		HeaderBytes:  64,
+		// MPI/Pro-era TCP stacks switched to rendezvous around 16 KiB.
+		EagerThreshold: 16 << 10,
+	}
+}
+
+// xferTime is the NIC serialization time for a message of size bytes.
+func (f Fabric) xferTime(bytes int) sim.Duration {
+	total := int64(bytes + f.HeaderBytes)
+	return sim.Duration(total * int64(sim.Second) / f.BandwidthBps)
+}
+
+// Kind demultiplexes messages at the receiving communication thread.
+type Kind int
+
+const (
+	// KindMPI carries application-level MPI traffic (matched by tag).
+	KindMPI Kind = iota
+	// KindDSM carries SDSM protocol control traffic (dispatched to the
+	// protocol engine's handler).
+	KindDSM
+)
+
+// Message is one unit of traffic. Payload stays in host memory (the whole
+// cluster is one Go process); Bytes is the modeled on-wire payload size.
+type Message struct {
+	From, To int
+	Kind     Kind
+	Tag      int
+	Type     int // protocol-specific subtype for KindDSM
+	Bytes    int
+	Payload  any
+}
+
+// Network connects n nodes through a full-crossbar switch with per-NIC
+// serialization: concurrent sends from the same node queue behind each
+// other, while different senders proceed in parallel.
+type Network struct {
+	sim      *sim.Simulator
+	fabric   Fabric
+	cpus     []*sim.CPU
+	inbox    []*sim.Queue[*Message]
+	nicFree  []sim.Time // next instant each node's send NIC is idle
+	counters *stats.Counters
+}
+
+// New creates a network over the given per-node CPU pools. Send charges
+// the fabric's send overhead to the sender's CPU pool, so cpus[i] must be
+// node i's pool.
+func New(s *sim.Simulator, nodes int, fabric Fabric, cpus []*sim.CPU, c *stats.Counters) *Network {
+	if len(cpus) != nodes {
+		panic(fmt.Sprintf("netsim: %d cpu pools for %d nodes", len(cpus), nodes))
+	}
+	n := &Network{
+		sim:      s,
+		fabric:   fabric,
+		cpus:     cpus,
+		inbox:    make([]*sim.Queue[*Message], nodes),
+		nicFree:  make([]sim.Time, nodes),
+		counters: c,
+	}
+	for i := range n.inbox {
+		n.inbox[i] = sim.NewQueue[*Message](s)
+	}
+	return n
+}
+
+// Nodes returns the number of attached nodes.
+func (n *Network) Nodes() int { return len(n.inbox) }
+
+// Fabric returns the fabric parameters in use.
+func (n *Network) Fabric() Fabric { return n.fabric }
+
+// Inbox returns node i's receive mailbox. The node's communication
+// thread pops messages from it and pays RecvOverhead per message.
+func (n *Network) Inbox(node int) *sim.Queue[*Message] { return n.inbox[node] }
+
+// Send transmits m from p's context: the caller burns the send overhead
+// on its node's CPU, then the message serializes through the sender NIC
+// and is delivered to the destination inbox after the wire latency.
+// Same-node messages bypass the NIC and arrive after LocalLatency.
+func (n *Network) Send(p *sim.Proc, m *Message) {
+	if m.To < 0 || m.To >= len(n.inbox) {
+		panic(fmt.Sprintf("netsim: send to node %d of %d", m.To, len(n.inbox)))
+	}
+	dst := n.inbox[m.To]
+	if m.From == m.To {
+		n.counters.LocalDeliver++
+		n.sim.At(sim.Duration(n.fabric.LocalLatency), func() { dst.Push(m) })
+		return
+	}
+	n.cpus[m.From].Compute(p, n.fabric.SendOverhead)
+	n.counters.Messages++
+	n.counters.Bytes += int64(m.Bytes + n.fabric.HeaderBytes)
+	now := n.sim.Now()
+	start := now
+	if n.nicFree[m.From] > start {
+		start = n.nicFree[m.From]
+	}
+	xfer := n.fabric.xferTime(m.Bytes)
+	n.nicFree[m.From] = start + sim.Time(xfer)
+	arrive := start + sim.Time(xfer) + sim.Time(n.fabric.Latency)
+	if n.fabric.EagerThreshold > 0 && m.Bytes > n.fabric.EagerThreshold {
+		// Rendezvous: an RTS/CTS handshake precedes the payload.
+		arrive += sim.Time(2 * n.fabric.Latency)
+	}
+	n.sim.At(sim.Duration(arrive-now), func() { dst.Push(m) })
+}
+
+// RecvCost charges the per-message receive overhead to node's CPU from
+// p's context. Communication threads call this once per popped message.
+func (n *Network) RecvCost(p *sim.Proc, node int) {
+	n.cpus[node].Compute(p, n.fabric.RecvOverhead)
+}

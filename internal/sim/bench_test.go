@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+// Simulator-substrate benchmarks: these measure the discrete-event
+// kernel's own throughput in host time (events/sec), which bounds how
+// large a cluster/workload the reproduction can simulate.
+
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			s.At(Microsecond, tick)
+		}
+	}
+	s.At(Microsecond, tick)
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkProcessHandoff(b *testing.B) {
+	s := New(1)
+	s.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkMutexHandoff(b *testing.B) {
+	s := New(1)
+	mu := NewMutex(s)
+	for w := 0; w < 4; w++ {
+		s.Spawn("w", func(p *Proc) {
+			for i := 0; i < b.N/4; i++ {
+				mu.Lock(p)
+				p.Sleep(Nanosecond)
+				mu.Unlock(p)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCPUContention(b *testing.B) {
+	s := New(1)
+	cpu := NewCPU(s, 2, Millisecond)
+	for w := 0; w < 4; w++ {
+		s.Spawn("w", func(p *Proc) {
+			for i := 0; i < b.N/4; i++ {
+				cpu.Compute(p, 100*Microsecond)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

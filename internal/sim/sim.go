@@ -1,0 +1,273 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives a set of cooperating processes (Proc) in virtual
+// time. Exactly one goroutine runs at any instant: either the scheduler
+// or the single currently-running process. Control is handed off through
+// unbuffered channels, which also establishes the happens-before edges
+// that make cross-process data access race-free without further locking.
+//
+// All simulation objects (Mutex, Cond, Semaphore, Queue, CPU) block in
+// virtual time, never in host time. Event ties are broken FIFO by a
+// monotonically increasing sequence number, so a simulation with a fixed
+// seed is fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Time is an absolute instant in virtual nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Seconds reports d as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros reports d as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fus", d.Micros())
+	case d < Second:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4fs", d.Seconds())
+	}
+}
+
+// Seconds reports t as a floating-point number of seconds since start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled callback. fn runs on the scheduler goroutine and
+// must not block; process wake-ups are events whose fn performs the
+// resume/yield handoff.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// DeadlockError is returned by Run when the event queue drains while
+// processes are still parked: no event can ever wake them again.
+type DeadlockError struct {
+	// Parked lists "name: reason" for every process still blocked.
+	Parked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock, %d process(es) parked: %s",
+		len(e.Parked), strings.Join(e.Parked, "; "))
+}
+
+// Simulator owns the virtual clock and the event queue.
+type Simulator struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	yield  chan struct{}
+	live   int
+	nextID int
+	parked map[*Proc]string
+	rng    *rand.Rand
+	ran    bool
+}
+
+// New creates a simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]string),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source. It must only
+// be used from simulation context (a running Proc or an event callback).
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// schedule enqueues fn to run at absolute time t (clamped to now).
+func (s *Simulator) schedule(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{t: t, seq: s.seq, fn: fn})
+}
+
+// At schedules fn to run d from now on the scheduler goroutine.
+// fn must not block; use Spawn for blocking activities.
+func (s *Simulator) At(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.schedule(s.now+Time(d), fn)
+}
+
+// Proc is a simulated process: a goroutine that runs only when the
+// scheduler hands it control and blocks only through sim primitives.
+type Proc struct {
+	sim    *Simulator
+	name   string
+	id     int
+	resume chan struct{}
+	exited bool
+	daemon bool
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns a unique small integer assigned at Spawn time.
+func (p *Proc) ID() int { return p.id }
+
+// Sim returns the owning simulator.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Spawn creates a process and schedules it to start at the current
+// virtual time. It may be called before Run or from simulation context.
+func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
+	return s.spawn(name, fn, false)
+}
+
+// SpawnDaemon creates a process that does not keep the simulation alive:
+// a daemon parked forever (e.g. a communication thread blocked on an
+// empty mailbox) is not a deadlock. Its goroutine is abandoned when the
+// simulation ends.
+func (s *Simulator) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return s.spawn(name, fn, true)
+}
+
+func (s *Simulator) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	s.nextID++
+	p := &Proc{sim: s, name: name, id: s.nextID, resume: make(chan struct{}), daemon: daemon}
+	if !daemon {
+		s.live++
+	}
+	go func() {
+		<-p.resume
+		fn(p)
+		p.exited = true
+		if !p.daemon {
+			s.live--
+		}
+		s.yield <- struct{}{}
+	}()
+	s.schedule(s.now, func() { s.runProc(p) })
+	return p
+}
+
+// runProc hands control to p and waits until it parks or exits.
+// Must be called on the scheduler goroutine (from an event callback).
+func (s *Simulator) runProc(p *Proc) {
+	p.resume <- struct{}{}
+	<-s.yield
+}
+
+// park blocks p until some event wakes it. reason is reported on deadlock.
+func (p *Proc) park(reason string) {
+	s := p.sim
+	s.parked[p] = reason
+	s.yield <- struct{}{}
+	<-p.resume
+}
+
+// wakeAt schedules p to be resumed at time t. Exactly one wakeAt must be
+// issued per park.
+func (s *Simulator) wakeAt(t Time, p *Proc) {
+	s.schedule(t, func() {
+		delete(s.parked, p)
+		s.runProc(p)
+	})
+}
+
+// wake schedules p to be resumed at the current time.
+func (s *Simulator) wake(p *Proc) { s.wakeAt(s.now, p) }
+
+// Sleep blocks p for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		return
+	}
+	p.sim.wakeAt(p.sim.now+Time(d), p)
+	p.park("sleep")
+}
+
+// Yield reschedules p at the current time behind already-pending events,
+// letting same-instant events run first.
+func (p *Proc) Yield() {
+	p.sim.wake(p)
+	p.park("yield")
+}
+
+// Run executes events until the queue drains. It returns nil when every
+// spawned process has exited, and a *DeadlockError when processes remain
+// parked with no event left to wake them.
+func (s *Simulator) Run() error {
+	if s.ran {
+		return fmt.Errorf("sim: Run called twice")
+	}
+	s.ran = true
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		s.now = ev.t
+		ev.fn()
+	}
+	if s.live > 0 {
+		var parked []string
+		for p, reason := range s.parked {
+			if p.daemon {
+				continue
+			}
+			parked = append(parked, p.name+": "+reason)
+		}
+		sort.Strings(parked)
+		return &DeadlockError{Parked: parked}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Package stats collects protocol and traffic counters for a simulated
+// cluster run. The simulation kernel is single-threaded (one process runs
+// at a time), so plain integer fields are safe without atomics.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters aggregates everything the experiment harness reports alongside
+// execution time. One Counters instance is shared by all subsystems of a
+// cluster; per-node breakdowns were not needed for any paper figure.
+type Counters struct {
+	// Network traffic.
+	Messages     int64 // messages injected into the fabric
+	Bytes        int64 // modeled bytes on the wire (incl. headers)
+	LocalDeliver int64 // same-node deliveries (no NIC)
+
+	// MPI-level operations.
+	Sends      int64
+	Bcasts     int64
+	Allreduces int64
+	MPIBarrier int64
+
+	// DSM protocol activity.
+	ReadFaults     int64
+	WriteFaults    int64
+	PageFetches    int64 // full-page transfers home -> faulter
+	TwinsCreated   int64
+	DiffsCreated   int64
+	DiffsApplied   int64
+	DiffBytes      int64 // payload bytes of diffs on the wire
+	Invalidations  int64 // pages invalidated by write notices
+	WriteNotices   int64
+	HomeMigrations int64
+	Barriers       int64 // SDSM global barriers
+
+	// Lock manager (conventional SDSM path).
+	LockRequests int64
+	LockWaits    int64 // requests that found the lock held
+
+	// Hybrid (message-passing) path.
+	HybridCriticals  int64 // critical rounds served by collectives
+	HybridSingles    int64 // singles served by a broadcast
+	HybridReductions int64 // reduction clauses served by allreduce
+	HybridAtomics    int64
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Snapshot returns a copy of the current counters.
+func (c *Counters) Snapshot() Counters { return *c }
+
+// Map returns the non-zero counters keyed by field name, for reports.
+func (c *Counters) Map() map[string]int64 {
+	m := map[string]int64{
+		"messages":          c.Messages,
+		"bytes":             c.Bytes,
+		"local_deliveries":  c.LocalDeliver,
+		"mpi_sends":         c.Sends,
+		"mpi_bcasts":        c.Bcasts,
+		"mpi_allreduces":    c.Allreduces,
+		"mpi_barriers":      c.MPIBarrier,
+		"read_faults":       c.ReadFaults,
+		"write_faults":      c.WriteFaults,
+		"page_fetches":      c.PageFetches,
+		"twins":             c.TwinsCreated,
+		"diffs_created":     c.DiffsCreated,
+		"diffs_applied":     c.DiffsApplied,
+		"diff_bytes":        c.DiffBytes,
+		"invalidations":     c.Invalidations,
+		"write_notices":     c.WriteNotices,
+		"home_migrations":   c.HomeMigrations,
+		"sdsm_barriers":     c.Barriers,
+		"lock_requests":     c.LockRequests,
+		"lock_waits":        c.LockWaits,
+		"hybrid_criticals":  c.HybridCriticals,
+		"hybrid_singles":    c.HybridSingles,
+		"hybrid_reductions": c.HybridReductions,
+		"hybrid_atomics":    c.HybridAtomics,
+	}
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+	return m
+}
+
+// String renders the non-zero counters in a stable order.
+func (c *Counters) String() string {
+	m := c.Map()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMapOmitsZeroCounters(t *testing.T) {
+	c := &Counters{Messages: 3, PageFetches: 1}
+	m := c.Map()
+	if len(m) != 2 || m["messages"] != 3 || m["page_fetches"] != 1 {
+		t.Fatalf("map = %v", m)
+	}
+}
+
+func TestStringIsStableAndSorted(t *testing.T) {
+	c := &Counters{Messages: 2, Bytes: 100, LockRequests: 7}
+	s := c.String()
+	if s != c.String() {
+		t.Fatal("String not stable")
+	}
+	// Alphabetical field order.
+	if !(strings.Index(s, "bytes=") < strings.Index(s, "lock_requests=") &&
+		strings.Index(s, "lock_requests=") < strings.Index(s, "messages=")) {
+		t.Fatalf("not sorted: %s", s)
+	}
+}
+
+func TestResetAndSnapshot(t *testing.T) {
+	c := &Counters{Barriers: 5}
+	snap := c.Snapshot()
+	c.Reset()
+	if c.Barriers != 0 {
+		t.Fatal("reset failed")
+	}
+	if snap.Barriers != 5 {
+		t.Fatal("snapshot mutated by reset")
+	}
+}
+
+func TestEmptyCountersRenderEmpty(t *testing.T) {
+	c := &Counters{}
+	if c.String() != "" {
+		t.Fatalf("empty counters rendered %q", c.String())
+	}
+}

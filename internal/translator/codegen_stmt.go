@@ -1,0 +1,671 @@
+package translator
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement and expression generation. g.ctx is the thread-context
+// variable name: "m" in serial sections, "tc" inside parallel regions,
+// and "" inside pure helper functions (where no shared access exists).
+
+func (g *generator) genBlockInner(b *Block) error {
+	for _, d := range b.Decls {
+		if len(d.Dims) > 0 {
+			return fmt.Errorf("translator: arrays must be declared at file scope or in main (found %s)", d.Name)
+		}
+		g.types[d.Name] = d.Elem
+		g.genScalarDecl(d)
+	}
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *generator) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		g.p("{")
+		g.depth++
+		if err := g.genBlockInner(st); err != nil {
+			return err
+		}
+		g.depth--
+		g.p("}")
+		return nil
+	case *ExprStmt:
+		if call, ok := st.X.(*Call); ok {
+			return g.genCallStmt(call)
+		}
+		g.p("_ = %s", g.expr(st.X, g.exprType(st.X)))
+		return nil
+	case *Assign:
+		return g.genAssign(st)
+	case *IncDec:
+		return g.genIncDec(st)
+	case *ForStmt:
+		return g.genSerialFor(st)
+	case *WhileStmt:
+		g.p("for %s {", g.cond(st.Cond))
+		g.depth++
+		if err := g.genBlockInner(st.Body); err != nil {
+			return err
+		}
+		g.depth--
+		g.p("}")
+		return nil
+	case *IfStmt:
+		g.p("if %s {", g.cond(st.Cond))
+		g.depth++
+		if err := g.genBlockInner(st.Then); err != nil {
+			return err
+		}
+		g.depth--
+		if st.Else != nil {
+			g.p("} else {")
+			g.depth++
+			if err := g.genBlockInner(st.Else); err != nil {
+				return err
+			}
+			g.depth--
+		}
+		g.p("}")
+		return nil
+	case *ReturnStmt:
+		if st.X != nil && !g.inMain {
+			g.p("return %s", g.expr(st.X, g.exprType(st.X)))
+		} else {
+			// C main's exit status has no Go equivalent inside Run.
+			g.p("return")
+		}
+		return nil
+	case *BreakStmt:
+		g.p("break")
+		return nil
+	case *ContinueStmt:
+		g.p("continue")
+		return nil
+	case *OmpStmt:
+		return g.genOmp(st)
+	default:
+		return fmt.Errorf("translator: unhandled statement %T", s)
+	}
+}
+
+// genCallStmt lowers a call used as a statement (printf and friends).
+func (g *generator) genCallStmt(call *Call) error {
+	if call.Name == "printf" {
+		g.usesFmt = true
+		args := make([]string, len(call.Args))
+		for i, a := range call.Args {
+			if i == 0 {
+				if lit, ok := a.(*StringLit); ok {
+					args[i] = fixFormat(lit.Text)
+					continue
+				}
+			}
+			args[i] = g.expr(a, g.exprType(a))
+		}
+		g.p("fmt.Printf(%s)", strings.Join(args, ", "))
+		return nil
+	}
+	g.p("%s", g.expr(call, g.exprType(call)))
+	return nil
+}
+
+// fixFormat converts C printf conversions that Go's fmt spells
+// differently.
+func fixFormat(s string) string {
+	s = strings.ReplaceAll(s, "%lf", "%f")
+	s = strings.ReplaceAll(s, "%le", "%e")
+	s = strings.ReplaceAll(s, "%lg", "%g")
+	s = strings.ReplaceAll(s, "%ld", "%d")
+	s = strings.ReplaceAll(s, "%i", "%d")
+	s = strings.ReplaceAll(s, "%u", "%d")
+	return s
+}
+
+// genAssign lowers assignments to locals, hybrid scalars, and shared
+// array elements.
+func (g *generator) genAssign(st *Assign) error {
+	switch lhs := st.LHS.(type) {
+	case *Ident:
+		if g.scalars[lhs.Name] && g.renames[lhs.Name] == "" {
+			sv := scalarVar(lhs.Name)
+			switch st.Op {
+			case "=":
+				if g.region {
+					g.p("%s.Set(%s, %s)", sv, g.ctx, g.expr(st.RHS, TypeDouble))
+				} else {
+					g.p("%s.Init(%s, %s)", sv, g.ctx, g.expr(st.RHS, TypeDouble))
+				}
+			case "+=":
+				g.p("%s.Add(%s, %s)", sv, g.ctx, g.expr(st.RHS, TypeDouble))
+			case "-=":
+				g.p("%s.Add(%s, -(%s))", sv, g.ctx, g.expr(st.RHS, TypeDouble))
+			default:
+				g.p("%s.Set(%s, %s.Get(%s) %s %s)", sv, g.ctx, sv, g.ctx,
+					strings.TrimSuffix(st.Op, "="), g.expr(st.RHS, TypeDouble))
+			}
+			return nil
+		}
+		name := lhs.Name
+		if r := g.renames[name]; r != "" {
+			name = r
+		}
+		g.p("%s %s %s", name, st.Op, g.expr(st.RHS, g.identType(lhs.Name)))
+		return nil
+	case *Index:
+		arr := g.arrays[lhs.Base]
+		if arr == nil {
+			return fmt.Errorf("translator: assignment to undeclared array %s", lhs.Base)
+		}
+		idx := g.flatIndex(arr, lhs.Subs)
+		val := g.expr(st.RHS, arr.Elem)
+		if st.Op == "=" {
+			g.p("%s.Set(%s, %s, %s)", lhs.Base, g.ctx, idx, val)
+			return nil
+		}
+		g.p("%s.Set(%s, %s, %s.Get(%s, %s) %s %s)",
+			lhs.Base, g.ctx, idx, lhs.Base, g.ctx, idx, strings.TrimSuffix(st.Op, "="), val)
+		return nil
+	default:
+		return fmt.Errorf("translator: unsupported assignment target %T", st.LHS)
+	}
+}
+
+func (g *generator) genIncDec(st *IncDec) error {
+	op := "+"
+	if st.Op == "--" {
+		op = "-"
+	}
+	switch lhs := st.LHS.(type) {
+	case *Ident:
+		if g.scalars[lhs.Name] && g.renames[lhs.Name] == "" {
+			g.p("%s.Add(%s, %s1)", scalarVar(lhs.Name), g.ctx, op)
+			return nil
+		}
+		name := lhs.Name
+		if r := g.renames[name]; r != "" {
+			name = r
+		}
+		g.p("%s%s", name, st.Op)
+		return nil
+	case *Index:
+		arr := g.arrays[lhs.Base]
+		idx := g.flatIndex(arr, lhs.Subs)
+		g.p("%s.Set(%s, %s, %s.Get(%s, %s) %s 1)", lhs.Base, g.ctx, idx, lhs.Base, g.ctx, idx, op)
+		return nil
+	default:
+		return fmt.Errorf("translator: unsupported %s target %T", st.Op, st.LHS)
+	}
+}
+
+// genSerialFor lowers a non-worksharing counted loop.
+func (g *generator) genSerialFor(st *ForStmt) error {
+	hi := g.expr(st.Hi, TypeInt)
+	cmp := "<"
+	if st.LessEq {
+		cmp = "<="
+	}
+	g.p("for %s = %s; %s %s %s; %s++ {", st.Var, g.expr(st.Lo, TypeInt), st.Var, cmp, hi, st.Var)
+	g.depth++
+	if err := g.genBlockInner(st.Body); err != nil {
+		return err
+	}
+	g.depth--
+	g.p("}")
+	return nil
+}
+
+// genOmp lowers one directive (§4's translation rules).
+func (g *generator) genOmp(st *OmpStmt) error {
+	switch st.Dir.Kind {
+	case DirParallel:
+		return g.genParallel(st.Dir, st.Body.(*Block), nil)
+	case DirParallelFor:
+		f := st.Body.(*ForStmt)
+		return g.genParallel(st.Dir, &Block{Stmts: []Stmt{}}, f)
+	case DirFor:
+		if g.ctx != "tc" {
+			return fmt.Errorf("line %d: omp for outside a parallel region", st.Line)
+		}
+		return g.genOmpFor(st.Dir, st.Body.(*ForStmt))
+	case DirCritical:
+		return g.genCritical(st)
+	case DirAtomic:
+		return g.genAtomic(st)
+	case DirSingle:
+		return g.genSingle(st)
+	case DirMaster:
+		g.p("%s.Master(func() {", g.ctx)
+		g.depth++
+		err := g.genBlockInner(st.Body.(*Block))
+		g.depth--
+		g.p("})")
+		return err
+	case DirBarrier:
+		g.p("%s.Barrier()", g.ctx)
+		return nil
+	default:
+		return fmt.Errorf("line %d: unsupported directive %v", st.Line, st.Dir.Kind)
+	}
+}
+
+// genParallel emits a fork-join region; loop non-nil means the combined
+// `parallel for` form.
+func (g *generator) genParallel(dir Directive, body *Block, loop *ForStmt) error {
+	if g.ctx != "m" {
+		return fmt.Errorf("translator: nested parallel regions are not supported (paper §4.3)")
+	}
+	g.p("m.Parallel(func(tc *parade.Thread) {")
+	g.depth++
+	prevCtx, prevRegion := g.ctx, g.region
+	g.ctx, g.region = "tc", true
+
+	// Replicated-local semantics: every outer scalar the region reads is
+	// shadowed (firstprivate); reduction variables are captured so their
+	// combined value escapes the region; private() gets fresh locals.
+	reds := map[string]string{}
+	for _, r := range dir.Reductions {
+		for _, v := range r.Vars {
+			reds[v] = r.Op
+		}
+	}
+	// Reduction variables of nested work-sharing directives also escape
+	// the region (their combined value is identical on every thread), so
+	// they must not be shadowed either.
+	collectNestedReductions(body, reds)
+	declared := map[string]bool{}
+	if body != nil {
+		for _, d := range body.Decls {
+			declared[d.Name] = true
+		}
+	}
+	if loop != nil {
+		for _, d := range loop.Body.Decls {
+			declared[d.Name] = true
+		}
+	}
+	var refs []string
+	for name := range g.collectScalarRefs(body, loop) {
+		refs = append(refs, name)
+	}
+	sortStrings(refs)
+	for _, name := range refs {
+		if reds[name] != "" || g.scalars[name] || contains(dir.Private, name) || declared[name] {
+			continue
+		}
+		g.p("%s := %s // firstprivate copy (replicated-local semantics)", name, name)
+		g.p("_ = %s", name)
+	}
+	for _, name := range dir.Private {
+		t := g.identType(name)
+		g.p("var %s %s // private", name, t.GoType())
+		g.p("_ = %s", name)
+	}
+
+	// Region-level reduction clauses (reduction on `parallel` itself,
+	// when the loop form is not combined): private accumulators combine
+	// once at region end.
+	var regionReds []string
+	regionOps := map[string]string{}
+	if loop == nil {
+		for _, r := range dir.Reductions {
+			for _, v := range r.Vars {
+				regionReds = append(regionReds, v)
+				regionOps[v] = r.Op
+			}
+		}
+	}
+	g.siteSeq++
+	rseq := g.siteSeq
+	for _, v := range regionReds {
+		acc := fmt.Sprintf("__red%d_%s", rseq, v)
+		g.p("%s := %s // region reduction accumulator (%s)", acc, identityFor(regionOps[v], g), regionOps[v])
+		g.p("__orig%d_%s := %s", rseq, v, v)
+		g.renames[v] = acc
+	}
+
+	var err error
+	if loop != nil {
+		err = g.genOmpFor(dir, loop)
+	} else {
+		err = g.genBlockInner(body)
+	}
+
+	for _, v := range regionReds {
+		acc := fmt.Sprintf("__red%d_%s", rseq, v)
+		orig := fmt.Sprintf("__orig%d_%s", rseq, v)
+		delete(g.renames, v)
+		switch regionOps[v] {
+		case "+":
+			g.p("%s = %s + tc.Reduce(%q, parade.OpSum, %s)", v, orig, v, acc)
+		case "*":
+			g.p("%s = %s * tc.Reduce(%q, parade.OpProd, %s)", v, orig, v, acc)
+		case "max":
+			g.usesMath = true
+			g.p("%s = math.Max(%s, tc.Reduce(%q, parade.OpMax, %s))", v, orig, v, acc)
+		case "min":
+			g.usesMath = true
+			g.p("%s = math.Min(%s, tc.Reduce(%q, parade.OpMin, %s))", v, orig, v, acc)
+		default:
+			err = fmt.Errorf("translator: unsupported reduction operator %q", regionOps[v])
+		}
+	}
+	g.ctx, g.region = prevCtx, prevRegion
+	g.depth--
+	g.p("})")
+	return err
+}
+
+// genOmpFor emits a statically scheduled work-sharing loop with its
+// reduction clauses. When the loop's only shared writes are reduction
+// variables, the implicit barrier is elided: the reduction collective
+// synchronizes the team (the paper's barrier-saving rule). Otherwise
+// the for keeps its barrier so page flushes happen.
+func (g *generator) genOmpFor(dir Directive, loop *ForStmt) error {
+	var redVars []string
+	redOps := map[string]string{}
+	for _, r := range dir.Reductions {
+		for _, v := range r.Vars {
+			redVars = append(redVars, v)
+			redOps[v] = r.Op
+		}
+	}
+	g.siteSeq++
+	seq := g.siteSeq
+	acc := func(v string) string { return fmt.Sprintf("__red%d_%s", seq, v) }
+	orig := func(v string) string { return fmt.Sprintf("__orig%d_%s", seq, v) }
+	for _, v := range redVars {
+		g.p("%s := %s // reduction accumulator (%s)", acc(v), identityFor(redOps[v], g), redOps[v])
+		// Capture the pre-construct value once: the post-combine below is
+		// executed by every thread against the same captured variable, so
+		// it must be a pure overwrite with an identical value.
+		g.p("%s := %s", orig(v), v)
+		g.renames[v] = acc(v)
+	}
+
+	hi := g.expr(loop.Hi, TypeInt)
+	if loop.LessEq {
+		hi = "(" + hi + ")+1"
+	}
+	if dir.Dynamic {
+		chunk := dir.ChunkSize
+		if chunk == 0 {
+			chunk = 1
+		}
+		fn := "ForDynamic"
+		if dir.Guided {
+			fn = "ForGuided"
+		}
+		g.p("tc.%s(%q, %s, %s, %d, 0, func(%s int) {",
+			fn, fmt.Sprintf("dyn_%d", seq), g.expr(loop.Lo, TypeInt), hi, chunk, loop.Var)
+	} else {
+		forFn := "For"
+		if dir.NoWait || (len(redVars) > 0 && !g.writesSharedArray(loop.Body)) {
+			forFn = "ForNowait"
+		}
+		g.p("tc.%s(%s, %s, func(%s int) {", forFn, g.expr(loop.Lo, TypeInt), hi, loop.Var)
+	}
+	g.depth++
+	savedType, had := g.types[loop.Var]
+	g.types[loop.Var] = TypeInt
+	err := g.genBlockInner(loop.Body)
+	if had {
+		g.types[loop.Var] = savedType
+	} else {
+		delete(g.types, loop.Var)
+	}
+	g.depth--
+	g.p("})")
+	if err != nil {
+		return err
+	}
+
+	for _, v := range redVars {
+		delete(g.renames, v)
+		op := redOps[v]
+		switch op {
+		case "+":
+			g.p("%s = %s + tc.Reduce(%q, parade.OpSum, %s)", v, orig(v), v, acc(v))
+		case "*":
+			g.p("%s = %s * tc.Reduce(%q, parade.OpProd, %s)", v, orig(v), v, acc(v))
+		case "max":
+			g.usesMath = true
+			g.p("%s = math.Max(%s, tc.Reduce(%q, parade.OpMax, %s))", v, orig(v), v, acc(v))
+		case "min":
+			g.usesMath = true
+			g.p("%s = math.Min(%s, tc.Reduce(%q, parade.OpMin, %s))", v, orig(v), v, acc(v))
+		default:
+			return fmt.Errorf("translator: unsupported reduction operator %q", op)
+		}
+	}
+	return nil
+}
+
+func identityFor(op string, g *generator) string {
+	switch op {
+	case "+":
+		return "0.0"
+	case "*":
+		return "1.0"
+	case "max":
+		g.usesMath = true
+		return "math.Inf(-1)"
+	case "min":
+		g.usesMath = true
+		return "math.Inf(1)"
+	default:
+		return "0.0"
+	}
+}
+
+// genCritical lowers a critical directive: the hybrid collective path
+// when the block is lexically analyzable (Fig. 2 right), the SDSM lock
+// path otherwise (Fig. 2 left).
+func (g *generator) genCritical(st *OmpStmt) error {
+	name := st.Dir.Name
+	if name == "" {
+		g.siteSeq++
+		name = fmt.Sprintf("crit_%d", g.siteSeq)
+	}
+	body := st.Body.(*Block)
+	if vars, ok := g.analyzableCritical(body); ok {
+		svars := make([]string, len(vars))
+		for i, v := range vars {
+			svars[i] = scalarVar(v)
+		}
+		g.p("tc.Critical(%q, []*parade.Scalar{%s}, func() {", name, strings.Join(svars, ", "))
+	} else {
+		g.p("tc.Critical(%q, nil, func() {", name)
+	}
+	g.depth++
+	err := g.genBlockInner(body)
+	g.depth--
+	g.p("})")
+	return err
+}
+
+// genAtomic lowers the atomic directive onto one collective (§4.2).
+func (g *generator) genAtomic(st *OmpStmt) error {
+	body := st.Body.(*Block)
+	name, delta, negate, ok := g.atomicUpdate(body)
+	if !ok {
+		return fmt.Errorf("line %d: atomic body must be `x += expr`, `x -= expr`, `x++` or `x--`", st.Line)
+	}
+	if !g.scalars[name] {
+		return fmt.Errorf("line %d: atomic target %s must be a scalar variable", st.Line, name)
+	}
+	d := g.expr(delta, TypeDouble)
+	if negate {
+		d = "-(" + d + ")"
+	}
+	g.p("tc.Atomic(%s, %s)", scalarVar(name), d)
+	return nil
+}
+
+// genSingle lowers the single directive: broadcast form for a small
+// analyzable initialization (Fig. 3 right), flag+lock+barrier otherwise.
+func (g *generator) genSingle(st *OmpStmt) error {
+	g.siteSeq++
+	name := fmt.Sprintf("single_%d", g.siteSeq)
+	body := st.Body.(*Block)
+	if target, ok := g.analyzableSingle(body); ok {
+		g.p("tc.Single(%q, %s, func() {", name, scalarVar(target))
+	} else {
+		g.p("tc.SingleBarrier(%q, func() {", name)
+	}
+	g.depth++
+	err := g.genBlockInner(body)
+	g.depth--
+	g.p("})")
+	return err
+}
+
+// collectScalarRefs gathers the names of non-hybrid scalar variables
+// referenced inside a region body (for firstprivate shadowing).
+func (g *generator) collectScalarRefs(b *Block, loop *ForStmt) map[string]bool {
+	refs := map[string]bool{}
+	var we func(Expr)
+	var ws func(Stmt)
+	we = func(e Expr) {
+		switch x := e.(type) {
+		case *Ident:
+			if _, known := g.types[x.Name]; known {
+				refs[x.Name] = true
+			}
+		case *Index:
+			for _, s := range x.Subs {
+				we(s)
+			}
+		case *Unary:
+			we(x.X)
+		case *Binary:
+			we(x.X)
+			we(x.Y)
+		case *Cond:
+			we(x.X)
+			we(x.A)
+			we(x.B)
+		case *Call:
+			for _, a := range x.Args {
+				we(a)
+			}
+		}
+	}
+	var wb func(*Block)
+	ws = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			wb(st)
+		case *ExprStmt:
+			we(st.X)
+		case *Assign:
+			we(st.LHS)
+			we(st.RHS)
+		case *IncDec:
+			we(st.LHS)
+		case *ForStmt:
+			we(st.Lo)
+			we(st.Hi)
+			refs[st.Var] = true
+			wb(st.Body)
+		case *WhileStmt:
+			we(st.Cond)
+			wb(st.Body)
+		case *IfStmt:
+			we(st.Cond)
+			wb(st.Then)
+			if st.Else != nil {
+				wb(st.Else)
+			}
+		case *ReturnStmt:
+			if st.X != nil {
+				we(st.X)
+			}
+		case *OmpStmt:
+			switch b := st.Body.(type) {
+			case *Block:
+				wb(b)
+			case *ForStmt:
+				ws(b)
+			}
+		}
+	}
+	wb = func(b *Block) {
+		if b == nil {
+			return
+		}
+		// Block-local declarations are genuinely local; still record the
+		// name so shadowing logic sees them as declared (harmless).
+		for _, s := range b.Stmts {
+			ws(s)
+		}
+	}
+	if b != nil {
+		wb(b)
+	}
+	if loop != nil {
+		ws(loop)
+	}
+	return refs
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// collectNestedReductions records the reduction variables of directives
+// nested inside a region body.
+func collectNestedReductions(b *Block, reds map[string]string) {
+	if b == nil {
+		return
+	}
+	var ws func(Stmt)
+	ws = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			for _, x := range st.Stmts {
+				ws(x)
+			}
+		case *ForStmt:
+			ws(st.Body)
+		case *WhileStmt:
+			ws(st.Body)
+		case *IfStmt:
+			ws(st.Then)
+			if st.Else != nil {
+				ws(st.Else)
+			}
+		case *OmpStmt:
+			for _, r := range st.Dir.Reductions {
+				for _, v := range r.Vars {
+					reds[v] = r.Op
+				}
+			}
+			if st.Body != nil {
+				ws(st.Body)
+			}
+		}
+	}
+	for _, s := range b.Stmts {
+		ws(s)
+	}
+}

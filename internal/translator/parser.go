@@ -1,0 +1,744 @@
+package translator
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse builds the parse tree of one source file.
+func Parse(src string) (*Program, error) {
+	toks, err := NewLexer(src).Lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.program()
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) peek() Token { // next token after cur
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(text string) bool {
+	if p.cur().Text == text && p.cur().Kind != TokString {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(text string) error {
+	if !p.accept(text) {
+		return fmt.Errorf("line %d: expected %q, found %q", p.cur().Line, text, p.cur().Text)
+	}
+	return nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: "+format, append([]any{p.cur().Line}, args...)...)
+}
+
+// program parses file-scope declarations and function definitions.
+func (p *Parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != TokEOF {
+		if p.cur().Kind == TokPragma {
+			return nil, p.errf("pragma at file scope is not supported")
+		}
+		typ, ok := p.typeSpec()
+		if !ok {
+			return nil, p.errf("expected declaration, found %q", p.cur().Text)
+		}
+		name := p.cur()
+		if name.Kind != TokIdent {
+			return nil, p.errf("expected identifier after type, found %q", name.Text)
+		}
+		p.advance()
+		if p.cur().Text == "(" {
+			fn, err := p.funcRest(typ, name)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		decls, err := p.varRest(typ, name)
+		if err != nil {
+			return nil, err
+		}
+		prog.Decls = append(prog.Decls, decls...)
+	}
+	return prog, nil
+}
+
+// typeSpec consumes a type specifier; returns ok=false if not at one.
+func (p *Parser) typeSpec() (Type, bool) {
+	// Ignore const/static/unsigned qualifiers.
+	for p.cur().Text == "const" || p.cur().Text == "static" || p.cur().Text == "unsigned" {
+		p.advance()
+	}
+	switch p.cur().Text {
+	case "double", "float":
+		p.advance()
+		return TypeDouble, true
+	case "int", "long", "char":
+		p.advance()
+		for p.cur().Text == "long" || p.cur().Text == "int" {
+			p.advance()
+		}
+		return TypeInt, true
+	case "void":
+		p.advance()
+		return TypeVoid, true
+	}
+	return TypeVoid, false
+}
+
+// varRest parses the remainder of a variable declaration whose type and
+// first name were consumed: optional array bounds, initializer, and
+// further comma-separated declarators.
+func (p *Parser) varRest(typ Type, name Token) ([]*VarDecl, error) {
+	var out []*VarDecl
+	for {
+		d := &VarDecl{Name: name.Text, Elem: typ, Line: name.Line}
+		for p.accept("[") {
+			dim, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			d.Dims = append(d.Dims, dim)
+		}
+		if p.accept("=") {
+			init, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		out = append(out, d)
+		if p.accept(",") {
+			name = p.cur()
+			if name.Kind != TokIdent {
+				return nil, p.errf("expected identifier in declaration list")
+			}
+			p.advance()
+			continue
+		}
+		break
+	}
+	return out, p.expect(";")
+}
+
+// funcRest parses a function definition after `type name`.
+func (p *Parser) funcRest(ret Type, name Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name.Text, Ret: ret, Line: name.Line}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		for {
+			if p.accept("void") {
+				break
+			}
+			typ, ok := p.typeSpec()
+			if !ok {
+				return nil, p.errf("expected parameter type")
+			}
+			pn := p.cur()
+			if pn.Kind != TokIdent {
+				return nil, p.errf("expected parameter name")
+			}
+			p.advance()
+			fn.Params = append(fn.Params, &VarDecl{Name: pn.Text, Elem: typ, Line: pn.Line})
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// block parses `{ decls... stmts... }` (declarations may interleave).
+func (p *Parser) block() (*Block, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		if typ, ok := p.typeSpec(); ok {
+			name := p.cur()
+			if name.Kind != TokIdent {
+				return nil, p.errf("expected identifier in declaration")
+			}
+			p.advance()
+			decls, err := p.varRest(typ, name)
+			if err != nil {
+				return nil, err
+			}
+			b.Decls = append(b.Decls, decls...)
+			continue
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+// stmt parses one statement.
+func (p *Parser) stmt() (Stmt, error) {
+	tok := p.cur()
+	switch {
+	case tok.Kind == TokPragma:
+		return p.ompStmt()
+	case tok.Text == "{":
+		return p.block()
+	case tok.Text == ";":
+		p.advance()
+		return &Block{}, nil
+	case tok.Text == "for":
+		return p.forStmt()
+	case tok.Text == "while":
+		p.advance()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case tok.Text == "if":
+		p.advance()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		ifs := &IfStmt{Cond: cond, Then: then}
+		if p.accept("else") {
+			els, err := p.stmtAsBlock()
+			if err != nil {
+				return nil, err
+			}
+			ifs.Else = els
+		}
+		return ifs, nil
+	case tok.Text == "return":
+		p.advance()
+		if p.accept(";") {
+			return &ReturnStmt{}, nil
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: x}, p.expect(";")
+	case tok.Text == "break":
+		p.advance()
+		return &BreakStmt{}, p.expect(";")
+	case tok.Text == "continue":
+		p.advance()
+		return &ContinueStmt{}, p.expect(";")
+	default:
+		return p.simpleStmt(true)
+	}
+}
+
+// stmtAsBlock parses a statement, wrapping single statements in a block.
+func (p *Parser) stmtAsBlock() (*Block, error) {
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	if b, ok := s.(*Block); ok {
+		return b, nil
+	}
+	return &Block{Stmts: []Stmt{s}}, nil
+}
+
+// simpleStmt parses assignment / inc-dec / expression statements.
+// wantSemi controls the trailing semicolon (for-headers pass false).
+func (p *Parser) simpleStmt(wantSemi bool) (Stmt, error) {
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var s Stmt
+	switch op := p.cur().Text; op {
+	case "=", "+=", "-=", "*=", "/=":
+		p.advance()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s = &Assign{LHS: lhs, Op: op, RHS: rhs}
+	case "++", "--":
+		p.advance()
+		s = &IncDec{LHS: lhs, Op: op}
+	default:
+		s = &ExprStmt{X: lhs}
+	}
+	if wantSemi {
+		return s, p.expect(";")
+	}
+	return s, nil
+}
+
+// forStmt parses a for loop, requiring the canonical counted form
+// `for (i = lo; i < hi; i++)` (OpenMP 1.0's canonical loop shape).
+func (p *Parser) forStmt() (Stmt, error) {
+	line := p.cur().Line
+	p.advance()
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	// Optional `int` in the init (C99 style).
+	p.accept("int")
+	init, err := p.simpleStmt(false)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	asg, ok := init.(*Assign)
+	if !ok || asg.Op != "=" {
+		return nil, fmt.Errorf("line %d: for-init must be `var = expr`", line)
+	}
+	iv, ok := asg.LHS.(*Ident)
+	if !ok {
+		return nil, fmt.Errorf("line %d: for-init must assign a scalar variable", line)
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	bin, ok := cond.(*Binary)
+	if !ok || (bin.Op != "<" && bin.Op != "<=") {
+		return nil, fmt.Errorf("line %d: for-condition must be `var < bound` or `var <= bound`", line)
+	}
+	if id, ok := bin.X.(*Ident); !ok || id.Name != iv.Name {
+		return nil, fmt.Errorf("line %d: for-condition must test the loop variable", line)
+	}
+	incr, err := p.simpleStmt(false)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if id, ok := incr.(*IncDec); !ok || id.Op != "++" {
+		return nil, fmt.Errorf("line %d: for-increment must be `var++`", line)
+	}
+	body, err := p.stmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Var: iv.Name, Lo: asg.RHS, Hi: bin.Y, LessEq: bin.Op == "<=", Body: body, Line: line}, nil
+}
+
+// ompStmt parses a `#pragma omp` directive plus its body statement.
+func (p *Parser) ompStmt() (Stmt, error) {
+	tok := p.advance()
+	dir, err := parseDirective(tok.Text, tok.Line)
+	if err != nil {
+		return nil, err
+	}
+	o := &OmpStmt{Dir: dir, Line: tok.Line}
+	switch dir.Kind {
+	case DirBarrier:
+		return o, nil
+	case DirFor, DirParallelFor:
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		f, ok := body.(*ForStmt)
+		if !ok {
+			return nil, fmt.Errorf("line %d: omp for must be followed by a canonical for loop", tok.Line)
+		}
+		o.Body = f
+		return o, nil
+	default:
+		body, err := p.stmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		o.Body = body
+		return o, nil
+	}
+}
+
+// parseDirective parses the text after `#pragma`.
+func parseDirective(text string, line int) (Directive, error) {
+	var d Directive
+	words := tokenizePragma(text)
+	if len(words) == 0 || words[0] != "omp" {
+		return d, fmt.Errorf("line %d: only `#pragma omp` is supported (got %q)", line, text)
+	}
+	i := 1
+	next := func() string {
+		if i < len(words) {
+			w := words[i]
+			i++
+			return w
+		}
+		return ""
+	}
+	switch w := next(); w {
+	case "parallel":
+		if i < len(words) && words[i] == "for" {
+			i++
+			d.Kind = DirParallelFor
+		} else {
+			d.Kind = DirParallel
+		}
+	case "for":
+		d.Kind = DirFor
+	case "critical":
+		d.Kind = DirCritical
+		if i < len(words) && words[i] == "(" {
+			i++
+			d.Name = next()
+			if next() != ")" {
+				return d, fmt.Errorf("line %d: malformed critical name", line)
+			}
+		}
+	case "atomic":
+		d.Kind = DirAtomic
+		return d, nil
+	case "single":
+		d.Kind = DirSingle
+	case "master":
+		d.Kind = DirMaster
+		return d, nil
+	case "barrier":
+		d.Kind = DirBarrier
+		return d, nil
+	default:
+		return d, fmt.Errorf("line %d: unsupported omp directive %q", line, w)
+	}
+
+	// Clauses.
+	for i < len(words) {
+		switch w := next(); w {
+		case "private", "firstprivate", "shared":
+			vars, err := clauseVars(words, &i, line)
+			if err != nil {
+				return d, err
+			}
+			switch w {
+			case "private":
+				d.Private = append(d.Private, vars...)
+			case "firstprivate":
+				d.FirstPrivate = append(d.FirstPrivate, vars...)
+			case "shared":
+				d.Shared = append(d.Shared, vars...)
+			}
+		case "reduction":
+			if next() != "(" {
+				return d, fmt.Errorf("line %d: reduction needs (op:vars)", line)
+			}
+			op := next()
+			if next() != ":" {
+				return d, fmt.Errorf("line %d: reduction needs (op:vars)", line)
+			}
+			var vars []string
+			for i < len(words) && words[i] != ")" {
+				if words[i] != "," {
+					vars = append(vars, words[i])
+				}
+				i++
+			}
+			if next() != ")" {
+				return d, fmt.Errorf("line %d: unterminated reduction clause", line)
+			}
+			d.Reductions = append(d.Reductions, Reduction{Op: op, Vars: vars})
+		case "nowait":
+			d.NoWait = true
+		case "schedule":
+			// static is the paper's schedule (§4.3); dynamic is provided
+			// as the runtime's future-work extension. guided/runtime are
+			// rejected.
+			if next() != "(" {
+				return d, fmt.Errorf("line %d: malformed schedule clause", line)
+			}
+			switch kind := next(); kind {
+			case "static":
+			case "dynamic", "guided":
+				d.Dynamic = true
+				d.Guided = kind == "guided"
+				if i < len(words) && words[i] == "," {
+					i++
+					n, err := strconv.Atoi(next())
+					if err != nil || n < 1 {
+						return d, fmt.Errorf("line %d: bad %s chunk size", line, kind)
+					}
+					d.ChunkSize = n
+				}
+			default:
+				return d, fmt.Errorf("line %d: schedule(%s) is not supported (static per paper §4.3, dynamic/guided as extensions)", line, kind)
+			}
+			for i < len(words) && words[i] != ")" {
+				i++
+			}
+			next()
+		case "default":
+			// default(shared|none): accepted and ignored (shared is the default).
+			if next() != "(" {
+				return d, fmt.Errorf("line %d: malformed default clause", line)
+			}
+			next()
+			if next() != ")" {
+				return d, fmt.Errorf("line %d: malformed default clause", line)
+			}
+		default:
+			return d, fmt.Errorf("line %d: unsupported clause %q", line, w)
+		}
+	}
+	return d, nil
+}
+
+func clauseVars(words []string, i *int, line int) ([]string, error) {
+	if *i >= len(words) || words[*i] != "(" {
+		return nil, fmt.Errorf("line %d: clause needs a variable list", line)
+	}
+	*i++
+	var vars []string
+	for *i < len(words) && words[*i] != ")" {
+		if words[*i] != "," {
+			vars = append(vars, words[*i])
+		}
+		*i++
+	}
+	if *i >= len(words) {
+		return nil, fmt.Errorf("line %d: unterminated clause", line)
+	}
+	*i++
+	return vars, nil
+}
+
+// tokenizePragma splits a pragma line into words and punctuation.
+func tokenizePragma(text string) []string {
+	var out []string
+	cur := strings.Builder{}
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case r == ' ' || r == '\t':
+			flush()
+		case r == '(' || r == ')' || r == ',' || r == ':':
+			flush()
+			out = append(out, string(r))
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3, "^": 3, "&": 3,
+	"==": 4, "!=": 4,
+	"<": 5, "<=": 5, ">": 5, ">=": 5,
+	"<<": 6, ">>": 6,
+	"+": 7, "-": 7,
+	"*": 8, "/": 8, "%": 8,
+}
+
+func (p *Parser) expr() (Expr, error) { return p.ternary() }
+
+func (p *Parser) ternary() (Expr, error) {
+	x, err := p.binary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("?") {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		b, err := p.ternary()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{X: x, A: a, B: b}, nil
+	}
+	return x, nil
+}
+
+func (p *Parser) binary(minPrec int) (Expr, error) {
+	x, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().Text
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec || p.cur().Kind == TokString {
+			return x, nil
+		}
+		p.advance()
+		y, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: op, X: x, Y: y}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	switch p.cur().Text {
+	case "-", "!", "+":
+		op := p.advance().Text
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if op == "+" {
+			return x, nil
+		}
+		return &Unary{Op: op, X: x}, nil
+	case "(":
+		// Possible cast: (double) x — treat as conversion call.
+		if p.peek().Kind == TokKeyword {
+			save := p.pos
+			p.advance()
+			if typ, ok := p.typeSpec(); ok && p.cur().Text == ")" {
+				p.advance()
+				x, err := p.unary()
+				if err != nil {
+					return nil, err
+				}
+				return &Call{Name: "__cast_" + typ.GoType(), Args: []Expr{x}}, nil
+			}
+			p.pos = save
+		}
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expect(")")
+	}
+	return p.postfix()
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokNumber:
+		p.advance()
+		return &Number{Text: tok.Text}, nil
+	case TokString:
+		p.advance()
+		return &StringLit{Text: tok.Text}, nil
+	case TokIdent:
+		p.advance()
+		name := tok.Text
+		if p.accept("(") {
+			call := &Call{Name: name}
+			if !p.accept(")") {
+				for {
+					arg, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		if p.cur().Text == "[" {
+			idx := &Index{Base: name}
+			for p.accept("[") {
+				sub, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("]"); err != nil {
+					return nil, err
+				}
+				idx.Subs = append(idx.Subs, sub)
+			}
+			return idx, nil
+		}
+		return &Ident{Name: name}, nil
+	default:
+		return nil, p.errf("unexpected token %q in expression", tok.Text)
+	}
+}

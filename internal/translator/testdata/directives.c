@@ -1,0 +1,51 @@
+/*
+ * Directive showcase: a pi integration whose accumulation runs through
+ * every synchronization directive the translator lowers — an analyzable
+ * critical (hybrid collective), an atomic, a broadcast single, a master
+ * block, and an explicit barrier.
+ */
+#include <stdio.h>
+
+#define STEPS 4096
+
+double area;
+double width;
+double calls;
+
+int main() {
+    int i;
+    double x, partial;
+
+    #pragma omp parallel private(i, x, partial)
+    {
+        #pragma omp single
+        {
+            width = 1.0 / STEPS;
+        }
+        #pragma omp barrier
+
+        partial = 0.0;
+        #pragma omp for
+        for (i = 0; i < STEPS; i++) {
+            x = (i + 0.5) * width;
+            partial += 4.0 / (1.0 + x * x);
+        }
+
+        #pragma omp critical
+        {
+            area += partial;
+        }
+
+        #pragma omp atomic
+        calls += 1.0;
+
+        #pragma omp master
+        {
+            printf("master thread %d of %d\n", omp_get_thread_num(), omp_get_num_threads());
+        }
+    }
+
+    printf("pi = %f\n", area * width);
+    printf("calls = %f\n", calls);
+    return 0;
+}

@@ -1,0 +1,486 @@
+package translator
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := NewLexer("int x = 42; // comment\ndouble y; /* multi\nline */ y = 1.5e-3;").Lex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind != TokEOF {
+			texts = append(texts, tok.Text)
+		}
+	}
+	want := []string{"int", "x", "=", "42", ";", "double", "y", ";", "y", "=", "1.5e-3", ";"}
+	if strings.Join(texts, " ") != strings.Join(want, " ") {
+		t.Fatalf("tokens %v", texts)
+	}
+}
+
+func TestLexerDefineSubstitution(t *testing.T) {
+	toks, err := NewLexer("#define N 100\nint a[N];").Lex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Text == "100" && tok.Kind == TokNumber {
+			found = true
+		}
+		if tok.Text == "N" {
+			t.Fatal("macro N not substituted")
+		}
+	}
+	if !found {
+		t.Fatal("substituted value missing")
+	}
+}
+
+func TestLexerPragmaToken(t *testing.T) {
+	toks, err := NewLexer("#pragma omp parallel for private(j)\nint x;").Lex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokPragma || !strings.Contains(toks[0].Text, "omp parallel for") {
+		t.Fatalf("pragma token = %+v", toks[0])
+	}
+}
+
+func TestLexerIncludeSkipped(t *testing.T) {
+	toks, err := NewLexer("#include <stdio.h>\nint x;").Lex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "int" {
+		t.Fatalf("first token %q", toks[0].Text)
+	}
+}
+
+func TestLexerRejectsConditionals(t *testing.T) {
+	if _, err := NewLexer("#ifdef FOO\nint x;\n#endif").Lex(); err == nil {
+		t.Fatal("preprocessor conditionals should be rejected")
+	}
+}
+
+func TestLexerMultiCharOperators(t *testing.T) {
+	toks, err := NewLexer("a += b; c <= d; e && f; g++;").Lex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, tok := range toks {
+		got[tok.Text] = true
+	}
+	for _, op := range []string{"+=", "<=", "&&", "++"} {
+		if !got[op] {
+			t.Errorf("operator %q not lexed as one token", op)
+		}
+	}
+}
+
+func TestParseGlobalsAndFunctions(t *testing.T) {
+	prog := mustParse(t, `
+double a[10][20];
+int n = 5;
+double helper(double x, int k) { return x * k; }
+int main() { return 0; }
+`)
+	if len(prog.Decls) != 2 {
+		t.Fatalf("decls = %d", len(prog.Decls))
+	}
+	if prog.Decls[0].Name != "a" || len(prog.Decls[0].Dims) != 2 {
+		t.Fatalf("array decl %+v", prog.Decls[0])
+	}
+	if prog.Decls[1].Init == nil {
+		t.Fatal("scalar initializer lost")
+	}
+	if len(prog.Funcs) != 2 || prog.Funcs[0].Name != "helper" || len(prog.Funcs[0].Params) != 2 {
+		t.Fatalf("functions parsed wrong: %+v", prog.Funcs)
+	}
+}
+
+func TestParseCanonicalFor(t *testing.T) {
+	prog := mustParse(t, `int main() { int i; for (i = 0; i < 10; i++) { i = i; } }`)
+	f := prog.Funcs[0].Body.Stmts[0].(*ForStmt)
+	if f.Var != "i" || f.LessEq {
+		t.Fatalf("for = %+v", f)
+	}
+}
+
+func TestParseRejectsNonCanonicalOmpFor(t *testing.T) {
+	_, err := Parse(`int main() { int i;
+#pragma omp for
+while (i < 10) { i++; }
+}`)
+	if err == nil {
+		t.Fatal("omp for over a while loop should be rejected")
+	}
+}
+
+func TestParseDirectives(t *testing.T) {
+	cases := []struct {
+		text string
+		kind DirKind
+	}{
+		{"omp parallel", DirParallel},
+		{"omp parallel for", DirParallelFor},
+		{"omp for", DirFor},
+		{"omp critical", DirCritical},
+		{"omp atomic", DirAtomic},
+		{"omp single", DirSingle},
+		{"omp master", DirMaster},
+		{"omp barrier", DirBarrier},
+	}
+	for _, c := range cases {
+		d, err := parseDirective(c.text, 1)
+		if err != nil {
+			t.Fatalf("%q: %v", c.text, err)
+		}
+		if d.Kind != c.kind {
+			t.Errorf("%q parsed as %v", c.text, d.Kind)
+		}
+	}
+}
+
+func TestParseDirectiveClauses(t *testing.T) {
+	d, err := parseDirective("omp parallel for private(i, j) firstprivate(x) reduction(+:sum, err) nowait schedule(static)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Private) != 2 || d.Private[0] != "i" || d.Private[1] != "j" {
+		t.Fatalf("private = %v", d.Private)
+	}
+	if len(d.FirstPrivate) != 1 || d.FirstPrivate[0] != "x" {
+		t.Fatalf("firstprivate = %v", d.FirstPrivate)
+	}
+	if len(d.Reductions) != 1 || d.Reductions[0].Op != "+" || len(d.Reductions[0].Vars) != 2 {
+		t.Fatalf("reductions = %+v", d.Reductions)
+	}
+	if !d.NoWait {
+		t.Fatal("nowait lost")
+	}
+}
+
+func TestParseCriticalName(t *testing.T) {
+	d, err := parseDirective("omp critical (update)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "update" {
+		t.Fatalf("name = %q", d.Name)
+	}
+}
+
+func TestParseDynamicSchedule(t *testing.T) {
+	d, err := parseDirective("omp for schedule(dynamic, 4)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Dynamic || d.ChunkSize != 4 {
+		t.Fatalf("dynamic schedule parsed as %+v", d)
+	}
+}
+
+func TestScalarTargets(t *testing.T) {
+	prog := mustParse(t, `
+double total;
+double other;
+int main() {
+#pragma omp parallel
+	{
+#pragma omp critical
+		{ total += 1.0; }
+		other = 2.0;
+	}
+}`)
+	targets := scalarTargets(prog)
+	if !targets["total"] {
+		t.Fatal("critical target not detected")
+	}
+	if targets["other"] {
+		t.Fatal("plain assignment wrongly classified as hybrid scalar")
+	}
+}
+
+func translate(t *testing.T, src string) string {
+	t.Helper()
+	out, err := Translate(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestTranslateAnalyzableCriticalUsesHybridPath(t *testing.T) {
+	out := translate(t, `
+double sum;
+int main() {
+#pragma omp parallel
+	{
+#pragma omp critical
+		{ sum += 1.0; }
+	}
+}`)
+	if !strings.Contains(out, "tc.Critical(\"crit_2\", []*parade.Scalar{s_sum}") {
+		t.Fatalf("analyzable critical not hybridized:\n%s", out)
+	}
+}
+
+func TestTranslateNonAnalyzableCriticalFallsBack(t *testing.T) {
+	out := translate(t, `
+double a[100];
+double sum;
+int main() {
+#pragma omp parallel
+	{
+#pragma omp critical
+		{ a[0] += 1.0; }
+	}
+}`)
+	if !strings.Contains(out, "tc.Critical(\"crit_2\", nil, func()") {
+		t.Fatalf("array-writing critical should use the lock path:\n%s", out)
+	}
+}
+
+func TestTranslateThresholdForcesLockPath(t *testing.T) {
+	src := `
+double s1; double s2; double s3;
+int main() {
+#pragma omp parallel
+	{
+#pragma omp critical
+		{ s1 += 1.0; s2 += 1.0; s3 += 1.0; }
+	}
+}`
+	out, err := Translate(src, Options{SmallThreshold: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "nil, func()") {
+		t.Fatalf("oversized critical (24 bytes > 16) should use the lock path:\n%s", out)
+	}
+}
+
+func TestTranslateAtomic(t *testing.T) {
+	out := translate(t, `
+double x;
+int main() {
+#pragma omp parallel
+	{
+#pragma omp atomic
+		x += 2.5;
+	}
+}`)
+	if !strings.Contains(out, "tc.Atomic(s_x, 2.5)") {
+		t.Fatalf("atomic not lowered to collective:\n%s", out)
+	}
+}
+
+func TestTranslateSingleBroadcastVsBarrier(t *testing.T) {
+	out := translate(t, `
+double w;
+double big[1000];
+int main() {
+#pragma omp parallel
+	{
+#pragma omp single
+		{ w = 0.5; }
+#pragma omp single
+		{ big[0] = 1.0; }
+	}
+}`)
+	if !strings.Contains(out, "tc.Single(\"single_2\", s_w") {
+		t.Fatalf("small single should broadcast:\n%s", out)
+	}
+	if !strings.Contains(out, "tc.SingleBarrier(\"single_3\"") {
+		t.Fatalf("array single should use the barrier path:\n%s", out)
+	}
+}
+
+func TestTranslateReductionElidesBarrierWhenPure(t *testing.T) {
+	out := translate(t, `
+double a[100];
+int main() {
+	double sum;
+	int i;
+#pragma omp parallel for reduction(+:sum)
+	for (i = 0; i < 100; i++) {
+		sum += a[i];
+	}
+}`)
+	if !strings.Contains(out, "tc.ForNowait(") {
+		t.Fatalf("pure reduction loop should elide the barrier:\n%s", out)
+	}
+	if !strings.Contains(out, "parade.OpSum") {
+		t.Fatalf("reduction collective missing:\n%s", out)
+	}
+}
+
+func TestTranslateReductionKeepsBarrierWhenWritingArrays(t *testing.T) {
+	out := translate(t, `
+double a[100];
+int main() {
+	double sum;
+	int i;
+#pragma omp parallel for reduction(+:sum)
+	for (i = 0; i < 100; i++) {
+		a[i] = 1.0;
+		sum += a[i];
+	}
+}`)
+	if !strings.Contains(out, "tc.For(") || strings.Contains(out, "tc.ForNowait(") {
+		t.Fatalf("array-writing reduction loop must keep its barrier:\n%s", out)
+	}
+}
+
+func TestTranslateMultiDimIndexing(t *testing.T) {
+	out := translate(t, `
+double a[8][16];
+int main() {
+	int i, j;
+#pragma omp parallel for private(j)
+	for (i = 0; i < 8; i++) {
+		for (j = 0; j < 16; j++) {
+			a[i][j] = i + j;
+		}
+	}
+}`)
+	if !strings.Contains(out, "a.Set(tc, (i)*(16)+(j)") {
+		t.Fatalf("row-major flattening wrong:\n%s", out)
+	}
+}
+
+func TestTranslateOmpRuntimeCalls(t *testing.T) {
+	out := translate(t, `
+int main() {
+#pragma omp parallel
+	{
+		int tid;
+		tid = omp_get_thread_num();
+		tid = omp_get_num_threads();
+	}
+}`)
+	if !strings.Contains(out, "tc.GID()") || !strings.Contains(out, "tc.NumThreads()") {
+		t.Fatalf("omp runtime calls not mapped:\n%s", out)
+	}
+}
+
+func TestTranslateHelperPurityEnforced(t *testing.T) {
+	_, err := Translate(`
+double shared_arr[10];
+double bad() { return shared_arr[0]; }
+int main() { }
+`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "shared array") {
+		t.Fatalf("helper touching shared data should be rejected, got %v", err)
+	}
+}
+
+func TestTranslateRejectsNestedParallel(t *testing.T) {
+	_, err := Translate(`
+int main() {
+#pragma omp parallel
+	{
+#pragma omp parallel
+		{ }
+	}
+}`, Options{})
+	if err == nil {
+		t.Fatal("nested parallel should be rejected")
+	}
+}
+
+func TestTranslateGoldenJacobi(t *testing.T) {
+	src, err := os.ReadFile("testdata/jacobi.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := translate(t, string(src))
+	golden, err := os.ReadFile("../../examples/translated-jacobi/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatal("examples/translated-jacobi/main.go is stale: regenerate with " +
+			"`go run ./cmd/parade-translate -o examples/translated-jacobi/main.go internal/translator/testdata/jacobi.c`")
+	}
+}
+
+func TestTranslateGoldenDirectives(t *testing.T) {
+	src, err := os.ReadFile("testdata/directives.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := translate(t, string(src))
+	golden, err := os.ReadFile("../../examples/translated-pi/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatal("examples/translated-pi/main.go is stale: regenerate with " +
+			"`go run ./cmd/parade-translate -o examples/translated-pi/main.go internal/translator/testdata/directives.c`")
+	}
+}
+
+func TestTranslateEmitsFlagsAndRun(t *testing.T) {
+	out := translate(t, `int main() { }`)
+	for _, want := range []string{
+		"parade.Run(cfg", "flag.Int(\"nodes\"", "parade.SDSM",
+		"func main() {",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestTranslateDynamicSchedule(t *testing.T) {
+	out := translate(t, `
+double a[100];
+int main() {
+	int i;
+#pragma omp parallel for schedule(dynamic, 4)
+	for (i = 0; i < 100; i++) {
+		a[i] = i;
+	}
+}`)
+	if !strings.Contains(out, "tc.ForDynamic(") || !strings.Contains(out, ", 4, 0, func(i int)") {
+		t.Fatalf("dynamic schedule not lowered:\n%s", out)
+	}
+}
+
+func TestTranslateGuidedSchedule(t *testing.T) {
+	out := translate(t, `
+double a[100];
+int main() {
+	int i;
+#pragma omp parallel for schedule(guided, 2)
+	for (i = 0; i < 100; i++) {
+		a[i] = i;
+	}
+}`)
+	if !strings.Contains(out, "tc.ForGuided(") {
+		t.Fatalf("guided schedule not lowered:\n%s", out)
+	}
+}
+
+func TestTranslateRejectsRuntimeSchedule(t *testing.T) {
+	if _, err := parseDirective("omp for schedule(runtime)", 1); err == nil {
+		t.Fatal("schedule(runtime) should be rejected")
+	}
+}

@@ -1,0 +1,100 @@
+// Package parade is the public API of the ParADE reproduction: an OpenMP
+// programming environment for SMP cluster systems (Kee, Kim, Ha — SC'03)
+// rebuilt as a deterministic simulation library in Go.
+//
+// A ParADE program is a function of a master Thread. Serial sections run
+// on the master; Thread.Parallel forks the team across the simulated
+// cluster's nodes. Work-sharing and synchronization directives mirror
+// OpenMP: For, Critical, Atomic, Single, Master, Barrier, Reduce. Large
+// shared data lives in software distributed shared memory kept coherent
+// by home-based lazy release consistency with migratory home; directives
+// that guard small, statically analyzable data are executed with
+// message-passing collectives instead of SDSM locks — the paper's hybrid
+// execution model.
+//
+// Quick start:
+//
+//	cfg := parade.Config{Nodes: 4, ThreadsPerNode: 2, HomeMigration: true}
+//	report, err := parade.Run(cfg, func(m *parade.Thread) {
+//		a := m.Cluster().AllocF64(1 << 16)
+//		m.Parallel(func(tc *parade.Thread) {
+//			tc.For(0, a.Len(), func(i int) { a.Set(tc, i, float64(i)) })
+//			sum := tc.Reduce("sum", parade.OpSum, partialOf(tc, a))
+//			tc.Master(func() { fmt.Println("sum:", sum) })
+//		})
+//	})
+//
+// The same program runs under the conventional SDSM baseline (KDSM) by
+// setting Mode: parade.SDSM and HomeMigration: false, which is how the
+// paper's microbenchmark comparisons are produced.
+package parade
+
+import (
+	"parade/internal/core"
+	"parade/internal/netsim"
+	"parade/internal/sim"
+)
+
+// Re-exported runtime types. The aliases keep one implementation while
+// giving downstream users a stable import path.
+type (
+	// Config describes a simulated cluster (see core.Config).
+	Config = core.Config
+	// Thread is an OpenMP thread execution context.
+	Thread = core.Thread
+	// Cluster is the runtime instance behind a running program.
+	Cluster = core.Cluster
+	// Report carries the virtual execution time and protocol counters.
+	Report = core.Report
+	// Mode selects hybrid (ParADE) or conventional (SDSM) lowering.
+	Mode = core.Mode
+	// Op is a reduction operator.
+	Op = core.Op
+	// Scalar is a small shared variable managed by the update protocol.
+	Scalar = core.Scalar
+	// F64Array is a shared float64 array in distributed shared memory.
+	F64Array = core.F64Array
+	// I64Array is a shared int64 array in distributed shared memory.
+	I64Array = core.I64Array
+	// Fabric holds interconnect performance parameters.
+	Fabric = netsim.Fabric
+	// Duration is virtual time in nanoseconds.
+	Duration = sim.Duration
+)
+
+// Execution modes.
+const (
+	// Hybrid is the ParADE execution model (collectives for small data).
+	Hybrid = core.Hybrid
+	// SDSM is the conventional lock-based lowering (the KDSM baseline).
+	SDSM = core.SDSM
+)
+
+// Reduction operators.
+const (
+	OpSum  = core.OpSum
+	OpMax  = core.OpMax
+	OpMin  = core.OpMin
+	OpProd = core.OpProd
+)
+
+// Run builds a simulated cluster from cfg and executes program on the
+// master thread, returning the run report.
+func Run(cfg Config, program func(master *Thread)) (Report, error) {
+	return core.Run(cfg, program)
+}
+
+// VIA returns the Giganet cLAN Virtual Interface Architecture fabric of
+// the paper's testbed.
+func VIA() Fabric { return netsim.VIA() }
+
+// TCP returns the Fast Ethernet TCP/IP fabric (MPI/Pro-style).
+func TCP() Fabric { return netsim.TCP() }
+
+// Config1T1C, Config1T2C and Config2T2C are the paper's three
+// thread/CPU configurations (§6.2).
+var (
+	Config1T1C = core.Config1T1C
+	Config1T2C = core.Config1T2C
+	Config2T2C = core.Config2T2C
+)

@@ -1,0 +1,69 @@
+package parade_test
+
+import (
+	"testing"
+
+	"parade"
+)
+
+// The public facade: the quickstart workflow end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	cfg := parade.Config{Nodes: 2, ThreadsPerNode: 2, HomeMigration: true}
+	var sum float64
+	rep, err := parade.Run(cfg, func(m *parade.Thread) {
+		a := m.Cluster().AllocF64(1000)
+		for i := 0; i < 1000; i++ {
+			a.Set(m, i, 1)
+		}
+		m.Parallel(func(tc *parade.Thread) {
+			lo, hi := tc.StaticRange(0, 1000)
+			partial := 0.0
+			for i := lo; i < hi; i++ {
+				partial += a.Get(tc, i)
+			}
+			total := tc.Reduce("sum", parade.OpSum, partial)
+			tc.Master(func() { sum = total })
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 1000 {
+		t.Fatalf("sum = %v", sum)
+	}
+	if rep.Time <= 0 {
+		t.Fatalf("report time %v", rep.Time)
+	}
+}
+
+func TestFacadeFabricsAndModes(t *testing.T) {
+	if parade.VIA().Name == parade.TCP().Name {
+		t.Fatal("fabrics indistinct")
+	}
+	if parade.Hybrid == parade.SDSM {
+		t.Fatal("modes indistinct")
+	}
+	cfg := parade.Config1T2C(4)
+	if cfg.Nodes != 4 || cfg.CPUsPerNode != 2 {
+		t.Fatalf("preset = %+v", cfg)
+	}
+}
+
+func TestFacadeSDSMMode(t *testing.T) {
+	cfg := parade.Config{Nodes: 2, Mode: parade.SDSM}
+	var v float64
+	_, err := parade.Run(cfg, func(m *parade.Thread) {
+		s := m.Cluster().ScalarVar("x")
+		m.Parallel(func(tc *parade.Thread) {
+			tc.Atomic(s, 2)
+		})
+		m.Parallel(func(tc *parade.Thread) {})
+		v = s.Get(m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 4 {
+		t.Fatalf("atomic sum = %v", v)
+	}
+}
