@@ -42,6 +42,7 @@ func benchMicro(b *testing.B, run func(core.Config, int) (microbench.Result, err
 			{"KDSM", kdsm.Config(nodes, 1, 2)},
 		} {
 			b.Run(fmt.Sprintf("%s/nodes=%d", sys.label, nodes), func(b *testing.B) {
+				b.ReportAllocs()
 				var perOp sim.Duration
 				for i := 0; i < b.N; i++ {
 					r, err := run(sys.cfg, 100)
@@ -72,6 +73,7 @@ func benchApp(b *testing.B, run func(cfg core.Config) (sim.Duration, error)) {
 		{"2T2C", core.Config2T2C(4)},
 	} {
 		b.Run(c.label, func(b *testing.B) {
+			b.ReportAllocs()
 			var kernel sim.Duration
 			for i := 0; i < b.N; i++ {
 				d, err := run(c.cfg)
@@ -132,6 +134,7 @@ func BenchmarkAblationHomeMigration(b *testing.B) {
 	// no home can migrate).
 	for _, mig := range []bool{false, true} {
 		b.Run(fmt.Sprintf("migration=%v", mig), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := core.Config{Nodes: 4, ThreadsPerNode: 1, HomeMigration: mig}.WithDefaults()
 			var kernel sim.Duration
 			var fetches, diffs int64
@@ -157,6 +160,7 @@ func BenchmarkAblationHybridThreshold(b *testing.B) {
 	const scalarsInBlock = 8 // 64 bytes of guarded data
 	for _, threshold := range []int{16, 64, 256, 1024} {
 		b.Run(fmt.Sprintf("threshold=%d", threshold), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := paradeCfg(4)
 			cfg.SmallThreshold = threshold
 			var elapsed sim.Duration
@@ -203,6 +207,7 @@ func BenchmarkAblationCommThread(b *testing.B) {
 		{"dedicated-cpu-1T2C", core.Config1T2C(4)},
 	} {
 		b.Run(c.label, func(b *testing.B) {
+			b.ReportAllocs()
 			var kernel sim.Duration
 			for i := 0; i < b.N; i++ {
 				r, err := apps.RunHelmholtz(c.cfg, apps.HelmholtzTest())
@@ -221,6 +226,7 @@ func BenchmarkAblationCommThread(b *testing.B) {
 func BenchmarkAblationUpdateStrategy(b *testing.B) {
 	for _, s := range []dsm.UpdateStrategy{dsm.FileMapping, dsm.SysVShm, dsm.Mdup, dsm.ChildProcess} {
 		b.Run(s.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := paradeCfg(4)
 			cfg.Strategy = s
 			var kernel sim.Duration
@@ -241,6 +247,7 @@ func BenchmarkAblationUpdateStrategy(b *testing.B) {
 func BenchmarkAblationFabric(b *testing.B) {
 	for _, f := range []netsim.Fabric{netsim.VIA(), netsim.TCP()} {
 		b.Run(f.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := paradeCfg(4)
 			cfg.Fabric = f
 			var kernel sim.Duration
@@ -269,6 +276,7 @@ func BenchmarkAblationLockProtocol(b *testing.B) {
 		{"kdsm-centralized", kdsm.Config(4, 1, 2)},
 	} {
 		b.Run(sys.label, func(b *testing.B) {
+			b.ReportAllocs()
 			var perOp sim.Duration
 			for i := 0; i < b.N; i++ {
 				r, err := microbench.Critical(sys.cfg, 100)
@@ -292,6 +300,7 @@ func BenchmarkAblationDynamicSchedule(b *testing.B) {
 			label = "dynamic"
 		}
 		b.Run(label, func(b *testing.B) {
+			b.ReportAllocs()
 			var start, end sim.Time
 			for i := 0; i < b.N; i++ {
 				_, err := core.Run(paradeCfg(4), func(m *core.Thread) {

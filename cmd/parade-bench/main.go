@@ -1,6 +1,10 @@
 // Command parade-bench regenerates the paper's evaluation figures
 // (Figs. 6-11) as text tables. See EXPERIMENTS.md for the recorded
 // paper-vs-measured comparison.
+//
+// With -regress it instead runs the substrate benchmark suites (event
+// kernel, diff engine, directive microbenchmarks, Fig 6/7 sweeps) and
+// writes a JSON report; see scripts/bench.sh.
 package main
 
 import (
@@ -17,7 +21,25 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 6..11 or 'all'")
 	nodesFlag := flag.String("nodes", "1,2,4,8", "comma-separated node counts")
 	scale := flag.String("scale", "bench", "workload scale: bench or paper")
+	regress := flag.Bool("regress", false, "run benchmark suites and emit a JSON report instead of figures")
+	out := flag.String("out", "-", "regress: report output path ('-' for stdout)")
+	baseline := flag.String("baseline", "", "regress: prior report (JSON) or raw 'go test -bench' output to compare against")
+	benchtime := flag.String("benchtime", "1s", "regress: -benchtime passed to go test")
+	maxRegress := flag.Float64("max-regress", 0, "regress: exit non-zero if any benchmark slows more than this factor vs baseline (0 disables)")
 	flag.Parse()
+
+	if *regress {
+		n, err := runRegress(*out, *baseline, *benchtime, *maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parade-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "parade-bench: %d benchmark(s) regressed\n", n)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var nodes []int
 	for _, s := range strings.Split(*nodesFlag, ",") {

@@ -1,0 +1,84 @@
+package dsm
+
+import "testing"
+
+// Diff-engine benchmarks. The twin/cur pairs model the common flush
+// shapes: a page with a few dirty words (scalar updates), a page with a
+// dense dirty block (a node's vector slice), and a fully clean page (the
+// diff scan's fast path, which dominates when false sharing is low).
+
+// diffPair builds a twin/cur pair with the given dirty byte ranges.
+func diffPair(dirty ...[2]int) (twin, cur []byte) {
+	twin = make([]byte, PageSize)
+	cur = make([]byte, PageSize)
+	for i := range twin {
+		twin[i] = byte(i * 7)
+		cur[i] = twin[i]
+	}
+	for _, r := range dirty {
+		for i := r[0]; i < r[1]; i++ {
+			cur[i] ^= 0xff
+		}
+	}
+	return twin, cur
+}
+
+func benchMakeDiff(b *testing.B, dirty ...[2]int) {
+	twin, cur := diffPair(dirty...)
+	var d Diff
+	DiffInto(&d, 3, twin, cur) // warm the run slice and arena
+	b.SetBytes(PageSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DiffInto(&d, 3, twin, cur)
+		if len(dirty) > 0 && d.Empty() {
+			b.Fatal("empty diff for dirty page")
+		}
+	}
+}
+
+// BenchmarkMakeDiff is the headline diff-scan benchmark: the
+// steady-state flush path (DiffInto with a reused Diff, as the protocol
+// engine runs it) over a page with one dense dirty block, the shape a
+// blocked numeric kernel produces.
+func BenchmarkMakeDiff(b *testing.B) { benchMakeDiff(b, [2]int{512, 1536}) }
+
+// BenchmarkMakeDiffClean scans a page with no modifications (pure
+// comparison throughput, no run assembly).
+func BenchmarkMakeDiffClean(b *testing.B) { benchMakeDiff(b) }
+
+// BenchmarkMakeDiffSparse scans a page with eight scattered dirty words.
+func BenchmarkMakeDiffSparse(b *testing.B) {
+	benchMakeDiff(b,
+		[2]int{0, 4}, [2]int{512, 516}, [2]int{1024, 1028}, [2]int{1536, 1540},
+		[2]int{2048, 2052}, [2]int{2560, 2564}, [2]int{3072, 3076}, [2]int{4092, 4096})
+}
+
+// BenchmarkMakeDiffAlloc measures the allocating convenience API (a
+// fresh Diff per scan), the cost DiffInto's arena reuse removes.
+func BenchmarkMakeDiffAlloc(b *testing.B) {
+	twin, cur := diffPair([2]int{512, 1536})
+	b.SetBytes(PageSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := MakeDiff(3, twin, cur)
+		if d.Empty() {
+			b.Fatal("empty diff for dirty page")
+		}
+	}
+}
+
+func BenchmarkDiffApply(b *testing.B) {
+	twin, cur := diffPair([2]int{512, 1536}, [2]int{2048, 2052})
+	d := MakeDiff(3, twin, cur)
+	dst := make([]byte, PageSize)
+	copy(dst, twin)
+	b.SetBytes(PageSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Apply(dst)
+	}
+}

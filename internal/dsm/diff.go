@@ -4,6 +4,18 @@ package dsm
 // copy of a page taken at the first write fault of an interval; at flush
 // time the diff — the words that changed relative to the twin — is sent
 // to the page's home, which applies it to its master copy.
+//
+// The scanner compares uint64 strides to skip clean regions (the common
+// case: most of a page is unmodified at flush time) and falls back to
+// 32-bit words at mismatches, so run boundaries are identical to a plain
+// word-by-word scan. Run payloads for one diff live in a single
+// page-sized arena, which DiffInto reuses across scans: the steady-state
+// diff path allocates nothing.
+
+import (
+	"bytes"
+	"encoding/binary"
+)
 
 // Run is a contiguous span of modified bytes within a page.
 type Run struct {
@@ -16,39 +28,101 @@ type Run struct {
 type Diff struct {
 	Page int
 	Runs []Run
+	// arena backs every run's Data. Its capacity is retained across
+	// DiffInto calls so rescanning into the same Diff never allocates.
+	arena []byte
 }
 
 // diffWord is the comparison granularity; real HLRC implementations scan
 // 32-bit words.
 const diffWord = 4
 
+// strideBytes is the fast-path comparison stride over clean regions.
+const strideBytes = 8
+
+// cleanChunk is the memequal stride: clean regions are first skipped a
+// cache-line at a time before falling back to word comparisons.
+const cleanChunk = 64
+
 // MakeDiff scans cur against twin and returns the modified runs.
-// Both slices must be PageSize long.
+// Both slices must be the same length (normally PageSize). Callers on a
+// hot path should reuse a Diff via DiffInto instead.
 func MakeDiff(page int, twin, cur []byte) Diff {
-	d := Diff{Page: page}
+	var d Diff
+	DiffInto(&d, page, twin, cur)
+	return d
+}
+
+// DiffInto rebuilds d in place as the diff of cur against twin, reusing
+// d's run slice and payload arena. Both slices must be the same length.
+// The runs reference d's internal storage: they are invalidated by the
+// next DiffInto on d (or DiffPool.Put), and remain valid until then.
+func DiffInto(d *Diff, page int, twin, cur []byte) {
+	n := len(twin)
+	if len(cur) != n {
+		panic("dsm: DiffInto twin/cur length mismatch")
+	}
+	d.Page = page
+	d.Runs = d.Runs[:0]
+	if cap(d.arena) < n {
+		// One allocation per Diff lifetime: total run payload never
+		// exceeds the page, so the arena never reallocates mid-scan
+		// (reallocation would dangle earlier runs' Data).
+		d.arena = make([]byte, 0, n)
+	}
+	d.arena = d.arena[:0]
+
 	i := 0
-	for i < PageSize {
-		if wordEqual(twin, cur, i) {
+	for i < n {
+		// Fast-skip clean regions: a cache line at a time via memequal,
+		// then a uint64 stride at a time to localize the first dirty word.
+		for i+cleanChunk <= n && bytes.Equal(twin[i:i+cleanChunk], cur[i:i+cleanChunk]) {
+			i += cleanChunk
+		}
+		for i+strideBytes <= n &&
+			binary.LittleEndian.Uint64(twin[i:]) == binary.LittleEndian.Uint64(cur[i:]) {
+			i += strideBytes
+		}
+		if i >= n {
+			break
+		}
+		if wordEqual(twin, cur, i, n) {
+			// The mismatching stride's first word is clean (the change is
+			// in its second half), or we are at a clean tail word.
 			i += diffWord
 			continue
 		}
 		start := i
-		for i < PageSize && !wordEqual(twin, cur, i) {
+		i += diffWord
+		// Extend the run a stride at a time while both words of the
+		// stride differ; the XOR's halves show which words changed.
+		for i+strideBytes <= n {
+			x := binary.LittleEndian.Uint64(twin[i:]) ^ binary.LittleEndian.Uint64(cur[i:])
+			if uint32(x) == 0 || x>>32 == 0 {
+				break // a clean word ends the run within this stride
+			}
+			i += strideBytes
+		}
+		for i < n && !wordEqual(twin, cur, i, n) {
 			i += diffWord
 		}
-		data := make([]byte, i-start)
-		copy(data, cur[start:i])
-		d.Runs = append(d.Runs, Run{Off: start, Data: data})
+		end := i
+		if end > n {
+			end = n // last word of a non-multiple-of-4 page is short
+		}
+		off := len(d.arena)
+		d.arena = append(d.arena, cur[start:end]...)
+		d.Runs = append(d.Runs, Run{Off: start, Data: d.arena[off:len(d.arena):len(d.arena)]})
 	}
-	return d
 }
 
-func wordEqual(a, b []byte, off int) bool {
-	end := off + diffWord
-	if end > PageSize {
-		end = PageSize
+// wordEqual compares the diffWord-sized word at off, clamped to n for
+// the tail of a page whose size is not a multiple of diffWord.
+func wordEqual(a, b []byte, off, n int) bool {
+	if off+diffWord <= n {
+		return binary.LittleEndian.Uint32(a[off:]) == binary.LittleEndian.Uint32(b[off:])
 	}
-	for i := off; i < end; i++ {
+	for i := off; i < n; i++ {
 		if a[i] != b[i] {
 			return false
 		}
@@ -58,6 +132,15 @@ func wordEqual(a, b []byte, off int) bool {
 
 // Apply writes the diff's runs into dst (a PageSize frame).
 func (d Diff) Apply(dst []byte) {
+	for _, r := range d.Runs {
+		copy(dst[r.Off:], r.Data)
+	}
+}
+
+// ApplyInto writes the diff's runs into dst. It is Apply for pooled
+// diffs: the *Diff receiver avoids copying the header, and the caller
+// typically returns d to its DiffPool immediately afterwards.
+func (d *Diff) ApplyInto(dst []byte) {
 	for _, r := range d.Runs {
 		copy(dst[r.Off:], r.Data)
 	}

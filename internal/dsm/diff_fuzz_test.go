@@ -1,0 +1,83 @@
+package dsm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDiffRoundtrip guards the word-wise scanner's boundary handling:
+// for any twin/cur pair (including lengths that are not a multiple of
+// the uint64 stride or of the word size), applying MakeDiff's output
+// onto a copy of the twin must reproduce cur exactly, and the modeled
+// wire size must cover at least the run payloads. DiffInto into a dirty
+// reused Diff must produce the same runs as a fresh scan.
+func FuzzDiffRoundtrip(f *testing.F) {
+	f.Add([]byte{}, []byte{}, 0)
+	f.Add([]byte{1, 2, 3, 4}, []byte{1, 9, 3, 4}, 0)
+	// Tail shorter than a word, run ending at the buffer end.
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7}, []byte{1, 2, 3, 4, 5, 6, 8}, 1)
+	// Stride boundary: change exactly at byte 8.
+	f.Add(bytes.Repeat([]byte{7}, 24), append(bytes.Repeat([]byte{7}, 8), bytes.Repeat([]byte{9}, 16)...), 2)
+	seedTwin := make([]byte, PageSize)
+	seedCur := make([]byte, PageSize)
+	for i := range seedCur {
+		seedTwin[i] = byte(i)
+		seedCur[i] = byte(i)
+	}
+	seedCur[0] ^= 1
+	seedCur[PageSize-1] ^= 1
+	f.Add(seedTwin, seedCur, 3)
+
+	reused := &Diff{}
+	f.Fuzz(func(t *testing.T, twin, cur []byte, page int) {
+		// The scanner requires equal lengths; trim to the shorter input.
+		n := len(twin)
+		if len(cur) < n {
+			n = len(cur)
+		}
+		twin, cur = twin[:n], cur[:n]
+
+		d := MakeDiff(page, twin, cur)
+
+		got := make([]byte, n)
+		copy(got, twin)
+		d.Apply(got)
+		if !bytes.Equal(got, cur) {
+			t.Fatalf("roundtrip mismatch (n=%d): diff %+v", n, d.Runs)
+		}
+
+		payload := 0
+		for i, r := range d.Runs {
+			payload += len(r.Data)
+			if len(r.Data) == 0 {
+				t.Fatalf("run %d is empty", i)
+			}
+			if r.Off%diffWord != 0 {
+				t.Fatalf("run %d offset %d not word-aligned", i, r.Off)
+			}
+			if r.Off+len(r.Data) > n {
+				t.Fatalf("run %d overruns the page: off=%d len=%d n=%d", i, r.Off, len(r.Data), n)
+			}
+			if i > 0 && r.Off < d.Runs[i-1].Off+len(d.Runs[i-1].Data)+diffWord {
+				t.Fatalf("runs %d,%d not separated by a clean word", i-1, i)
+			}
+		}
+		if d.WireBytes() < payload {
+			t.Fatalf("WireBytes %d < payload %d", d.WireBytes(), payload)
+		}
+		if d.Empty() != bytes.Equal(twin, cur) {
+			t.Fatalf("Empty()=%v but twin==cur is %v", d.Empty(), bytes.Equal(twin, cur))
+		}
+
+		// A reused Diff (pooled path) must produce identical runs.
+		DiffInto(reused, page, twin, cur)
+		if len(reused.Runs) != len(d.Runs) {
+			t.Fatalf("reused scan: %d runs vs %d", len(reused.Runs), len(d.Runs))
+		}
+		for i := range d.Runs {
+			if reused.Runs[i].Off != d.Runs[i].Off || !bytes.Equal(reused.Runs[i].Data, d.Runs[i].Data) {
+				t.Fatalf("reused scan diverges at run %d", i)
+			}
+		}
+	})
+}

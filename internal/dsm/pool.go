@@ -1,0 +1,70 @@
+package dsm
+
+// Free lists for the protocol's page-sized buffers and diffs. The
+// simulation kernel runs exactly one goroutine at a time, so plain
+// slices need no locking (and no sync.Pool indirection). Ownership is
+// strict hand-off: after Put, the caller must not retain the buffer or
+// any sub-slice of it — the next Get may hand it to someone else.
+
+// FramePool recycles PageSize buffers: twins taken at write faults and
+// page snapshots sent in fetch replies. A frame returned by Get has
+// undefined contents; the taker must overwrite all PageSize bytes.
+type FramePool struct {
+	free [][]byte
+
+	// Gets and Hits count total and recycled Get calls, for tests and
+	// the stats report.
+	Gets, Hits int64
+}
+
+// Get returns a PageSize buffer, recycling a released one when possible.
+func (p *FramePool) Get() []byte {
+	p.Gets++
+	if k := len(p.free) - 1; k >= 0 {
+		b := p.free[k]
+		p.free[k] = nil
+		p.free = p.free[:k]
+		p.Hits++
+		return b
+	}
+	return make([]byte, PageSize)
+}
+
+// Put releases b back to the pool. Buffers of the wrong size (e.g. a
+// frame that came from outside the pool) are dropped.
+func (p *FramePool) Put(b []byte) {
+	if len(b) != PageSize {
+		return
+	}
+	p.free = append(p.free, b)
+}
+
+// DiffPool recycles Diff objects together with their run slices and
+// payload arenas, so the flush path's steady state allocates nothing.
+// A diff obtained from Get must be filled with DiffInto; Put invalidates
+// every Run the diff carried.
+type DiffPool struct {
+	free []*Diff
+}
+
+// Get returns an empty Diff ready for DiffInto.
+func (p *DiffPool) Get() *Diff {
+	if k := len(p.free) - 1; k >= 0 {
+		d := p.free[k]
+		p.free[k] = nil
+		p.free = p.free[:k]
+		return d
+	}
+	return &Diff{}
+}
+
+// Put resets d (keeping its run and arena capacity) and releases it.
+func (p *DiffPool) Put(d *Diff) {
+	d.Page = 0
+	for i := range d.Runs {
+		d.Runs[i] = Run{} // drop payload references until the next scan
+	}
+	d.Runs = d.Runs[:0]
+	d.arena = d.arena[:0]
+	p.free = append(p.free, d)
+}

@@ -64,13 +64,18 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 	if len(ns.dirty) == 0 {
 		return nil
 	}
-	pages := make([]int, 0, len(ns.dirty))
+	pages := ns.flushPages[:0]
 	for pg := range ns.dirty {
 		pages = append(pages, pg)
 	}
 	sort.Ints(pages)
+	ns.flushPages = pages
 
-	bundles := map[int][]dsm.Diff{}
+	// bundles and homes are per-node scratch: bundle slices keep empty
+	// entries for homes seen in earlier flushes, so homes (the list of
+	// destinations with a non-empty bundle this flush) drives the sends.
+	bundles := ns.flushBundle
+	homes := ns.flushHomes[:0]
 	notices := make([]dsm.WriteNotice, 0, len(pages))
 	for _, pg := range pages {
 		pi := &ns.table.Pages[pg]
@@ -83,12 +88,19 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 			continue
 		}
 		e.cpus[node].Compute(p, e.cfg.Cost.DiffScan)
-		d := dsm.MakeDiff(pg, pi.Twin, ns.mem.Frame(pg))
+		d := e.diffs.Get()
+		dsm.DiffInto(d, pg, pi.Twin, ns.mem.Frame(pg))
 		e.counters.DiffsCreated++
 		e.counters.DiffBytes += int64(d.WireBytes())
 		if !d.Empty() {
+			if len(bundles[pi.Home]) == 0 {
+				homes = append(homes, pi.Home)
+			}
 			bundles[pi.Home] = append(bundles[pi.Home], d)
+		} else {
+			e.diffs.Put(d)
 		}
+		e.frames.Put(pi.Twin)
 		pi.Twin = nil
 		ns.table.Set(pg, dsm.ReadOnly)
 		ns.mem.SetAppPerm(pg, dsm.PermRead)
@@ -97,17 +109,14 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 		delete(ns.dirty, pg)
 	}
 
-	e.tracef("node %d: flush %d dirty pages, %d diff bundles", node, len(pages), len(bundles))
-	if len(bundles) > 0 {
+	e.tracef("node %d: flush %d dirty pages, %d diff bundles", node, len(pages), len(homes))
+	if len(homes) > 0 {
+		sort.Ints(homes)
+		ns.flushHomes = homes
 		// The gate must exist before the first send: an ack can arrive on
 		// the communication thread while we are still sending.
 		ns.flushGate = sim.NewGate(e.sim)
-		ns.flushPending = len(bundles)
-		homes := make([]int, 0, len(bundles))
-		for h := range bundles {
-			homes = append(homes, h)
-		}
-		sort.Ints(homes)
+		ns.flushPending = len(homes)
 		for _, h := range homes {
 			diffs := bundles[h]
 			bytes := 0
@@ -117,6 +126,11 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 			e.send(p, node, h, msgDiff, bytes, diffMsg{Diffs: diffs})
 		}
 		ns.flushGate.Wait(p)
+		// Every home has applied and pooled its diffs; the bundle slices
+		// are dead and can back the next flush.
+		for _, h := range homes {
+			bundles[h] = bundles[h][:0]
+		}
 	}
 	return notices
 }

@@ -83,8 +83,10 @@ type pageReply struct {
 	Data []byte // nil when the home never materialized the frame (zeroes)
 }
 
-// diffMsg bundles the diffs one node flushes to one home.
-type diffMsg struct{ Diffs []dsm.Diff }
+// diffMsg bundles the diffs one node flushes to one home. The diffs are
+// pooled: the home returns each to the engine's DiffPool after applying
+// it, and the flusher recycles the bundle slice once all acks are in.
+type diffMsg struct{ Diffs []*dsm.Diff }
 
 // barrierArrive is a node's arrival at the global barrier, carrying its
 // write notices (paper §5.2.2: combined into a single message and
@@ -128,6 +130,13 @@ type nodeState struct {
 	flushGate    *sim.Gate // waiting for diff acks
 	flushPending int
 
+	// Flush scratch, reused across flushes so the steady-state flush
+	// path allocates only its notice slice (which escapes into protocol
+	// messages). flushBundle's slices are recycled after the acks.
+	flushPages  []int
+	flushHomes  []int
+	flushBundle map[int][]*dsm.Diff
+
 	lockCache map[int]*nodeLock // cached-protocol token state
 
 	barrierGate *sim.Gate // waiting for barrier departure
@@ -160,6 +169,12 @@ type Engine struct {
 
 	Alloc *dsm.Allocator
 
+	// frames recycles twins and fetch-reply page snapshots; diffs
+	// recycles flush diffs. Single free lists serve the whole cluster:
+	// the kernel runs one goroutine at a time, so no locking is needed.
+	frames dsm.FramePool
+	diffs  dsm.DiffPool
+
 	nodes  []*nodeState
 	locks  map[int]*lockState
 	master masterBarrier
@@ -190,12 +205,13 @@ func New(s *sim.Simulator, net *netsim.Network, cpus []*sim.CPU, cfg Config, c *
 	e.nodes = make([]*nodeState, cfg.Nodes)
 	for i := range e.nodes {
 		e.nodes[i] = &nodeState{
-			table:     dsm.NewTable(i, npages),
-			mem:       dsm.NewMemory(npages, cfg.Strategy),
-			dirty:     map[int]struct{}{},
-			fetch:     map[int]*sim.Gate{},
-			lockGate:  map[int]*sim.Gate{},
-			lockCache: map[int]*nodeLock{},
+			table:       dsm.NewTable(i, npages),
+			mem:         dsm.NewMemory(npages, cfg.Strategy),
+			dirty:       map[int]struct{}{},
+			fetch:       map[int]*sim.Gate{},
+			lockGate:    map[int]*sim.Gate{},
+			lockCache:   map[int]*nodeLock{},
+			flushBundle: map[int][]*dsm.Diff{},
 		}
 		// Master starts with every page readable (paper §5.2.3).
 		if i == 0 {

@@ -83,7 +83,7 @@ func (e *Engine) makeDirty(p *sim.Proc, node, pg int) {
 		if ns.table.Pages[pg].State == dsm.Dirty {
 			return
 		}
-		twin := make([]byte, dsm.PageSize)
+		twin := e.frames.Get()
 		copy(twin, ns.mem.Frame(pg))
 		ns.table.Pages[pg].Twin = twin
 		e.counters.TwinsCreated++

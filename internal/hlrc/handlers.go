@@ -20,7 +20,7 @@ func (e *Engine) handlePageReq(p *sim.Proc, node int, m *netsim.Message) {
 	e.cpus[node].Compute(p, e.cfg.Cost.PageCopy)
 	var data []byte
 	if f := ns.mem.FrameIfPresent(req.Page); f != nil {
-		data = make([]byte, dsm.PageSize)
+		data = e.frames.Get() // released by handlePageReply after CopyIn
 		copy(data, f)
 	}
 	e.counters.PageFetches++
@@ -38,6 +38,9 @@ func (e *Engine) handlePageReply(p *sim.Proc, node int, m *netsim.Message) {
 	frame := ns.mem.BeginSystemUpdate(pg)
 	_ = frame
 	ns.mem.CopyIn(pg, rep.Data)
+	if rep.Data != nil {
+		e.frames.Put(rep.Data)
+	}
 	ns.table.Set(pg, dsm.ReadOnly)
 	ns.mem.EndSystemUpdate(pg, dsm.PermRead)
 	gate := ns.fetch[pg]
@@ -55,8 +58,9 @@ func (e *Engine) handleDiff(p *sim.Proc, node int, m *netsim.Message) {
 				node, d.Page, ns.table.Pages[d.Page].Home))
 		}
 		e.cpus[node].Compute(p, e.cfg.Cost.DiffApply)
-		d.Apply(ns.mem.Frame(d.Page))
+		d.ApplyInto(ns.mem.Frame(d.Page))
 		e.counters.DiffsApplied++
+		e.diffs.Put(d)
 	}
 	e.send(p, node, m.From, msgDiffAck, 8, nil)
 }
@@ -166,7 +170,10 @@ func (e *Engine) handleBarrierDepart(p *sim.Proc, node int, m *netsim.Message) {
 			if pi.State == dsm.Dirty {
 				ns.table.Set(ent.Page, dsm.ReadOnly)
 			}
-			pi.Twin = nil
+			if pi.Twin != nil {
+				e.frames.Put(pi.Twin)
+				pi.Twin = nil
+			}
 			ns.mem.SetAppPerm(ent.Page, dsm.PermRead)
 			continue
 		}
@@ -176,7 +183,10 @@ func (e *Engine) handleBarrierDepart(p *sim.Proc, node int, m *netsim.Message) {
 		case dsm.ReadOnly, dsm.Dirty:
 			ns.table.Set(ent.Page, dsm.Invalid)
 			ns.mem.SetAppPerm(ent.Page, dsm.PermNone)
-			pi.Twin = nil
+			if pi.Twin != nil {
+				e.frames.Put(pi.Twin)
+				pi.Twin = nil
+			}
 			e.counters.Invalidations++
 			e.pgInval[ent.Page]++
 		case dsm.Invalid:

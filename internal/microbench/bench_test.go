@@ -1,0 +1,44 @@
+package microbench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Host-time benchmarks over the directive microbenchmarks: ns/op here is
+// simulator throughput (how fast the substrate replays a directive
+// sweep), the quantity the PR-over-PR regression harness tracks.
+// Virtual-time results are covered by the figure-level benchmarks in the
+// repository root.
+
+func BenchmarkDirectiveReplay(b *testing.B) {
+	for _, name := range []string{"critical", "single", "barrier"} {
+		bench, err := ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := parade(4)
+			for i := 0; i < b.N; i++ {
+				if _, err := bench(cfg, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDirectiveReplayNodes(b *testing.B) {
+	for _, nodes := range []int{2, 8} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := parade(nodes)
+			for i := 0; i < b.N; i++ {
+				if _, err := Critical(cfg, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

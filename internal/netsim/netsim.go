@@ -95,6 +95,42 @@ type Network struct {
 	inbox    []*sim.Queue[*Message]
 	nicFree  []sim.Time // next instant each node's send NIC is idle
 	counters *stats.Counters
+	freeDel  []*delivery // pooled arrival events
+}
+
+// delivery is a pooled message-arrival event: the closure is created
+// once per pooled object (bound to the delivery itself), so the
+// steady-state Send path schedules arrivals without allocating. The
+// kernel runs one goroutine at a time, so the free list needs no lock.
+type delivery struct {
+	net *Network
+	dst *sim.Queue[*Message]
+	m   *Message
+	fn  func()
+}
+
+// deliverAt schedules m to be pushed onto dst after d of virtual time.
+func (n *Network) deliverAt(d sim.Duration, dst *sim.Queue[*Message], m *Message) {
+	var del *delivery
+	if k := len(n.freeDel) - 1; k >= 0 {
+		del = n.freeDel[k]
+		n.freeDel[k] = nil
+		n.freeDel = n.freeDel[:k]
+	} else {
+		del = &delivery{net: n}
+		del.fn = del.fire
+	}
+	del.dst, del.m = dst, m
+	n.sim.At(d, del.fn)
+}
+
+// fire runs as the arrival event: recycle first, then push (a Push may
+// wake a consumer whose next Send wants a delivery from the pool).
+func (del *delivery) fire() {
+	dst, m := del.dst, del.m
+	del.dst, del.m = nil, nil
+	del.net.freeDel = append(del.net.freeDel, del)
+	dst.Push(m)
 }
 
 // New creates a network over the given per-node CPU pools. Send charges
@@ -139,7 +175,7 @@ func (n *Network) Send(p *sim.Proc, m *Message) {
 	dst := n.inbox[m.To]
 	if m.From == m.To {
 		n.counters.LocalDeliver++
-		n.sim.At(sim.Duration(n.fabric.LocalLatency), func() { dst.Push(m) })
+		n.deliverAt(n.fabric.LocalLatency, dst, m)
 		return
 	}
 	n.cpus[m.From].Compute(p, n.fabric.SendOverhead)
@@ -157,7 +193,7 @@ func (n *Network) Send(p *sim.Proc, m *Message) {
 		// Rendezvous: an RTS/CTS handshake precedes the payload.
 		arrive += sim.Time(2 * n.fabric.Latency)
 	}
-	n.sim.At(sim.Duration(arrive-now), func() { dst.Push(m) })
+	n.deliverAt(sim.Duration(arrive-now), dst, m)
 }
 
 // RecvCost charges the per-message receive overhead to node's CPU from

@@ -17,6 +17,7 @@ func BenchmarkEventThroughput(b *testing.B) {
 		}
 	}
 	s.At(Microsecond, tick)
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := s.Run(); err != nil {
 		b.Fatal(err)
@@ -30,6 +31,7 @@ func BenchmarkProcessHandoff(b *testing.B) {
 			p.Sleep(Microsecond)
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := s.Run(); err != nil {
 		b.Fatal(err)
@@ -48,6 +50,7 @@ func BenchmarkMutexHandoff(b *testing.B) {
 			}
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := s.Run(); err != nil {
 		b.Fatal(err)
@@ -64,6 +67,7 @@ func BenchmarkCPUContention(b *testing.B) {
 			}
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := s.Run(); err != nil {
 		b.Fatal(err)

@@ -1,10 +1,22 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
 // The kernel drives a set of cooperating processes (Proc) in virtual
-// time. Exactly one goroutine runs at any instant: either the scheduler
-// or the single currently-running process. Control is handed off through
-// unbuffered channels, which also establishes the happens-before edges
-// that make cross-process data access race-free without further locking.
+// time. Exactly one goroutine runs at any instant: either the current
+// holder of the scheduler baton or the single currently-running process.
+// Control is handed off through unbuffered channels, which also
+// establishes the happens-before edges that make cross-process data
+// access race-free without further locking.
+//
+// There is no dedicated scheduler goroutine. Whichever goroutine holds
+// the baton drains the event queue; waking a process transfers the baton
+// to it with one channel send, and a process that parks becomes the
+// scheduler itself. A process whose own wake-up is the next event (the
+// Sleep fast path) therefore resumes without any channel operation.
+//
+// The event queue is a hand-rolled binary heap of event values — no
+// container/heap interface boxing, no per-event heap allocation — and
+// process wake-ups are encoded as a field of the event rather than a
+// closure, so the steady-state Sleep/handoff path allocates nothing.
 //
 // All simulation objects (Mutex, Cond, Semaphore, Queue, CPU) block in
 // virtual time, never in host time. Event ties are broken FIFO by a
@@ -13,7 +25,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -58,33 +69,76 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 func (t Time) String() string { return Duration(t).String() }
 
-// event is a scheduled callback. fn runs on the scheduler goroutine and
-// must not block; process wake-ups are events whose fn performs the
-// resume/yield handoff.
+// event is a scheduled occurrence, stored by value in the heap. Exactly
+// one of p and fn is set: p is a process to resume (the allocation-free
+// encoding of a wake-up), fn is a callback that runs on the baton
+// holder's goroutine and must not block.
 type event struct {
 	t   Time
 	seq uint64
+	p   *Proc
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
+// eventHeap is a binary min-heap of events ordered by (t, seq). Events
+// are values in a reusable slice: pushing never allocates in steady
+// state, and popped slots are zeroed so fn closures and Proc pointers
+// are not retained through the backing array.
+type eventHeap struct {
+	ev []event
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.ev[i].t != h.ev[j].t {
+		return h.ev[i].t < h.ev[j].t
+	}
+	return h.ev[i].seq < h.ev[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev[n] = event{} // clear the slot: do not leak fn/p past the pop
+	h.ev = h.ev[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.ev[i], h.ev[m] = h.ev[m], h.ev[i]
+		i = m
+	}
 }
 
 // DeadlockError is returned by Run when the event queue drains while
@@ -104,7 +158,7 @@ type Simulator struct {
 	now    Time
 	seq    uint64
 	queue  eventHeap
-	yield  chan struct{}
+	done   chan struct{}
 	live   int
 	nextID int
 	parked map[*Proc]string
@@ -115,7 +169,7 @@ type Simulator struct {
 // New creates a simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
 	return &Simulator{
-		yield:  make(chan struct{}),
+		done:   make(chan struct{}),
 		parked: make(map[*Proc]string),
 		rng:    rand.New(rand.NewSource(seed)),
 	}
@@ -128,16 +182,24 @@ func (s *Simulator) Now() Time { return s.now }
 // be used from simulation context (a running Proc or an event callback).
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
-// schedule enqueues fn to run at absolute time t (clamped to now).
-func (s *Simulator) schedule(t Time, fn func()) {
+// push enqueues e at absolute time t (clamped to now), assigning the
+// FIFO tie-break sequence number.
+func (s *Simulator) push(t Time, e event) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{t: t, seq: s.seq, fn: fn})
+	e.t = t
+	e.seq = s.seq
+	s.queue.push(e)
 }
 
-// At schedules fn to run d from now on the scheduler goroutine.
+// schedule enqueues fn to run at absolute time t (clamped to now).
+func (s *Simulator) schedule(t Time, fn func()) {
+	s.push(t, event{fn: fn})
+}
+
+// At schedules fn to run d from now on the baton holder's goroutine.
 // fn must not block; use Spawn for blocking activities.
 func (s *Simulator) At(d Duration, fn func()) {
 	if d < 0 {
@@ -196,34 +258,74 @@ func (s *Simulator) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		if !p.daemon {
 			s.live--
 		}
-		s.yield <- struct{}{}
+		// The exiting process holds the baton; keep draining events on
+		// this goroutine until the baton moves on or the queue empties.
+		if s.schedLoop(nil) == loopDrained {
+			s.done <- struct{}{}
+		}
 	}()
-	s.schedule(s.now, func() { s.runProc(p) })
+	s.push(s.now, event{p: p})
 	return p
 }
 
-// runProc hands control to p and waits until it parks or exits.
-// Must be called on the scheduler goroutine (from an event callback).
-func (s *Simulator) runProc(p *Proc) {
-	p.resume <- struct{}{}
-	<-s.yield
+// loopOutcome reports why schedLoop stopped draining events.
+type loopOutcome int
+
+const (
+	// loopResumed: self's wake event fired; the caller continues.
+	loopResumed loopOutcome = iota
+	// loopHandedOff: the baton moved to another process (self == nil).
+	loopHandedOff
+	// loopDrained: the queue is empty; the simulation is over.
+	loopDrained
+)
+
+// schedLoop drains the event queue on the calling goroutine. Callback
+// events run inline; a wake event for another process transfers the
+// baton to it (after which a non-nil self blocks until its own wake-up
+// arrives, while a nil self returns loopHandedOff); a wake event for
+// self returns immediately — the allocation- and channel-free resume
+// path.
+func (s *Simulator) schedLoop(self *Proc) loopOutcome {
+	for s.queue.len() > 0 {
+		ev := s.queue.pop()
+		s.now = ev.t
+		if ev.p == nil {
+			ev.fn()
+			continue
+		}
+		q := ev.p
+		delete(s.parked, q)
+		if q == self {
+			return loopResumed
+		}
+		q.resume <- struct{}{}
+		if self == nil {
+			return loopHandedOff
+		}
+		<-self.resume
+		return loopResumed
+	}
+	return loopDrained
 }
 
 // park blocks p until some event wakes it. reason is reported on deadlock.
 func (p *Proc) park(reason string) {
 	s := p.sim
 	s.parked[p] = reason
-	s.yield <- struct{}{}
-	<-p.resume
+	if s.schedLoop(p) == loopDrained {
+		// The queue drained while p was parked: nothing can ever wake p
+		// again. Hand control back to Run (which reports the deadlock or
+		// ignores a parked daemon) and abandon this goroutine.
+		s.done <- struct{}{}
+		<-p.resume // never arrives
+	}
 }
 
 // wakeAt schedules p to be resumed at time t. Exactly one wakeAt must be
 // issued per park.
 func (s *Simulator) wakeAt(t Time, p *Proc) {
-	s.schedule(t, func() {
-		delete(s.parked, p)
-		s.runProc(p)
-	})
+	s.push(t, event{p: p})
 }
 
 // wake schedules p to be resumed at the current time.
@@ -253,10 +355,10 @@ func (s *Simulator) Run() error {
 		return fmt.Errorf("sim: Run called twice")
 	}
 	s.ran = true
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		s.now = ev.t
-		ev.fn()
+	if s.schedLoop(nil) == loopHandedOff {
+		// The baton is circulating among process goroutines; whichever
+		// one drains the queue signals completion.
+		<-s.done
 	}
 	if s.live > 0 {
 		var parked []string

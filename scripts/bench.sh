@@ -1,0 +1,14 @@
+#!/bin/sh
+# Benchmark-regression harness: runs the substrate benchmark suites
+# (event kernel, diff engine, directive microbenchmarks, Fig 6/7) with
+# -benchmem and writes BENCH_PR1.json, comparing against the pre-overhaul
+# numbers recorded in bench/baseline_pr0.txt.
+#
+# Usage: scripts/bench.sh [extra parade-bench -regress flags]
+# e.g.   scripts/bench.sh -benchtime 100x -out -
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/parade-bench -regress \
+    -baseline bench/baseline_pr0.txt \
+    -out BENCH_PR1.json \
+    "$@"
