@@ -8,6 +8,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,7 +17,36 @@ import (
 	"strings"
 
 	"parade/internal/harness"
+	"parade/internal/obs"
 )
+
+// metricsPoint is one cluster run's observability summary in the
+// -metrics report: which figure, series, and node count produced it.
+type metricsPoint struct {
+	Figure  string          `json:"figure"`
+	Series  string          `json:"series"`
+	Nodes   int             `json:"nodes"`
+	Metrics json.RawMessage `json:"metrics"`
+}
+
+// writeMetrics dumps the collected per-run metrics as one JSON document.
+func writeMetrics(path string, points []metricsPoint) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Schema string         `json:"schema"`
+		Points []metricsPoint `json:"points"`
+	}{Schema: "parade-bench-metrics/v1", Points: points})
+}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 6..11 or 'all'")
@@ -26,6 +57,7 @@ func main() {
 	baseline := flag.String("baseline", "", "regress: prior report (JSON) or raw 'go test -bench' output to compare against")
 	benchtime := flag.String("benchtime", "1s", "regress: -benchtime passed to go test")
 	maxRegress := flag.Float64("max-regress", 0, "regress: exit non-zero if any benchmark slows more than this factor vs baseline (0 disables)")
+	metricsOut := flag.String("metrics", "", "write per-figure observability metrics JSON to this file ('-' for stdout)")
 	flag.Parse()
 
 	if *regress {
@@ -60,12 +92,34 @@ func main() {
 		}
 		ids = []int{id}
 	}
+	var points []metricsPoint
 	for _, id := range ids {
-		f, err := harness.ByID(id, nodes, harness.Scale(*scale))
+		var obsFn harness.ObsFunc
+		if *metricsOut != "" {
+			figID := fmt.Sprintf("Fig%d", id)
+			obsFn = func(series string, n int, m *obs.Metrics) {
+				var buf bytes.Buffer
+				if err := m.WriteJSON(&buf); err != nil {
+					fmt.Fprintf(os.Stderr, "parade-bench: %v\n", err)
+					os.Exit(1)
+				}
+				points = append(points, metricsPoint{
+					Figure: figID, Series: series, Nodes: n,
+					Metrics: json.RawMessage(buf.Bytes()),
+				})
+			}
+		}
+		f, err := harness.ByIDObserved(id, nodes, harness.Scale(*scale), obsFn)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "parade-bench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Println(f.Render())
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, points); err != nil {
+			fmt.Fprintf(os.Stderr, "parade-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -4,8 +4,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"parade/internal/apps"
@@ -13,6 +15,7 @@ import (
 	"parade/internal/hlrc"
 	"parade/internal/kdsm"
 	"parade/internal/netsim"
+	"parade/internal/obs"
 )
 
 // printPages renders the hottest-pages table when requested.
@@ -27,6 +30,42 @@ func printPages(rep core.Report, n int) {
 	fmt.Println(hlrc.RenderPageReport(stats))
 }
 
+// openOut opens path for writing ("-" selects stdout) and returns a
+// buffered writer plus a finish func that flushes and closes it.
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		w := bufio.NewWriter(os.Stdout)
+		return w, w.Flush, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := bufio.NewWriter(f)
+	finish := func() error {
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return w, finish, nil
+}
+
+// newSink builds the trace sink selected by -trace-format.
+func newSink(format string, w io.Writer) (obs.Sink, error) {
+	switch format {
+	case "text":
+		return obs.NewTextSink(w), nil
+	case "jsonl":
+		return obs.NewJSONLSink(w), nil
+	case "chrome":
+		return obs.NewChromeSink(w), nil
+	default:
+		return nil, fmt.Errorf("unknown trace format %q (want text, jsonl, or chrome)", format)
+	}
+}
+
 func main() {
 	app := flag.String("app", "cg", "application: cg, ep, helmholtz, md")
 	nodes := flag.Int("nodes", 4, "cluster nodes")
@@ -36,6 +75,10 @@ func main() {
 	class := flag.String("class", "T", "problem class for cg/ep (T,S,W,A)")
 	fabric := flag.String("fabric", "via", "interconnect: via or tcp")
 	pages := flag.Int("pages", 0, "print the N hottest shared pages after the run")
+	traceOut := flag.String("trace", "", "write a protocol trace to this file ('-' for stdout)")
+	traceFormat := flag.String("trace-format", "text", "trace format: text, jsonl, or chrome")
+	traceMsgs := flag.Bool("trace-msgs", false, "include per-message send events in the trace (verbose)")
+	metricsOut := flag.String("metrics", "", "write observability metrics JSON to this file ('-' for stdout)")
 	flag.Parse()
 
 	cfg := core.Config{Nodes: *nodes, ThreadsPerNode: *tpn, CPUsPerNode: *cpus,
@@ -51,6 +94,26 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "parade-run: %v\n", err)
 		os.Exit(1)
+	}
+
+	var rec *obs.Recorder
+	var traceFinish func() error
+	if *traceOut != "" || *metricsOut != "" {
+		rec = obs.New(cfg.Nodes)
+		rec.TraceMessages(*traceMsgs)
+		if *traceOut != "" {
+			w, finish, err := openOut(*traceOut)
+			if err != nil {
+				fail(err)
+			}
+			sink, err := newSink(*traceFormat, w)
+			if err != nil {
+				fail(err)
+			}
+			rec.AddSink(sink)
+			traceFinish = finish
+		}
+		cfg.Obs = rec
 	}
 	switch *app {
 	case "cg":
@@ -99,5 +162,30 @@ func main() {
 		printPages(r.Report, *pages)
 	default:
 		fail(fmt.Errorf("unknown app %q", *app))
+	}
+
+	if rec != nil {
+		// Close flushes sink trailers (the Chrome format is not valid
+		// JSON until then), after which the files themselves can close.
+		if err := rec.Close(); err != nil {
+			fail(err)
+		}
+		if traceFinish != nil {
+			if err := traceFinish(); err != nil {
+				fail(err)
+			}
+		}
+		if *metricsOut != "" {
+			w, finish, err := openOut(*metricsOut)
+			if err != nil {
+				fail(err)
+			}
+			if err := rec.Metrics().WriteJSON(w); err != nil {
+				fail(err)
+			}
+			if err := finish(); err != nil {
+				fail(err)
+			}
+		}
 	}
 }

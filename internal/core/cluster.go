@@ -7,6 +7,7 @@ import (
 	"parade/internal/hlrc"
 	"parade/internal/mpi"
 	"parade/internal/netsim"
+	"parade/internal/obs"
 	"parade/internal/sim"
 	"parade/internal/stats"
 )
@@ -29,6 +30,7 @@ type Cluster struct {
 	world    *mpi.World
 	engine   *hlrc.Engine
 	counters *stats.Counters
+	rec      *obs.Recorder // nil when observability is disabled
 
 	nodes   []*node
 	threads []*Thread // all team threads in gid order
@@ -94,6 +96,9 @@ type Report struct {
 	// PageReport lists the hottest shared pages (top 16 by fetches) —
 	// the diagnostic behind the paper's §7 locality guidelines.
 	PageReport []hlrc.PageStat
+	// Obs is the run's observability metrics (per-node counters, latency
+	// histograms, per-region phases); nil unless Config.Obs was set.
+	Obs *obs.Metrics
 }
 
 // Utilization returns mean processor utilization across the cluster in
@@ -156,6 +161,21 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		Strategy: cfg.Strategy, Cost: cfg.Cost,
 	}, c.counters)
 
+	if cfg.Obs != nil {
+		// One recorder observes every layer. The simulation kernel runs
+		// exactly one goroutine at a time, so the recorder's plain field
+		// writes need no synchronization (see internal/obs).
+		rec := cfg.Obs
+		c.rec = rec
+		c.engine.SetRecorder(rec)
+		c.net.SetRecorder(rec)
+		c.world.SetRecorder(rec)
+		for i, cpu := range cpus {
+			i := i
+			cpu.OnWait = func(d sim.Duration) { rec.CPUWait(i, d) }
+		}
+	}
+
 	// Communication threads (paper §5.3): one per node, dispatching MPI
 	// traffic to the matching engine, DSM traffic to the protocol
 	// handler, and control traffic to the fork-join machinery.
@@ -192,13 +212,17 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 	for i, cpu := range cpus {
 		busy[i] = cpu.BusyTime
 	}
-	return Report{
+	rep := Report{
 		Time:       sim.Duration(c.programEnd),
 		Counters:   c.counters.Snapshot(),
 		Config:     cfg,
 		CPUBusy:    busy,
 		PageReport: c.engine.PageReport(16),
-	}, nil
+	}
+	if c.rec != nil {
+		rep.Obs = c.rec.Metrics()
+	}
+	return rep, nil
 }
 
 // commLoop is one node's communication thread. It exits on the stop

@@ -8,6 +8,12 @@
 // The same runtime configured with Mode=SDSM and HomeMigration=false is
 // the conventional lock-based SDSM baseline (KDSM) used by the paper's
 // microbenchmarks; parade/internal/kdsm packages that configuration.
+//
+// Everything here executes under the deterministic simulation kernel
+// (internal/sim), which runs exactly one simulated process at a time.
+// That invariant is why runtime state is mutated with plain field writes
+// and why the optional observability recorder (Config.Obs, internal/obs)
+// adds no synchronization.
 package core
 
 import (
@@ -16,6 +22,7 @@ import (
 	"parade/internal/dsm"
 	"parade/internal/hlrc"
 	"parade/internal/netsim"
+	"parade/internal/obs"
 	"parade/internal/sim"
 )
 
@@ -54,6 +61,12 @@ type Config struct {
 	Quantum        sim.Duration
 	Strategy       dsm.UpdateStrategy
 	Cost           hlrc.CostModel
+	// Obs, when non-nil, attaches an observability recorder to the run:
+	// the protocol engine, the network, the MPI library, and the runtime
+	// all record into it (counters, latency histograms, trace sinks), and
+	// the run's Report carries its Metrics. Nil — the default — keeps
+	// every recording site on its zero-overhead disabled path.
+	Obs *obs.Recorder
 }
 
 // DefaultSmallThreshold is the paper's update/invalidate switch point for

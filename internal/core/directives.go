@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"parade/internal/obs"
 	"parade/internal/sim"
 )
 
@@ -68,11 +69,24 @@ func (c *Cluster) lockID(name string) int {
 // the pthread mutex, and one collective per team round merges the
 // per-node deltas and agrees on the new values everywhere.
 func (t *Thread) Critical(name string, scalars []*Scalar, fn func()) {
+	rec, t0 := t.directiveStart()
 	if t.c.cfg.Mode == Hybrid && scalars != nil && 8*len(scalars) <= t.c.cfg.SmallThreshold {
 		t.criticalHybrid(name, scalars, fn)
-		return
+	} else {
+		t.criticalSDSM(name, fn)
 	}
-	t.criticalSDSM(name, fn)
+	rec.Directive(t0, t.c.s.Now(), t.node.id, "critical", name)
+}
+
+// directiveStart marks the start of a directive span for this thread; it
+// returns the recorder (nil when observability is disabled) and the start
+// time. Every obs.Recorder method is a no-op on a nil receiver, so the
+// matching rec.Directive call needs no guard.
+func (t *Thread) directiveStart() (*obs.Recorder, sim.Time) {
+	if t.c.rec == nil {
+		return nil, 0
+	}
+	return t.c.rec, t.c.s.Now()
 }
 
 // criticalHybrid is the ParADE lowering of Fig. 2 (right).
@@ -156,12 +170,14 @@ func (t *Thread) criticalSDSM(name string, fn func()) {
 // Atomic performs the atomic directive — an atomic accumulation into a
 // small shared variable, which maps exactly onto one collective (§4.2).
 func (t *Thread) Atomic(s *Scalar, delta float64) {
+	rec, t0 := t.directiveStart()
 	if t.c.cfg.Mode == Hybrid && s.SizeBytes() <= t.c.cfg.SmallThreshold {
 		t.c.counters.HybridAtomics++
 		t.criticalHybrid("atomic:"+s.name, []*Scalar{s}, func() { s.Add(t, delta) })
-		return
+	} else {
+		t.criticalSDSM("atomic:"+s.name, func() { s.Add(t, delta) })
 	}
-	t.criticalSDSM("atomic:"+s.name, func() { s.Add(t, delta) })
+	rec.Directive(t0, t.c.s.Now(), t.node.id, "atomic", s.name)
 }
 
 // Op is a reduction operator.
@@ -205,10 +221,15 @@ func (o Op) apply(a, b float64) float64 {
 // partial into a shared slot array and reads all slots back after a
 // barrier — page transfers plus two SDSM barriers.
 func (t *Thread) Reduce(name string, op Op, v float64) float64 {
+	rec, t0 := t.directiveStart()
+	var out float64
 	if t.c.cfg.Mode == Hybrid {
-		return t.reduceHybrid(name, op, v)
+		out = t.reduceHybrid(name, op, v)
+	} else {
+		out = t.reduceSDSM(name, op, v)
 	}
-	return t.reduceSDSM(name, op, v)
+	rec.Directive(t0, t.c.s.Now(), t.node.id, "reduction", name)
+	return out
 }
 
 func (t *Thread) reduceHybrid(name string, op Op, v float64) float64 {
@@ -272,10 +293,15 @@ func (t *Thread) reduceSDSM(name string, op Op, v float64) float64 {
 // contributes a vector of the same length and receives the element-wise
 // combination.
 func (t *Thread) ReduceVec(name string, op Op, v []float64) []float64 {
+	rec, t0 := t.directiveStart()
+	var out []float64
 	if t.c.cfg.Mode == Hybrid {
-		return t.reduceVecHybrid(name, op, v)
+		out = t.reduceVecHybrid(name, op, v)
+	} else {
+		out = t.reduceVecSDSM(name, op, v)
 	}
-	return t.reduceVecSDSM(name, op, v)
+	rec.Directive(t0, t.c.s.Now(), t.node.id, "reduction", name)
+	return out
 }
 
 func (t *Thread) reduceVecHybrid(name string, op Op, v []float64) []float64 {
@@ -390,11 +416,13 @@ type gateInfo struct {
 // inter-node barrier. The conventional lowering takes the SDSM lock,
 // tests a shared flag, and ends with a full barrier.
 func (t *Thread) Single(name string, s *Scalar, fn func()) {
+	rec, t0 := t.directiveStart()
 	if t.c.cfg.Mode == Hybrid && (s == nil || s.SizeBytes() <= t.c.cfg.SmallThreshold) {
 		t.singleHybrid(name, s, fn)
-		return
+	} else {
+		t.singleSDSM(name, fn)
 	}
-	t.singleSDSM(name, fn)
+	rec.Directive(t0, t.c.s.Now(), t.node.id, "single", name)
 }
 
 // SingleBarrier is the general single directive for blocks that are not
@@ -402,7 +430,9 @@ func (t *Thread) Single(name string, s *Scalar, fn func()) {
 // modes use the conventional flag + lock + barrier lowering, and the
 // modified pages propagate through the barrier's flush.
 func (t *Thread) SingleBarrier(name string, fn func()) {
+	rec, t0 := t.directiveStart()
 	t.singleSDSM(name, fn)
+	rec.Directive(t0, t.c.s.Now(), t.node.id, "single", name)
 }
 
 func (t *Thread) singleHybrid(name string, s *Scalar, fn func()) {

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"parade/internal/obs"
+)
+
+// obsProgram exercises every instrumented layer: shared-array faults and
+// fetches, a critical directive, a reduction, and two parallel regions.
+func obsProgram(m *Thread) {
+	c := m.Cluster()
+	a := c.AllocF64(1024)
+	sum := c.ScalarVar("sum")
+	m.Parallel(func(t *Thread) {
+		lo, hi := t.StaticRange(0, 1024)
+		for i := lo; i < hi; i++ {
+			a.Set(t, i, float64(i))
+		}
+		t.Critical("acc", []*Scalar{sum}, func() { sum.Add(t, 1) })
+		t.Barrier()
+		t.Reduce("r", OpSum, 1)
+	})
+	m.Parallel(func(t *Thread) {
+		lo, hi := t.StaticRange(0, 1024)
+		for i := lo; i < hi; i++ {
+			a.Set(t, i, a.Get(t, i)+1)
+		}
+	})
+}
+
+// traceRun executes obsProgram with a JSONL trace attached and returns
+// the trace bytes.
+func traceRun(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := obs.New(cfg.Nodes)
+	rec.TraceMessages(true)
+	rec.AddSink(obs.NewJSONLSink(&buf))
+	cfg.Obs = rec
+	run(t, cfg, obsProgram)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterminism pins the acceptance criterion that two runs with
+// the same seed produce byte-identical traces, in both directive modes.
+func TestTraceDeterminism(t *testing.T) {
+	for _, mode := range []Mode{Hybrid, SDSM} {
+		cfg := Config{Nodes: 4, ThreadsPerNode: 2, Mode: mode,
+			HomeMigration: mode == Hybrid, Seed: 7}
+		a := traceRun(t, cfg)
+		b := traceRun(t, cfg)
+		if len(a) == 0 {
+			t.Fatalf("mode %v: empty trace", mode)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("mode %v: same-seed traces differ (%d vs %d bytes)", mode, len(a), len(b))
+		}
+	}
+}
+
+// TestReportObsMetrics cross-checks the per-node observability counters
+// against the always-on cluster-wide stats counters.
+func TestReportObsMetrics(t *testing.T) {
+	cfg := Config{Nodes: 2, ThreadsPerNode: 2, Mode: SDSM}
+	rec := obs.New(cfg.Nodes)
+	cfg.Obs = rec
+	rep := run(t, cfg, obsProgram)
+	if rep.Obs == nil {
+		t.Fatal("Report.Obs nil despite Config.Obs being set")
+	}
+	m := rep.Obs
+	var rf, wf, fetches, invals int64
+	for i := 0; i < m.Nodes(); i++ {
+		nc := m.Node(i)
+		rf += nc.ReadFaults
+		wf += nc.WriteFaults
+		fetches += nc.FetchesIssued
+		invals += nc.Invalidations
+	}
+	if rf != rep.Counters.ReadFaults {
+		t.Errorf("per-node read faults sum to %d, stats say %d", rf, rep.Counters.ReadFaults)
+	}
+	if wf != rep.Counters.WriteFaults {
+		t.Errorf("per-node write faults sum to %d, stats say %d", wf, rep.Counters.WriteFaults)
+	}
+	if fetches != rep.Counters.PageFetches {
+		t.Errorf("per-node fetches sum to %d, stats say %d", fetches, rep.Counters.PageFetches)
+	}
+	if invals != rep.Counters.Invalidations {
+		t.Errorf("per-node invalidations sum to %d, stats say %d", invals, rep.Counters.Invalidations)
+	}
+	if got := len(m.Phases()); got != 2 {
+		t.Errorf("got %d phases, want 2 (one per Parallel)", got)
+	}
+	for i, ph := range m.Phases() {
+		if ph.EndNs <= ph.StartNs {
+			t.Errorf("phase %d: end %d <= start %d", i, ph.EndNs, ph.StartNs)
+		}
+	}
+	if m.Hist(obs.HistDirective).Count == 0 {
+		t.Error("directive histogram empty despite Critical/Reduce")
+	}
+	if m.Hist(obs.HistBarrierWait).Count == 0 {
+		t.Error("barrier-wait histogram empty")
+	}
+	if m.Hist(obs.HistPageFetch).Count != fetches {
+		t.Errorf("fetch histogram has %d observations, want %d", m.Hist(obs.HistPageFetch).Count, fetches)
+	}
+}
+
+// TestObsDisabledByDefault pins that runs without Config.Obs stay on the
+// nil-recorder path and report no metrics.
+func TestObsDisabledByDefault(t *testing.T) {
+	rep := run(t, Config{Nodes: 2}, func(m *Thread) {
+		m.Parallel(func(*Thread) {})
+	})
+	if rep.Obs != nil {
+		t.Error("Report.Obs should be nil when Config.Obs is unset")
+	}
+}

@@ -78,6 +78,12 @@ func (t *Thread) Parallel(fn func(tc *Thread)) {
 	c := t.c
 	c.region = fn
 	c.regionSeq++
+	seq := c.regionSeq
+	var t0 sim.Time
+	if c.rec != nil {
+		t0 = c.s.Now()
+		c.rec.RegionBegin(t0, seq)
+	}
 	// Make the master's serial-section writes visible before the fork:
 	// flush to homes and piggyback the write notices on the region-start
 	// messages (§5.2.2's piggybacking, applied to the fork).
@@ -91,6 +97,9 @@ func (t *Thread) Parallel(fn func(tc *Thread)) {
 	c.startRegionLocal(t.p, 0)
 	fn(t)
 	t.Barrier()
+	if c.rec != nil {
+		c.rec.RegionEnd(t0, c.s.Now(), seq)
+	}
 }
 
 // Barrier is the team-wide barrier: threads synchronize through a

@@ -13,8 +13,15 @@ import (
 	"parade/internal/core"
 	"parade/internal/kdsm"
 	"parade/internal/microbench"
+	"parade/internal/obs"
 	"parade/internal/sim"
 )
+
+// ObsFunc receives the observability metrics of one cluster run while a
+// figure is regenerated: the series label ("ParADE", "1Thread-2CPU", ...),
+// the node count, and the run's metrics. A nil ObsFunc disables
+// observability entirely (every run keeps the zero-overhead path).
+type ObsFunc func(series string, nodes int, m *obs.Metrics)
 
 // Series is one line of a figure: Y values (seconds or microseconds)
 // over the X axis (node counts).
@@ -54,16 +61,16 @@ const MicroReps = 100
 // KDSM, in microseconds per execution.
 func Fig6Critical(nodes []int) (Figure, error) {
 	return microFigure("Fig6", "critical", nodes,
-		"Performance comparison of the critical directive between ParADE and KDSM")
+		"Performance comparison of the critical directive between ParADE and KDSM", nil)
 }
 
 // Fig7Single reproduces Fig. 7: single directive overhead.
 func Fig7Single(nodes []int) (Figure, error) {
 	return microFigure("Fig7", "single", nodes,
-		"Performance comparison of the single directive between ParADE and KDSM")
+		"Performance comparison of the single directive between ParADE and KDSM", nil)
 }
 
-func microFigure(id, directive string, nodes []int, title string) (Figure, error) {
+func microFigure(id, directive string, nodes []int, title string, obsFn ObsFunc) (Figure, error) {
 	bench, err := microbench.ByName(directive)
 	if err != nil {
 		return Figure{}, err
@@ -78,6 +85,11 @@ func microFigure(id, directive string, nodes []int, title string) (Figure, error
 	for _, n := range nodes {
 		pCfg := core.Config{Nodes: n, ThreadsPerNode: 1, Mode: core.Hybrid, HomeMigration: true}.WithDefaults()
 		kCfg := kdsm.Config(n, 1, 2)
+		var pRec, kRec *obs.Recorder
+		if obsFn != nil {
+			pRec, kRec = obs.New(n), obs.New(n)
+			pCfg.Obs, kCfg.Obs = pRec, kRec
+		}
 		pr, err := bench(pCfg, MicroReps)
 		if err != nil {
 			return Figure{}, err
@@ -85,6 +97,10 @@ func microFigure(id, directive string, nodes []int, title string) (Figure, error
 		kr, err := bench(kCfg, MicroReps)
 		if err != nil {
 			return Figure{}, err
+		}
+		if obsFn != nil {
+			obsFn(parade.Label, n, pRec.Metrics())
+			obsFn(baseline.Label, n, kRec.Metrics())
 		}
 		parade.X = append(parade.X, n)
 		parade.Y = append(parade.Y, pr.PerOp.Micros())
@@ -108,7 +124,7 @@ var appConfigs = []appConfig{
 }
 
 // appFigure sweeps the three configurations over the node counts.
-func appFigure(id, title string, nodes []int, run func(cfg core.Config) (sim.Duration, error)) (Figure, error) {
+func appFigure(id, title string, nodes []int, obsFn ObsFunc, run func(cfg core.Config) (sim.Duration, error)) (Figure, error) {
 	fig := Figure{
 		ID: id, Title: title,
 		XLabel: "nodes", YLabel: "execution time (s)",
@@ -117,9 +133,18 @@ func appFigure(id, title string, nodes []int, run func(cfg core.Config) (sim.Dur
 	for _, ac := range appConfigs {
 		s := Series{Label: ac.label}
 		for _, n := range nodes {
-			d, err := run(ac.make(n))
+			cfg := ac.make(n)
+			var rec *obs.Recorder
+			if obsFn != nil {
+				rec = obs.New(cfg.Nodes)
+				cfg.Obs = rec
+			}
+			d, err := run(cfg)
 			if err != nil {
 				return Figure{}, err
+			}
+			if obsFn != nil {
+				obsFn(ac.label, n, rec.Metrics())
 			}
 			s.X = append(s.X, n)
 			s.Y = append(s.Y, d.Seconds())
@@ -134,13 +159,17 @@ func appFigure(id, title string, nodes []int, run func(cfg core.Config) (sim.Dur
 // eight nodes degenerate into pure false sharing, which class A's 64 MB
 // problem does not suffer).
 func Fig8CG(nodes []int, scale Scale) (Figure, error) {
+	return fig8CG(nodes, scale, nil)
+}
+
+func fig8CG(nodes []int, scale Scale, obsFn ObsFunc) (Figure, error) {
 	class := apps.CGClassW
 	if scale == ScalePaper {
 		class = apps.CGClassA
 	}
 	return appFigure("Fig8",
 		fmt.Sprintf("Execution time of the CG kernel on cLAN (class %s)", class.Name),
-		nodes, func(cfg core.Config) (sim.Duration, error) {
+		nodes, obsFn, func(cfg core.Config) (sim.Duration, error) {
 			r, err := apps.RunCG(cfg, class)
 			return r.KernelTime, err
 		})
@@ -149,13 +178,17 @@ func Fig8CG(nodes []int, scale Scale) (Figure, error) {
 // Fig9EP reproduces Fig. 9: NAS EP execution time (class A in the paper;
 // ScaleBench uses 2^20 pairs).
 func Fig9EP(nodes []int, scale Scale) (Figure, error) {
+	return fig9EP(nodes, scale, nil)
+}
+
+func fig9EP(nodes []int, scale Scale, obsFn ObsFunc) (Figure, error) {
 	class := apps.EPClass{Name: "bench", M: 20, PerPair: apps.EPClassA.PerPair}
 	if scale == ScalePaper {
 		class = apps.EPClassA
 	}
 	return appFigure("Fig9",
 		fmt.Sprintf("Execution time of the EP kernel on cLAN (class %s)", class.Name),
-		nodes, func(cfg core.Config) (sim.Duration, error) {
+		nodes, obsFn, func(cfg core.Config) (sim.Duration, error) {
 			r, err := apps.RunEP(cfg, class)
 			return r.KernelTime, err
 		})
@@ -163,13 +196,17 @@ func Fig9EP(nodes []int, scale Scale) (Figure, error) {
 
 // Fig10Helmholtz reproduces Fig. 10.
 func Fig10Helmholtz(nodes []int, scale Scale) (Figure, error) {
+	return fig10Helmholtz(nodes, scale, nil)
+}
+
+func fig10Helmholtz(nodes []int, scale Scale, obsFn ObsFunc) (Figure, error) {
 	prm := apps.HelmholtzDefault()
 	if scale == ScalePaper {
 		prm.N, prm.M, prm.MaxIter = 512, 512, 1000
 	}
 	return appFigure("Fig10",
 		fmt.Sprintf("Execution time of the Helmholtz program on cLAN (%dx%d, %d iters)", prm.N, prm.M, prm.MaxIter),
-		nodes, func(cfg core.Config) (sim.Duration, error) {
+		nodes, obsFn, func(cfg core.Config) (sim.Duration, error) {
 			r, err := apps.RunHelmholtz(cfg, prm)
 			return r.KernelTime, err
 		})
@@ -177,13 +214,17 @@ func Fig10Helmholtz(nodes []int, scale Scale) (Figure, error) {
 
 // Fig11MD reproduces Fig. 11.
 func Fig11MD(nodes []int, scale Scale) (Figure, error) {
+	return fig11MD(nodes, scale, nil)
+}
+
+func fig11MD(nodes []int, scale Scale, obsFn ObsFunc) (Figure, error) {
 	prm := apps.MDDefault()
 	if scale == ScalePaper {
 		prm.NP, prm.Steps = 512, 1000
 	}
 	return appFigure("Fig11",
 		fmt.Sprintf("Execution time of the MD program on cLAN (%d particles, %d steps)", prm.NP, prm.Steps),
-		nodes, func(cfg core.Config) (sim.Duration, error) {
+		nodes, obsFn, func(cfg core.Config) (sim.Duration, error) {
 			r, err := apps.RunMD(cfg, prm)
 			return r.KernelTime, err
 		})
@@ -191,19 +232,28 @@ func Fig11MD(nodes []int, scale Scale) (Figure, error) {
 
 // ByID regenerates a figure by its number (6..11).
 func ByID(id int, nodes []int, scale Scale) (Figure, error) {
+	return ByIDObserved(id, nodes, scale, nil)
+}
+
+// ByIDObserved regenerates a figure with observability attached to every
+// run: obsFn receives each run's metrics as the sweep progresses. A nil
+// obsFn is ByID.
+func ByIDObserved(id int, nodes []int, scale Scale, obsFn ObsFunc) (Figure, error) {
 	switch id {
 	case 6:
-		return Fig6Critical(nodes)
+		return microFigure("Fig6", "critical", nodes,
+			"Performance comparison of the critical directive between ParADE and KDSM", obsFn)
 	case 7:
-		return Fig7Single(nodes)
+		return microFigure("Fig7", "single", nodes,
+			"Performance comparison of the single directive between ParADE and KDSM", obsFn)
 	case 8:
-		return Fig8CG(nodes, scale)
+		return fig8CG(nodes, scale, obsFn)
 	case 9:
-		return Fig9EP(nodes, scale)
+		return fig9EP(nodes, scale, obsFn)
 	case 10:
-		return Fig10Helmholtz(nodes, scale)
+		return fig10Helmholtz(nodes, scale, obsFn)
 	case 11:
-		return Fig11MD(nodes, scale)
+		return fig11MD(nodes, scale, obsFn)
 	}
 	return Figure{}, fmt.Errorf("harness: no figure %d (data figures are 6..11)", id)
 }

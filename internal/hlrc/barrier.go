@@ -14,12 +14,19 @@ import (
 // arrival to the master with write notices piggybacked, and wait for the
 // departure that carries invalidations and home migrations.
 func (e *Engine) Barrier(p *sim.Proc, node int) {
+	var t0 sim.Time
+	if e.rec != nil {
+		t0 = e.sim.Now()
+	}
 	ns := e.nodes[node]
 	notices := e.flush(p, node)
 	ns.barrierGate = sim.NewGate(e.sim)
 	e.send(p, node, 0, msgBarrierArrive, 16+8*len(notices),
 		barrierArrive{Epoch: e.epoch, Notices: notices})
 	ns.barrierGate.Wait(p)
+	if e.rec != nil {
+		e.rec.BarrierWait(t0, e.sim.Now(), node)
+	}
 }
 
 // FlushForFork propagates the calling node's pending modifications to
@@ -49,6 +56,7 @@ func (e *Engine) ApplyNotices(node int, notices []dsm.WriteNotice) {
 			ns.mem.SetAppPerm(wn.Page, dsm.PermNone)
 			e.counters.Invalidations++
 			e.pgInval[wn.Page]++
+			e.rec.Invalidated(node, wn.Page)
 		}
 	}
 }
@@ -63,6 +71,10 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 	ns := e.nodes[node]
 	if len(ns.dirty) == 0 {
 		return nil
+	}
+	var t0 sim.Time
+	if e.rec != nil {
+		t0 = e.sim.Now()
 	}
 	pages := ns.flushPages[:0]
 	for pg := range ns.dirty {
@@ -92,6 +104,9 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 		dsm.DiffInto(d, pg, pi.Twin, ns.mem.Frame(pg))
 		e.counters.DiffsCreated++
 		e.counters.DiffBytes += int64(d.WireBytes())
+		if e.rec != nil {
+			e.rec.DiffCreated(node, d.WireBytes())
+		}
 		if !d.Empty() {
 			if len(bundles[pi.Home]) == 0 {
 				homes = append(homes, pi.Home)
@@ -109,7 +124,9 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 		delete(ns.dirty, pg)
 	}
 
-	e.tracef("node %d: flush %d dirty pages, %d diff bundles", node, len(pages), len(homes))
+	if e.rec != nil {
+		e.rec.FlushStart(e.sim.Now(), node, len(pages), len(homes))
+	}
 	if len(homes) > 0 {
 		sort.Ints(homes)
 		ns.flushHomes = homes
@@ -131,6 +148,9 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 		for _, h := range homes {
 			bundles[h] = bundles[h][:0]
 		}
+	}
+	if e.rec != nil {
+		e.rec.FlushDone(t0, e.sim.Now(), node, len(pages), len(homes))
 	}
 	return notices
 }

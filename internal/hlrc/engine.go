@@ -11,15 +11,18 @@
 // application threads call EnsureRead/EnsureWrite/Barrier/AcquireLock/
 // ReleaseLock, and each node's communication thread calls Handle for
 // every incoming protocol message. The simulation kernel runs one
-// process at a time, so the engine needs no host-level locking.
+// process at a time, so the engine needs no host-level locking — the
+// same invariant lets the optional internal/obs recorder (SetRecorder/
+// SetTrace) log events and histograms with plain, unsynchronized field
+// writes.
 package hlrc
 
 import (
 	"fmt"
-	"io"
 
 	"parade/internal/dsm"
 	"parade/internal/netsim"
+	"parade/internal/obs"
 	"parade/internal/sim"
 	"parade/internal/stats"
 )
@@ -185,7 +188,11 @@ type Engine struct {
 	pgInval      []int
 	pgMigrations []int
 
-	trace io.Writer // optional protocol trace (SetTrace)
+	// rec is the optional observability recorder (nil = disabled, the
+	// zero-overhead path). traceSink is the legacy-format text sink a
+	// SetTrace call installed, tracked so it can be detached again.
+	rec       *obs.Recorder
+	traceSink *obs.TextSink
 }
 
 // New creates a protocol engine for the given cluster.

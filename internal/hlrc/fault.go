@@ -15,6 +15,7 @@ func (e *Engine) EnsureRead(p *sim.Proc, node, addr int) {
 	ns := e.nodes[node]
 	for !ns.mem.AppReadOK(addr) {
 		e.counters.ReadFaults++
+		e.rec.ReadFault(node)
 		e.fault(p, node, dsm.PageOf(addr), false)
 	}
 }
@@ -25,6 +26,7 @@ func (e *Engine) EnsureWrite(p *sim.Proc, node, addr int) {
 	ns := e.nodes[node]
 	for !ns.mem.AppWriteOK(addr) {
 		e.counters.WriteFaults++
+		e.rec.WriteFault(node)
 		e.fault(p, node, dsm.PageOf(addr), true)
 	}
 }
@@ -40,12 +42,19 @@ func (e *Engine) fault(p *sim.Proc, node, pg int, write bool) {
 		if home == node {
 			panic(fmt.Sprintf("hlrc: node %d is home of page %d but holds it INVALID", node, pg))
 		}
-		e.tracef("node %d: %s fault on page %d, fetching from home %d", node, faultKind(write), pg, home)
+		var t0 sim.Time
+		if e.rec != nil {
+			t0 = e.sim.Now()
+			e.rec.FetchStart(t0, node, pg, home, write)
+		}
 		ns.table.Set(pg, dsm.Transient)
 		gate := sim.NewGate(e.sim)
 		ns.fetch[pg] = gate
 		e.send(p, node, home, msgPageReq, 16, pageReq{Page: pg})
 		gate.Wait(p)
+		if e.rec != nil {
+			e.rec.FetchDone(t0, e.sim.Now(), node, pg, home)
+		}
 
 	case dsm.Transient:
 		// Another thread is already fetching: mark waiters present.
@@ -87,16 +96,9 @@ func (e *Engine) makeDirty(p *sim.Proc, node, pg int) {
 		copy(twin, ns.mem.Frame(pg))
 		ns.table.Pages[pg].Twin = twin
 		e.counters.TwinsCreated++
+		e.rec.TwinCreated(node)
 	}
 	ns.table.Set(pg, dsm.Dirty)
 	ns.mem.SetAppPerm(pg, dsm.PermReadWrite)
 	ns.dirty[pg] = struct{}{}
-}
-
-// faultKind names a fault for the trace.
-func faultKind(write bool) string {
-	if write {
-		return "write"
-	}
-	return "read"
 }

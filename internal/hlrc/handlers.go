@@ -2,6 +2,7 @@ package hlrc
 
 import (
 	"fmt"
+	"sort"
 
 	"parade/internal/dsm"
 	"parade/internal/netsim"
@@ -25,6 +26,7 @@ func (e *Engine) handlePageReq(p *sim.Proc, node int, m *netsim.Message) {
 	}
 	e.counters.PageFetches++
 	e.pgFetches[req.Page]++
+	e.rec.FetchServed(node, req.Page)
 	e.send(p, node, m.From, msgPageReply, dsm.PageSize, pageReply{Page: req.Page, Data: data})
 }
 
@@ -60,6 +62,7 @@ func (e *Engine) handleDiff(p *sim.Proc, node int, m *netsim.Message) {
 		e.cpus[node].Compute(p, e.cfg.Cost.DiffApply)
 		d.ApplyInto(ns.mem.Frame(d.Page))
 		e.counters.DiffsApplied++
+		e.rec.DiffApplied(node)
 		e.diffs.Put(d)
 	}
 	e.send(p, node, m.From, msgDiffAck, 8, nil)
@@ -111,25 +114,40 @@ func (e *Engine) handleBarrierArrive(p *sim.Proc, node int, m *netsim.Message) {
 		for n := range set {
 			mods = append(mods, n)
 		}
-		cur := homes.Pages[pg].Home
-		newHome := cur
-		if e.cfg.HomeMigration && len(mods) == 1 && mods[0] != cur {
+		if len(mods) > 1 {
+			sort.Ints(mods)
+		}
+		newHome := homes.Pages[pg].Home
+		if e.cfg.HomeMigration && len(mods) == 1 && mods[0] != newHome {
 			// Single modifier becomes the new home (§5.2.2). With
 			// multiple modifiers the current home keeps the highest
 			// priority, so it stays.
 			newHome = mods[0]
-			e.counters.HomeMigrations++
-			e.pgMigrations[pg]++
-			e.tracef("barrier %d: page %d home migrates %d -> %d", arr.Epoch, pg, cur, newHome)
 		}
 		entries = append(entries, departEntry{Page: pg, NewHome: newHome, Modifiers: mods})
 	}
-	// Deterministic order for reproducibility.
+	// Sort the entries BEFORE counting and tracing the migrations: the
+	// map iteration above has no stable order, and trace output must be
+	// identical across same-seed runs. The home tables are untouched
+	// until the departures are handled, so the old home is still
+	// readable here.
 	sortEntries(entries)
+	for i := range entries {
+		ent := &entries[i]
+		if cur := homes.Pages[ent.Page].Home; ent.NewHome != cur {
+			e.counters.HomeMigrations++
+			e.pgMigrations[ent.Page]++
+			if e.rec != nil {
+				e.rec.HomeMigrate(e.sim.Now(), arr.Epoch, ent.Page, cur, ent.NewHome)
+			}
+		}
+	}
 	mb.modifiers = map[int]map[int]bool{}
 	mb.arrived = 0
 	e.counters.Barriers++
-	e.tracef("barrier %d: complete, %d modified pages", arr.Epoch, len(entries))
+	if e.rec != nil {
+		e.rec.BarrierComplete(e.sim.Now(), arr.Epoch, len(entries))
+	}
 
 	// Advance the epoch BEFORE sending departures: each send charges CPU
 	// time (the communication thread yields), and a node released by an
@@ -189,6 +207,7 @@ func (e *Engine) handleBarrierDepart(p *sim.Proc, node int, m *netsim.Message) {
 			}
 			e.counters.Invalidations++
 			e.pgInval[ent.Page]++
+			e.rec.Invalidated(node, ent.Page)
 		case dsm.Invalid:
 			// Nothing cached; only the directory update matters.
 		default:

@@ -27,10 +27,22 @@ func (e *Engine) lockState(id int) *lockState {
 
 // AcquireLock blocks p until node holds global lock id.
 func (e *Engine) AcquireLock(p *sim.Proc, node, id int) {
+	var t0 sim.Time
+	if e.rec != nil {
+		t0 = e.sim.Now()
+	}
 	if e.cfg.LockCaching {
 		e.acquireCached(p, node, id)
-		return
+	} else {
+		e.acquireCentral(p, node, id)
 	}
+	if e.rec != nil {
+		e.rec.LockAcquired(t0, e.sim.Now(), node, id)
+	}
+}
+
+// acquireCentral is AcquireLock's body under the centralized protocol.
+func (e *Engine) acquireCentral(p *sim.Proc, node, id int) {
 	ns := e.nodes[node]
 	gate := sim.NewGate(e.sim)
 	ns.lockGate[id] = gate
@@ -49,8 +61,10 @@ func (e *Engine) AcquireLock(p *sim.Proc, node, id int) {
 func (e *Engine) lockRequest(p *sim.Proc, from, id int) {
 	ls := e.lockState(id)
 	e.counters.LockRequests++
+	e.rec.LockRequest(from)
 	if ls.held {
 		e.counters.LockWaits++
+		e.rec.LockWaited(from)
 		ls.queue = append(ls.queue, from)
 		return
 	}
@@ -123,6 +137,7 @@ func (e *Engine) applyGrantInvalidations(node int, notices []dsm.WriteNotice) {
 			ns.mem.SetAppPerm(wn.Page, dsm.PermNone)
 			e.counters.Invalidations++
 			e.pgInval[wn.Page]++
+			e.rec.Invalidated(node, wn.Page)
 		}
 		// Dirty pages keep local modifications (lock discipline makes a
 		// dirty conflicting page an application-level race); in-flight
@@ -136,8 +151,16 @@ func (e *Engine) applyGrantInvalidations(node int, notices []dsm.WriteNotice) {
 func (e *Engine) ReleaseLock(p *sim.Proc, node, id int) {
 	if e.cfg.LockCaching {
 		e.releaseCached(p, node, id)
-		return
+	} else {
+		e.releaseCentral(p, node, id)
 	}
+	if e.rec != nil {
+		e.rec.LockReleased(e.sim.Now(), node, id)
+	}
+}
+
+// releaseCentral is ReleaseLock's body under the centralized protocol.
+func (e *Engine) releaseCentral(p *sim.Proc, node, id int) {
 	notices := e.flush(p, node)
 	mgr := e.lockManager(id)
 	if mgr == node {

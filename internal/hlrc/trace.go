@@ -1,22 +1,47 @@
 package hlrc
 
 import (
-	"fmt"
 	"io"
+
+	"parade/internal/obs"
 )
 
-// Protocol tracing: an optional event log of faults, fetches, flushes,
-// barriers, and migrations, timestamped in virtual time. Used when
-// debugging protocol behaviour or explaining a page report.
+// Protocol tracing and metrics flow through an optional internal/obs
+// recorder: faults, fetches, flushes, barriers, migrations, and locks
+// become structured events (with virtual-time latency spans) plus
+// per-node counters and histograms. With no recorder attached the
+// engine records nothing and pays only nil checks.
+
+// SetRecorder attaches (or, with nil, detaches) a structured
+// observability recorder. A legacy text sink previously installed with
+// SetTrace follows the engine to the new recorder.
+func (e *Engine) SetRecorder(r *obs.Recorder) {
+	if e.traceSink != nil {
+		e.rec.RemoveSink(e.traceSink)
+		if r != nil {
+			r.AddSink(e.traceSink)
+		} else {
+			e.traceSink = nil
+		}
+	}
+	e.rec = r
+}
 
 // SetTrace directs a line-per-event protocol trace to w (nil disables).
-func (e *Engine) SetTrace(w io.Writer) { e.trace = w }
-
-func (e *Engine) tracef(format string, args ...any) {
-	if e.trace == nil {
+// This is a compatibility shim over the structured tracer: it installs
+// an obs.NewLegacyTextSink, whose output is byte-identical to the
+// historical fmt.Fprintf trace format.
+func (e *Engine) SetTrace(w io.Writer) {
+	if e.traceSink != nil {
+		e.rec.RemoveSink(e.traceSink)
+		e.traceSink = nil
+	}
+	if w == nil {
 		return
 	}
-	fmt.Fprintf(e.trace, "[%12s] ", e.sim.Now())
-	fmt.Fprintf(e.trace, format, args...)
-	fmt.Fprintln(e.trace)
+	if e.rec == nil {
+		e.rec = obs.New(e.cfg.Nodes)
+	}
+	e.traceSink = obs.NewLegacyTextSink(w)
+	e.rec.AddSink(e.traceSink)
 }

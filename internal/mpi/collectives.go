@@ -19,6 +19,7 @@ func (e *Endpoint) Allgather(p *sim.Proc, val any, bytes int) []any {
 		return out
 	}
 	tag := e.nextCollTag()
+	rec, t0 := e.world.collStart()
 	succ := (e.rank + 1) % n
 	pred := (e.rank - 1 + n) % n
 	// In round r we send the block that originated at rank - r and
@@ -30,6 +31,7 @@ func (e *Endpoint) Allgather(p *sim.Proc, val any, bytes int) []any {
 		m := e.Recv(p, pred, tag+r)
 		out[recvOrigin] = m.Payload
 	}
+	rec.Collective(t0, e.world.s.Now(), e.rank, "allgather", bytes)
 	return out
 }
 
@@ -39,6 +41,7 @@ func (e *Endpoint) Allgather(p *sim.Proc, val any, bytes int) []any {
 func (e *Endpoint) Scatter(p *sim.Proc, root int, vals []any, bytes int) any {
 	n := e.world.Size()
 	tag := e.nextCollTag()
+	rec, t0 := e.world.collStart()
 	if e.rank == root {
 		for r := 0; r < n; r++ {
 			if r == root {
@@ -46,9 +49,12 @@ func (e *Endpoint) Scatter(p *sim.Proc, root int, vals []any, bytes int) any {
 			}
 			e.send(p, r, tag, vals[r], bytes)
 		}
+		rec.Collective(t0, e.world.s.Now(), e.rank, "scatter", bytes)
 		return vals[root]
 	}
-	return e.Recv(p, root, tag).Payload
+	v := e.Recv(p, root, tag).Payload
+	rec.Collective(t0, e.world.s.Now(), e.rank, "scatter", bytes)
+	return v
 }
 
 // Alltoall performs a complete exchange: rank i sends vals[j] to rank j
@@ -63,6 +69,7 @@ func (e *Endpoint) Alltoall(p *sim.Proc, vals []any, bytes int) []any {
 		return out
 	}
 	tag := e.nextCollTag()
+	rec, t0 := e.world.collStart()
 	pow2 := n&(n-1) == 0
 	for r := 1; r < n; r++ {
 		var partner int
@@ -81,5 +88,6 @@ func (e *Endpoint) Alltoall(p *sim.Proc, vals []any, bytes int) []any {
 		m := e.Recv(p, from, tag+r)
 		out[from] = m.Payload
 	}
+	rec.Collective(t0, e.world.s.Now(), e.rank, "alltoall", bytes)
 	return out
 }

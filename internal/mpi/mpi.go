@@ -16,6 +16,7 @@ import (
 	"math/bits"
 
 	"parade/internal/netsim"
+	"parade/internal/obs"
 	"parade/internal/sim"
 	"parade/internal/stats"
 )
@@ -38,6 +39,20 @@ type World struct {
 	net      *netsim.Network
 	eps      []*Endpoint
 	counters *stats.Counters
+	rec      *obs.Recorder
+}
+
+// SetRecorder attaches an observability recorder: each rank's pass
+// through a collective becomes a latency span (nil detaches).
+func (w *World) SetRecorder(r *obs.Recorder) { w.rec = r }
+
+// collStart marks the start of a collective span for one rank; it
+// returns the recorder (nil when disabled) and the start time.
+func (w *World) collStart() (*obs.Recorder, sim.Time) {
+	if w.rec == nil {
+		return nil, 0
+	}
+	return w.rec, w.s.Now()
 }
 
 // NewWorld creates a communicator over net with one endpoint per node.
@@ -159,6 +174,7 @@ func (e *Endpoint) Bcast(p *sim.Proc, root int, payload any, bytes int) any {
 		return payload
 	}
 	e.world.counters.Bcasts++
+	rec, t0 := e.world.collStart()
 	rel := (e.rank - root + n) % n
 	// Walk up the tree to find our parent: the first set bit of rel
 	// names the round in which we receive.
@@ -180,6 +196,7 @@ func (e *Endpoint) Bcast(p *sim.Proc, root int, payload any, bytes int) any {
 			e.send(p, child, tag, payload, bytes)
 		}
 	}
+	rec.Collective(t0, e.world.s.Now(), e.rank, "bcast", bytes)
 	return payload
 }
 
@@ -198,6 +215,7 @@ func (e *Endpoint) Allreduce(p *sim.Proc, val any, bytes int, combine CombineFun
 		return val
 	}
 	e.world.counters.Allreduces++
+	rec, t0 := e.world.collStart()
 	if n&(n-1) == 0 {
 		tag := e.nextCollTag()
 		for dist := 1; dist < n; dist <<= 1 {
@@ -206,10 +224,12 @@ func (e *Endpoint) Allreduce(p *sim.Proc, val any, bytes int, combine CombineFun
 			m := e.Recv(p, partner, tag+bits.TrailingZeros(uint(dist)))
 			val = combine(val, m.Payload)
 		}
-		return val
+	} else {
+		val = e.reduceToRoot(p, 0, val, bytes, combine)
+		val = e.Bcast(p, 0, val, bytes)
 	}
-	val = e.reduceToRoot(p, 0, val, bytes, combine)
-	return e.Bcast(p, 0, val, bytes)
+	rec.Collective(t0, e.world.s.Now(), e.rank, "allreduce", bytes)
+	return val
 }
 
 // Reduce combines contributions onto root; non-root ranks return nil.
@@ -218,7 +238,9 @@ func (e *Endpoint) Reduce(p *sim.Proc, root int, val any, bytes int, combine Com
 	if n == 1 {
 		return val
 	}
+	rec, t0 := e.world.collStart()
 	v := e.reduceToRoot(p, root, val, bytes, combine)
+	rec.Collective(t0, e.world.s.Now(), e.rank, "reduce", bytes)
 	if e.rank == root {
 		return v
 	}
@@ -252,6 +274,7 @@ func (e *Endpoint) Barrier(p *sim.Proc) {
 		return
 	}
 	e.world.counters.MPIBarrier++
+	rec, t0 := e.world.collStart()
 	tag := e.nextCollTag()
 	for round, dist := 0, 1; dist < n; round, dist = round+1, dist<<1 {
 		to := (e.rank + dist) % n
@@ -259,6 +282,7 @@ func (e *Endpoint) Barrier(p *sim.Proc) {
 		e.send(p, to, tag+round, nil, 0)
 		e.Recv(p, from, tag+round)
 	}
+	rec.Collective(t0, e.world.s.Now(), e.rank, "mpi_barrier", 0)
 }
 
 // Gather collects every rank's contribution at root, returned as a slice
@@ -266,8 +290,10 @@ func (e *Endpoint) Barrier(p *sim.Proc) {
 func (e *Endpoint) Gather(p *sim.Proc, root int, val any, bytes int) []any {
 	n := e.world.Size()
 	tag := e.nextCollTag()
+	rec, t0 := e.world.collStart()
 	if e.rank != root {
 		e.send(p, root, tag, val, bytes)
+		rec.Collective(t0, e.world.s.Now(), e.rank, "gather", bytes)
 		return nil
 	}
 	out := make([]any, n)
@@ -276,5 +302,6 @@ func (e *Endpoint) Gather(p *sim.Proc, root int, val any, bytes int) []any {
 		m := e.Recv(p, AnySource, tag)
 		out[m.From] = m.Payload
 	}
+	rec.Collective(t0, e.world.s.Now(), e.rank, "gather", bytes)
 	return out
 }

@@ -8,6 +8,7 @@ package netsim
 import (
 	"fmt"
 
+	"parade/internal/obs"
 	"parade/internal/sim"
 	"parade/internal/stats"
 )
@@ -96,7 +97,12 @@ type Network struct {
 	nicFree  []sim.Time // next instant each node's send NIC is idle
 	counters *stats.Counters
 	freeDel  []*delivery // pooled arrival events
+	rec      *obs.Recorder
 }
+
+// SetRecorder attaches an observability recorder for per-node traffic
+// accounting (nil detaches).
+func (n *Network) SetRecorder(r *obs.Recorder) { n.rec = r }
 
 // delivery is a pooled message-arrival event: the closure is created
 // once per pooled object (bound to the delivery itself), so the
@@ -175,6 +181,7 @@ func (n *Network) Send(p *sim.Proc, m *Message) {
 	dst := n.inbox[m.To]
 	if m.From == m.To {
 		n.counters.LocalDeliver++
+		n.rec.LocalDelivered(m.From)
 		n.deliverAt(n.fabric.LocalLatency, dst, m)
 		return
 	}
@@ -182,6 +189,9 @@ func (n *Network) Send(p *sim.Proc, m *Message) {
 	n.counters.Messages++
 	n.counters.Bytes += int64(m.Bytes + n.fabric.HeaderBytes)
 	now := n.sim.Now()
+	if n.rec != nil {
+		n.rec.MsgSent(now, m.From, m.To, m.Bytes+n.fabric.HeaderBytes, int(m.Kind))
+	}
 	start := now
 	if n.nicFree[m.From] > start {
 		start = n.nicFree[m.From]

@@ -1,0 +1,122 @@
+package obs
+
+import "parade/internal/sim"
+
+// Kind identifies one trace event type. The set mirrors the protocol
+// vocabulary of the paper's §5–§6: page movement, diff traffic, barrier
+// and lock synchronization, message-passing collectives, and the
+// OpenMP-level directives and parallel regions they implement.
+type Kind uint8
+
+// Trace event kinds. *Start kinds are instants marking the beginning of
+// an operation (they carry the legacy text-trace information); the
+// matching non-Start kind is emitted at completion with the measured
+// virtual-time duration.
+const (
+	// KindFetchStart: a node begins fetching a page from its home after
+	// an access fault. Page, Arg=home, Arg2=1 for a write fault.
+	KindFetchStart Kind = iota
+	// KindFetch: the fetched page is installed. Span; Page, Arg=home.
+	KindFetch
+	// KindFlushStart: a node's diff scans are done and bundles are about
+	// to be sent. Arg=dirty pages, Arg2=diff bundles.
+	KindFlushStart
+	// KindFlush: every home acknowledged the node's diffs. Span;
+	// Arg=dirty pages, Arg2=diff bundles.
+	KindFlush
+	// KindHomeMigrate: barrier-time home election moved a page.
+	// Arg=epoch, Page, Arg2=old home, Arg3=new home.
+	KindHomeMigrate
+	// KindBarrierDone: the master completed a global barrier.
+	// Arg=epoch, Arg2=modified pages.
+	KindBarrierDone
+	// KindBarrier: one node's SDSM barrier, from entry (before the diff
+	// flush) to departure. Span.
+	KindBarrier
+	// KindLock: an SDSM lock acquisition, request to grant. Span;
+	// Arg=lock id.
+	KindLock
+	// KindLockRelease: an SDSM lock release (after the release-time
+	// flush). Arg=lock id.
+	KindLockRelease
+	// KindCollective: one rank's participation in an MPI collective,
+	// entry to completion. Span; Cat=operation, Arg=payload bytes.
+	KindCollective
+	// KindRegionBegin: the master forked a parallel region. Arg=region
+	// sequence number.
+	KindRegionBegin
+	// KindRegionEnd: the region's implicit end barrier released the
+	// master. Span over the whole region; Arg=region sequence number.
+	KindRegionEnd
+	// KindDirective: one thread's execution of a synchronization
+	// directive, entry to completion. Span; Cat=directive kind,
+	// Label=site name.
+	KindDirective
+	// KindMsgSend: a message entered the fabric (emitted only with
+	// Recorder.TraceMessages). Arg=destination node, Arg2=payload bytes,
+	// Arg3=netsim kind.
+	KindMsgSend
+
+	numKinds
+)
+
+// names are the stable identifiers used by the JSONL sink and the Chrome
+// sink's event names.
+var kindNames = [numKinds]string{
+	KindFetchStart:  "fetch_start",
+	KindFetch:       "page_fetch",
+	KindFlushStart:  "flush_start",
+	KindFlush:       "diff_flush",
+	KindHomeMigrate: "home_migrate",
+	KindBarrierDone: "barrier_done",
+	KindBarrier:     "barrier",
+	KindLock:        "lock_acquire",
+	KindLockRelease: "lock_release",
+	KindCollective:  "collective",
+	KindRegionBegin: "region_begin",
+	KindRegionEnd:   "region",
+	KindDirective:   "directive",
+	KindMsgSend:     "msg_send",
+}
+
+// String returns the event kind's stable name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one structured trace record. Time is the event's virtual
+// timestamp; for spans (Dur > 0 is possible) it is the END of the span,
+// so the start is Time - Dur. Page is -1 when the event has no page.
+// The Arg fields are kind-specific (see the Kind constants); Cat and
+// Label carry the directive/collective vocabulary.
+//
+// Events are delivered to sinks by pointer into a Recorder-owned scratch
+// record: a sink must fully consume the event during Emit and must not
+// retain the pointer.
+type Event struct {
+	Kind  Kind
+	Time  sim.Time
+	Dur   sim.Duration
+	Node  int
+	Page  int
+	Arg   int
+	Arg2  int
+	Arg3  int
+	Cat   string
+	Label string
+}
+
+// Start returns the span's start time (equal to Time for instants).
+func (e *Event) Start() sim.Time { return e.Time - sim.Time(e.Dur) }
+
+// Sink consumes trace events. Sinks are invoked synchronously from
+// simulation context in deterministic order, so a sink that writes
+// events verbatim produces byte-identical output across same-seed runs.
+// Close flushes any buffered framing (e.g. the Chrome JSON tail).
+type Sink interface {
+	Emit(e *Event)
+	Close() error
+}

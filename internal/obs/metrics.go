@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"parade/internal/sim"
+)
+
+// Histogram identifiers. All latency histograms are in virtual
+// nanoseconds; HistDiffBytes is in bytes.
+const (
+	HistPageFetch   = iota // fault -> page installed
+	HistDiffFlush          // flush start -> last home ack
+	HistLockAcquire        // AcquireLock entry -> grant
+	HistBarrierWait        // SDSM barrier entry -> departure
+	HistDirective          // directive entry -> completion, per thread
+	HistCollective         // MPI collective entry -> completion, per rank
+	HistCPUWait            // time a runnable proc queued for a busy CPU
+	HistDiffBytes          // wire size of each created diff
+	NumHists
+)
+
+// histDefs gives each histogram its stable exported name and unit.
+var histDefs = [NumHists]struct{ Name, Unit string }{
+	HistPageFetch:   {"page_fetch", "ns"},
+	HistDiffFlush:   {"diff_flush", "ns"},
+	HistLockAcquire: {"lock_acquire", "ns"},
+	HistBarrierWait: {"barrier_wait", "ns"},
+	HistDirective:   {"directive", "ns"},
+	HistCollective:  {"collective", "ns"},
+	HistCPUWait:     {"cpu_wait", "ns"},
+	HistDiffBytes:   {"diff_size", "bytes"},
+}
+
+// HistName returns the stable name of histogram id (as used in the
+// metrics JSON), or "" for an unknown id.
+func HistName(id int) string {
+	if id < 0 || id >= NumHists {
+		return ""
+	}
+	return histDefs[id].Name
+}
+
+// NodeCounters is the per-node generalization of stats.Counters: the
+// same protocol vocabulary, attributed to the node that performed (or
+// served) each operation.
+type NodeCounters struct {
+	ReadFaults    int64 `json:"read_faults"`
+	WriteFaults   int64 `json:"write_faults"`
+	FetchesIssued int64 `json:"page_fetches_issued"`
+	FetchesServed int64 `json:"page_fetches_served"`
+	Twins         int64 `json:"twins"`
+	DiffsCreated  int64 `json:"diffs_created"`
+	DiffBytes     int64 `json:"diff_bytes"`
+	DiffsApplied  int64 `json:"diffs_applied"`
+	Invalidations int64 `json:"invalidations"`
+	Barriers      int64 `json:"sdsm_barriers"`
+	LockRequests  int64 `json:"lock_requests"`
+	LockWaits     int64 `json:"lock_waits"`
+	MsgsSent      int64 `json:"msgs_sent"`
+	BytesSent     int64 `json:"bytes_sent"`
+	LocalDeliver  int64 `json:"local_deliveries"`
+	Collectives   int64 `json:"collectives"`
+	Directives    int64 `json:"directives"`
+	CPUWaitNs     int64 `json:"cpu_wait_ns"`
+}
+
+// PhaseCounters is the activity attributed to one parallel region (or
+// to the serial sections between regions). The *Ns fields are sums of
+// the corresponding latency spans, so e.g. BarrierWaitNs/(region
+// duration * nodes) is the fraction of node-time spent waiting at
+// barriers during that region.
+type PhaseCounters struct {
+	Fetches       int64 `json:"fetches"`
+	FetchWaitNs   int64 `json:"fetch_wait_ns"`
+	Flushes       int64 `json:"flushes"`
+	FlushWaitNs   int64 `json:"flush_wait_ns"`
+	DiffsCreated  int64 `json:"diffs_created"`
+	DiffBytes     int64 `json:"diff_bytes"`
+	Invalidations int64 `json:"invalidations"`
+	Barriers      int64 `json:"sdsm_barriers"`
+	BarrierWaitNs int64 `json:"barrier_wait_ns"`
+	Locks         int64 `json:"lock_acquires"`
+	LockWaitNs    int64 `json:"lock_wait_ns"`
+	Collectives   int64 `json:"collectives"`
+	CollectiveNs  int64 `json:"collective_ns"`
+	Directives    int64 `json:"directives"`
+	DirectiveNs   int64 `json:"directive_ns"`
+	CPUWaitNs     int64 `json:"cpu_wait_ns"`
+	Msgs          int64 `json:"msgs"`
+	Bytes         int64 `json:"bytes"`
+}
+
+// Phase is the record of one parallel region.
+type Phase struct {
+	Seq     int           `json:"seq"`
+	StartNs sim.Time      `json:"start_ns"`
+	EndNs   sim.Time      `json:"end_ns"`
+	C       PhaseCounters `json:"counters"`
+}
+
+// maxPhases bounds Metrics memory for programs with very many parallel
+// regions (e.g. the EPCC-style microbenchmarks): regions past the cap
+// fold into the last slot and FoldedPhases counts how many were folded.
+const maxPhases = 512
+
+// Metrics is the registry side of a Recorder: per-node counters,
+// latency/size histograms, and per-parallel-region phase attribution.
+// Like the Recorder it is written with plain stores — the simulation
+// kernel's one-runnable-goroutine invariant is the synchronization.
+type Metrics struct {
+	perNode []NodeCounters
+	hist    [NumHists]Histogram
+
+	phases       []Phase
+	cur          *Phase // non-nil while inside a parallel region
+	serial       PhaseCounters
+	total        PhaseCounters
+	foldedPhases int
+}
+
+// node returns the counters for node n, growing the slice if a recorder
+// built for fewer nodes sees a larger id.
+func (m *Metrics) node(n int) *NodeCounters {
+	if n >= len(m.perNode) {
+		grown := make([]NodeCounters, n+1)
+		copy(grown, m.perNode)
+		m.perNode = grown
+	}
+	return &m.perNode[n]
+}
+
+// ph returns the phase-counter set activity should currently charge to:
+// the open parallel region, or the serial accumulator between regions.
+func (m *Metrics) ph() *PhaseCounters {
+	if m.cur != nil {
+		return &m.cur.C
+	}
+	return &m.serial
+}
+
+// Nodes returns the number of nodes with recorded counters.
+func (m *Metrics) Nodes() int { return len(m.perNode) }
+
+// Node returns a copy of node n's counters (zero value if out of range).
+func (m *Metrics) Node(n int) NodeCounters {
+	if n < 0 || n >= len(m.perNode) {
+		return NodeCounters{}
+	}
+	return m.perNode[n]
+}
+
+// Hist returns a copy of histogram id (zero value if out of range).
+func (m *Metrics) Hist(id int) Histogram {
+	if id < 0 || id >= NumHists {
+		return Histogram{}
+	}
+	return m.hist[id]
+}
+
+// Phases returns the recorded parallel regions. The returned slice is
+// the live backing array; callers must not modify it.
+func (m *Metrics) Phases() []Phase { return m.phases }
+
+// Serial returns the activity recorded outside any parallel region.
+func (m *Metrics) Serial() PhaseCounters { return m.serial }
+
+// Total returns the whole-run phase-counter aggregate (parallel regions
+// plus serial sections).
+func (m *Metrics) Total() PhaseCounters { return m.total }
+
+func (m *Metrics) beginPhase(now sim.Time, seq int) {
+	if len(m.phases) == maxPhases {
+		// Fold into the last slot: keep attribution bounded without
+		// dropping the totals.
+		m.cur = &m.phases[maxPhases-1]
+		m.foldedPhases++
+		return
+	}
+	m.phases = append(m.phases, Phase{Seq: seq, StartNs: now})
+	m.cur = &m.phases[len(m.phases)-1]
+}
+
+func (m *Metrics) endPhase(now sim.Time) {
+	if m.cur != nil {
+		m.cur.EndNs = now
+		m.cur = nil
+	}
+}
+
+// JSON schema for the metrics dump.
+
+type histJSON struct {
+	Name    string       `json:"name"`
+	Unit    string       `json:"unit"`
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Mean    float64      `json:"mean"`
+	P50     int64        `json:"p50"`
+	P90     int64        `json:"p90"`
+	P99     int64        `json:"p99"`
+	Buckets []bucketJSON `json:"buckets,omitempty"`
+}
+
+type bucketJSON struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+type metricsJSON struct {
+	Schema       string         `json:"schema"`
+	Nodes        int            `json:"nodes"`
+	PerNode      []NodeCounters `json:"per_node"`
+	Histograms   []histJSON     `json:"histograms"`
+	Phases       []Phase        `json:"phases"`
+	FoldedPhases int            `json:"folded_phases,omitempty"`
+	Serial       PhaseCounters  `json:"serial"`
+	Total        PhaseCounters  `json:"total"`
+}
+
+// WriteJSON writes the full metrics dump (schema "parade-metrics/v1").
+// Output is deterministic: every collection is a slice in recording
+// order, and histogram buckets are emitted low to high.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	out := metricsJSON{
+		Schema:       "parade-metrics/v1",
+		Nodes:        len(m.perNode),
+		PerNode:      m.perNode,
+		Phases:       m.phases,
+		FoldedPhases: m.foldedPhases,
+		Serial:       m.serial,
+		Total:        m.total,
+	}
+	if out.PerNode == nil {
+		out.PerNode = []NodeCounters{}
+	}
+	if out.Phases == nil {
+		out.Phases = []Phase{}
+	}
+	for id := 0; id < NumHists; id++ {
+		h := &m.hist[id]
+		hj := histJSON{
+			Name:  histDefs[id].Name,
+			Unit:  histDefs[id].Unit,
+			Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+			Mean: h.Mean(),
+			P50:  h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+		}
+		for i, n := range h.Buckets {
+			if n != 0 {
+				hj.Buckets = append(hj.Buckets, bucketJSON{Le: BucketUpper(i), N: n})
+			}
+		}
+		out.Histograms = append(out.Histograms, hj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,453 @@
+// Package obs is the unified observability layer for the simulated
+// cluster: structured trace events (with text, JSONL, and Chrome
+// trace_event sinks) and a metrics registry with per-node counters,
+// virtual-time latency histograms, and per-parallel-region phase
+// attribution.
+//
+// # Zero overhead when disabled
+//
+// All recording methods are defined on *Recorder and begin with a nil
+// receiver check, so the disabled path — the default — is a single
+// predictable branch and zero allocations. Subsystems hold a plain
+// *Recorder field (nil unless Config.Obs is set) and call methods on it
+// unconditionally.
+//
+// # The single-threaded-kernel invariant
+//
+// The simulation kernel (internal/sim) runs exactly one goroutine at a
+// time: the scheduler hands a baton through unbuffered channels, and a
+// process only touches simulation state while it holds the baton. Every
+// Recorder call is made from baton-holding context, so recording is
+// plain field writes — no atomics, no locks, and one reusable scratch
+// Event instead of a per-event allocation. This is the same invariant
+// that lets the protocol engine share page tables across "nodes"; see
+// the internal/sim package comment. Sinks are invoked synchronously in
+// event order, which also makes trace output deterministic: two runs
+// with the same Config.Seed produce byte-identical traces.
+package obs
+
+import "parade/internal/sim"
+
+// Recorder is the write side of the observability layer. The zero value
+// is not useful; create one with New. A nil *Recorder is valid and
+// records nothing — that is the disabled path.
+type Recorder struct {
+	m     Metrics
+	sinks []Sink
+
+	// traceMessages enables per-message KindMsgSend events (off by
+	// default: message volume dwarfs every other event class).
+	traceMessages bool
+
+	// ev is the pooled scratch record handed to sinks; legal because the
+	// kernel never runs two recording contexts concurrently.
+	ev Event
+}
+
+// New creates an enabled Recorder with per-node counter slots for
+// `nodes` nodes (the slots grow on demand if a larger node id appears).
+func New(nodes int) *Recorder {
+	if nodes < 0 {
+		nodes = 0
+	}
+	return &Recorder{m: Metrics{perNode: make([]NodeCounters, nodes)}}
+}
+
+// Enabled reports whether r records anything (i.e. is non-nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Metrics returns the recorder's metrics registry (nil for a nil
+// recorder).
+func (r *Recorder) Metrics() *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &r.m
+}
+
+// AddSink attaches a trace sink. No-op on a nil recorder.
+func (r *Recorder) AddSink(s Sink) {
+	if r == nil || s == nil {
+		return
+	}
+	r.sinks = append(r.sinks, s)
+}
+
+// RemoveSink detaches a previously attached sink (without closing it).
+func (r *Recorder) RemoveSink(s Sink) {
+	if r == nil {
+		return
+	}
+	for i, have := range r.sinks {
+		if have == s {
+			r.sinks = append(r.sinks[:i], r.sinks[i+1:]...)
+			return
+		}
+	}
+}
+
+// TraceMessages toggles per-message send events.
+func (r *Recorder) TraceMessages(on bool) {
+	if r != nil {
+		r.traceMessages = on
+	}
+}
+
+// Close closes every attached sink (flushing, e.g., the Chrome JSON
+// tail) and returns the first error.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	var first error
+	for _, s := range r.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (r *Recorder) emit() {
+	for _, s := range r.sinks {
+		s.Emit(&r.ev)
+	}
+}
+
+// --- hlrc: faults and page movement ---
+
+// ReadFault counts a read access fault on node.
+func (r *Recorder) ReadFault(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).ReadFaults++
+}
+
+// WriteFault counts a write access fault on node.
+func (r *Recorder) WriteFault(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).WriteFaults++
+}
+
+// TwinCreated counts a twin creation on node.
+func (r *Recorder) TwinCreated(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).Twins++
+}
+
+// FetchStart traces the start of a remote page fetch. write says
+// whether the triggering fault was a write fault.
+func (r *Recorder) FetchStart(now sim.Time, node, page, home int, write bool) {
+	if r == nil || len(r.sinks) == 0 {
+		return
+	}
+	w := 0
+	if write {
+		w = 1
+	}
+	r.ev = Event{Kind: KindFetchStart, Time: now, Node: node, Page: page, Arg: home, Arg2: w}
+	r.emit()
+}
+
+// FetchDone records a completed page fetch: counter, latency histogram,
+// phase attribution, and a span event.
+func (r *Recorder) FetchDone(start, end sim.Time, node, page, home int) {
+	if r == nil {
+		return
+	}
+	d := int64(end - start)
+	r.m.node(node).FetchesIssued++
+	r.m.hist[HistPageFetch].Observe(d)
+	p := r.m.ph()
+	p.Fetches++
+	p.FetchWaitNs += d
+	r.m.total.Fetches++
+	r.m.total.FetchWaitNs += d
+	if len(r.sinks) > 0 {
+		r.ev = Event{Kind: KindFetch, Time: end, Dur: sim.Duration(d), Node: node, Page: page, Arg: home}
+		r.emit()
+	}
+}
+
+// FetchServed counts a page request served by its home node.
+func (r *Recorder) FetchServed(home, page int) {
+	if r == nil {
+		return
+	}
+	r.m.node(home).FetchesServed++
+}
+
+// Invalidated counts one page invalidation applied on node.
+func (r *Recorder) Invalidated(node, page int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).Invalidations++
+	p := r.m.ph()
+	p.Invalidations++
+	r.m.total.Invalidations++
+}
+
+// --- hlrc: diff flush ---
+
+// DiffCreated records one diff made during a flush (wire bytes include
+// the diff header).
+func (r *Recorder) DiffCreated(node, bytes int) {
+	if r == nil {
+		return
+	}
+	nc := r.m.node(node)
+	nc.DiffsCreated++
+	nc.DiffBytes += int64(bytes)
+	r.m.hist[HistDiffBytes].Observe(int64(bytes))
+	p := r.m.ph()
+	p.DiffsCreated++
+	p.DiffBytes += int64(bytes)
+	r.m.total.DiffsCreated++
+	r.m.total.DiffBytes += int64(bytes)
+}
+
+// DiffApplied counts one diff applied at its home node.
+func (r *Recorder) DiffApplied(home int) {
+	if r == nil {
+		return
+	}
+	r.m.node(home).DiffsApplied++
+}
+
+// FlushStart traces the start of a diff flush (after the scan, before
+// the bundles are sent).
+func (r *Recorder) FlushStart(now sim.Time, node, pages, bundles int) {
+	if r == nil || len(r.sinks) == 0 {
+		return
+	}
+	r.ev = Event{Kind: KindFlushStart, Time: now, Node: node, Page: -1, Arg: pages, Arg2: bundles}
+	r.emit()
+}
+
+// FlushDone records a completed diff flush (scan through last home ack).
+func (r *Recorder) FlushDone(start, end sim.Time, node, pages, bundles int) {
+	if r == nil {
+		return
+	}
+	d := int64(end - start)
+	r.m.hist[HistDiffFlush].Observe(d)
+	p := r.m.ph()
+	p.Flushes++
+	p.FlushWaitNs += d
+	r.m.total.Flushes++
+	r.m.total.FlushWaitNs += d
+	if len(r.sinks) > 0 {
+		r.ev = Event{Kind: KindFlush, Time: end, Dur: sim.Duration(d), Node: node, Page: -1, Arg: pages, Arg2: bundles}
+		r.emit()
+	}
+}
+
+// --- hlrc: barriers, home migration ---
+
+// HomeMigrate traces a barrier-time home migration decided by the
+// master.
+func (r *Recorder) HomeMigrate(now sim.Time, epoch, page, from, to int) {
+	if r == nil || len(r.sinks) == 0 {
+		return
+	}
+	r.ev = Event{Kind: KindHomeMigrate, Time: now, Node: from, Page: page, Arg: epoch, Arg2: from, Arg3: to}
+	r.emit()
+}
+
+// BarrierComplete traces the master finishing barrier `epoch` with
+// `modified` distinct modified pages.
+func (r *Recorder) BarrierComplete(now sim.Time, epoch, modified int) {
+	if r == nil || len(r.sinks) == 0 {
+		return
+	}
+	r.ev = Event{Kind: KindBarrierDone, Time: now, Node: 0, Page: -1, Arg: epoch, Arg2: modified}
+	r.emit()
+}
+
+// BarrierWait records one node's pass through the SDSM barrier (entry
+// before the flush to departure).
+func (r *Recorder) BarrierWait(start, end sim.Time, node int) {
+	if r == nil {
+		return
+	}
+	d := int64(end - start)
+	r.m.node(node).Barriers++
+	r.m.hist[HistBarrierWait].Observe(d)
+	p := r.m.ph()
+	p.Barriers++
+	p.BarrierWaitNs += d
+	r.m.total.Barriers++
+	r.m.total.BarrierWaitNs += d
+	if len(r.sinks) > 0 {
+		r.ev = Event{Kind: KindBarrier, Time: end, Dur: sim.Duration(d), Node: node, Page: -1}
+		r.emit()
+	}
+}
+
+// --- hlrc: locks ---
+
+// LockRequest counts a lock request issued by a node (including cached
+// re-acquires that never reach the manager).
+func (r *Recorder) LockRequest(from int) {
+	if r == nil {
+		return
+	}
+	r.m.node(from).LockRequests++
+}
+
+// LockWaited counts a lock request that could not be granted
+// immediately and queued at the manager.
+func (r *Recorder) LockWaited(from int) {
+	if r == nil {
+		return
+	}
+	r.m.node(from).LockWaits++
+}
+
+// LockAcquired records a completed SDSM lock acquisition on node.
+func (r *Recorder) LockAcquired(start, end sim.Time, node, lock int) {
+	if r == nil {
+		return
+	}
+	d := int64(end - start)
+	r.m.hist[HistLockAcquire].Observe(d)
+	p := r.m.ph()
+	p.Locks++
+	p.LockWaitNs += d
+	r.m.total.Locks++
+	r.m.total.LockWaitNs += d
+	if len(r.sinks) > 0 {
+		r.ev = Event{Kind: KindLock, Time: end, Dur: sim.Duration(d), Node: node, Page: -1, Arg: lock}
+		r.emit()
+	}
+}
+
+// LockReleased traces an SDSM lock release (after the release-time
+// flush).
+func (r *Recorder) LockReleased(now sim.Time, node, lock int) {
+	if r == nil || len(r.sinks) == 0 {
+		return
+	}
+	r.ev = Event{Kind: KindLockRelease, Time: now, Node: node, Page: -1, Arg: lock}
+	r.emit()
+}
+
+// --- netsim ---
+
+// MsgSent records one message entering the fabric from node `from`.
+func (r *Recorder) MsgSent(now sim.Time, from, to, bytes int, kind int) {
+	if r == nil {
+		return
+	}
+	nc := r.m.node(from)
+	nc.MsgsSent++
+	nc.BytesSent += int64(bytes)
+	p := r.m.ph()
+	p.Msgs++
+	p.Bytes += int64(bytes)
+	r.m.total.Msgs++
+	r.m.total.Bytes += int64(bytes)
+	if r.traceMessages && len(r.sinks) > 0 {
+		r.ev = Event{Kind: KindMsgSend, Time: now, Node: from, Page: -1, Arg: to, Arg2: bytes, Arg3: kind}
+		r.emit()
+	}
+}
+
+// LocalDelivered counts an intra-node delivery that bypassed the fabric.
+func (r *Recorder) LocalDelivered(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).LocalDeliver++
+}
+
+// --- mpi ---
+
+// Collective records one rank's pass through an MPI collective.
+func (r *Recorder) Collective(start, end sim.Time, node int, op string, bytes int) {
+	if r == nil {
+		return
+	}
+	d := int64(end - start)
+	r.m.node(node).Collectives++
+	r.m.hist[HistCollective].Observe(d)
+	p := r.m.ph()
+	p.Collectives++
+	p.CollectiveNs += d
+	r.m.total.Collectives++
+	r.m.total.CollectiveNs += d
+	if len(r.sinks) > 0 {
+		r.ev = Event{Kind: KindCollective, Time: end, Dur: sim.Duration(d), Node: node, Page: -1, Arg: bytes, Cat: op}
+		r.emit()
+	}
+}
+
+// --- core: regions and directives ---
+
+// RegionBegin opens parallel region `seq`: subsequent activity is
+// attributed to it.
+func (r *Recorder) RegionBegin(now sim.Time, seq int) {
+	if r == nil {
+		return
+	}
+	r.m.beginPhase(now, seq)
+	if len(r.sinks) > 0 {
+		r.ev = Event{Kind: KindRegionBegin, Time: now, Node: 0, Page: -1, Arg: seq}
+		r.emit()
+	}
+}
+
+// RegionEnd closes parallel region `seq`; activity reverts to the
+// serial accumulator.
+func (r *Recorder) RegionEnd(start, end sim.Time, seq int) {
+	if r == nil {
+		return
+	}
+	r.m.endPhase(end)
+	if len(r.sinks) > 0 {
+		r.ev = Event{Kind: KindRegionEnd, Time: end, Dur: sim.Duration(end - start), Node: 0, Page: -1, Arg: seq}
+		r.emit()
+	}
+}
+
+// Directive records one thread's execution of a synchronization
+// directive (cat is the directive kind, e.g. "critical"; site is the
+// user-supplied name).
+func (r *Recorder) Directive(start, end sim.Time, node int, cat, site string) {
+	if r == nil {
+		return
+	}
+	d := int64(end - start)
+	r.m.node(node).Directives++
+	r.m.hist[HistDirective].Observe(d)
+	p := r.m.ph()
+	p.Directives++
+	p.DirectiveNs += d
+	r.m.total.Directives++
+	r.m.total.DirectiveNs += d
+	if len(r.sinks) > 0 {
+		r.ev = Event{Kind: KindDirective, Time: end, Dur: sim.Duration(d), Node: node, Page: -1, Cat: cat, Label: site}
+		r.emit()
+	}
+}
+
+// --- sim ---
+
+// CPUWait records time a runnable process spent queued for a busy CPU
+// on node.
+func (r *Recorder) CPUWait(node int, d sim.Duration) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).CPUWaitNs += int64(d)
+	r.m.hist[HistCPUWait].Observe(int64(d))
+	p := r.m.ph()
+	p.CPUWaitNs += int64(d)
+	r.m.total.CPUWaitNs += int64(d)
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Per-node tracks (Chrome "threads") that events are laid out on.
+const (
+	trackDSM       = iota // page fetches, diff flushes
+	trackSync             // barriers, locks
+	trackMPI              // collectives
+	trackDirective        // OpenMP-level directives
+	trackRegion           // parallel regions (on node 0)
+	trackNet              // per-message sends (with TraceMessages)
+)
+
+var trackNames = [...]string{"dsm", "sync", "mpi", "directive", "region", "net"}
+
+// ChromeSink writes the Chrome trace_event JSON object format
+// ({"traceEvents":[...]}), loadable in chrome://tracing and Perfetto.
+// Layout: one Chrome "process" per cluster node, with per-category
+// tracks (dsm / sync / mpi / directive / net) as threads. Spans become
+// "X" complete events, point events become "i" instants; virtual-time
+// nanoseconds map to the format's microsecond ts/dur fields with 3
+// decimal places, so nanosecond precision is preserved. Close writes
+// the process/thread naming metadata and the closing bracket — a trace
+// is not valid JSON until the sink is closed.
+type ChromeSink struct {
+	w      io.Writer
+	buf    []byte
+	n      int // events written so far
+	pids   map[int]bool
+	tracks map[[2]int]bool
+}
+
+// NewChromeSink returns a sink writing trace_event JSON to w. It writes
+// the opening framing immediately.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{
+		w:      w,
+		buf:    make([]byte, 0, 256),
+		pids:   make(map[int]bool),
+		tracks: make(map[[2]int]bool),
+	}
+	io.WriteString(w, "{\"traceEvents\":[\n")
+	return s
+}
+
+func (s *ChromeSink) sep(b []byte) []byte {
+	if s.n > 0 {
+		b = append(b, ',', '\n')
+	}
+	s.n++
+	return b
+}
+
+// appendUS appends a nanosecond count as microseconds with ns precision.
+func appendUS(b []byte, ns int64) []byte {
+	return strconv.AppendFloat(b, float64(ns)/1e3, 'f', 3, 64)
+}
+
+func (s *ChromeSink) head(b []byte, name string, ph byte, pid, tid int, ts int64) []byte {
+	s.pids[pid] = true
+	s.tracks[[2]int{pid, tid}] = true
+	b = append(b, `{"name":`...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `,"cat":"`...)
+	b = append(b, trackNames[tid]...)
+	b = append(b, `","ph":"`...)
+	b = append(b, ph)
+	b = append(b, `","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"ts":`...)
+	b = appendUS(b, ts)
+	if ph == 'i' {
+		b = append(b, `,"s":"t"`...)
+	}
+	return b
+}
+
+func appendArg(b []byte, first bool, key string, v int) []byte {
+	if !first {
+		b = append(b, ',')
+	}
+	b = append(b, '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	return strconv.AppendInt(b, int64(v), 10)
+}
+
+// Emit writes one event. FetchStart/FlushStart instants are dropped —
+// the matching completion span carries the same information plus the
+// duration — and RegionBegin is covered by the RegionEnd span.
+func (s *ChromeSink) Emit(e *Event) {
+	b := s.buf[:0]
+	switch e.Kind {
+	case KindFetch:
+		b = s.head(s.sep(b), "page_fetch", 'X', e.Node, trackDSM, int64(e.Start()))
+		b = append(b, `,"dur":`...)
+		b = appendUS(b, int64(e.Dur))
+		b = append(b, `,"args":{`...)
+		b = appendArg(b, true, "page", e.Page)
+		b = appendArg(b, false, "home", e.Arg)
+	case KindFlush:
+		b = s.head(s.sep(b), "diff_flush", 'X', e.Node, trackDSM, int64(e.Start()))
+		b = append(b, `,"dur":`...)
+		b = appendUS(b, int64(e.Dur))
+		b = append(b, `,"args":{`...)
+		b = appendArg(b, true, "pages", e.Arg)
+		b = appendArg(b, false, "bundles", e.Arg2)
+	case KindHomeMigrate:
+		b = s.head(s.sep(b), "home_migrate", 'i', e.Node, trackDSM, int64(e.Time))
+		b = append(b, `,"args":{`...)
+		b = appendArg(b, true, "epoch", e.Arg)
+		b = appendArg(b, false, "page", e.Page)
+		b = appendArg(b, false, "from", e.Arg2)
+		b = appendArg(b, false, "to", e.Arg3)
+	case KindBarrierDone:
+		b = s.head(s.sep(b), "barrier_done", 'i', e.Node, trackSync, int64(e.Time))
+		b = append(b, `,"args":{`...)
+		b = appendArg(b, true, "epoch", e.Arg)
+		b = appendArg(b, false, "modified", e.Arg2)
+	case KindBarrier:
+		b = s.head(s.sep(b), "barrier", 'X', e.Node, trackSync, int64(e.Start()))
+		b = append(b, `,"dur":`...)
+		b = appendUS(b, int64(e.Dur))
+		b = append(b, `,"args":{`...)
+	case KindLock:
+		b = s.head(s.sep(b), "lock_acquire", 'X', e.Node, trackSync, int64(e.Start()))
+		b = append(b, `,"dur":`...)
+		b = appendUS(b, int64(e.Dur))
+		b = append(b, `,"args":{`...)
+		b = appendArg(b, true, "lock", e.Arg)
+	case KindLockRelease:
+		b = s.head(s.sep(b), "lock_release", 'i', e.Node, trackSync, int64(e.Time))
+		b = append(b, `,"args":{`...)
+		b = appendArg(b, true, "lock", e.Arg)
+	case KindCollective:
+		b = s.head(s.sep(b), e.Cat, 'X', e.Node, trackMPI, int64(e.Start()))
+		b = append(b, `,"dur":`...)
+		b = appendUS(b, int64(e.Dur))
+		b = append(b, `,"args":{`...)
+		b = appendArg(b, true, "bytes", e.Arg)
+	case KindRegionEnd:
+		b = s.head(s.sep(b), "parallel_region", 'X', e.Node, trackRegion, int64(e.Start()))
+		b = append(b, `,"dur":`...)
+		b = appendUS(b, int64(e.Dur))
+		b = append(b, `,"args":{`...)
+		b = appendArg(b, true, "seq", e.Arg)
+	case KindDirective:
+		b = s.head(s.sep(b), e.Cat, 'X', e.Node, trackDirective, int64(e.Start()))
+		b = append(b, `,"dur":`...)
+		b = appendUS(b, int64(e.Dur))
+		b = append(b, `,"args":{"site":`...)
+		b = strconv.AppendQuote(b, e.Label)
+		b = append(b, '}', '}')
+		s.buf = b
+		s.w.Write(b)
+		return
+	case KindMsgSend:
+		b = s.head(s.sep(b), "send", 'i', e.Node, trackNet, int64(e.Time))
+		b = append(b, `,"args":{`...)
+		b = appendArg(b, true, "to", e.Arg)
+		b = appendArg(b, false, "bytes", e.Arg2)
+	default:
+		return // FetchStart, FlushStart, RegionBegin: intentionally dropped
+	}
+	b = append(b, '}', '}')
+	s.buf = b
+	s.w.Write(b)
+}
+
+// Close writes the naming metadata events and the closing framing.
+func (s *ChromeSink) Close() error {
+	b := s.buf[:0]
+	pids := make([]int, 0, len(s.pids))
+	for pid := range s.pids {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		b = s.sep(b)
+		b = append(b, `{"name":"process_name","ph":"M","pid":`...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `,"args":{"name":"node `...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `"}}`...)
+	}
+	tracks := make([][2]int, 0, len(s.tracks))
+	for tr := range s.tracks {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i][0] != tracks[j][0] {
+			return tracks[i][0] < tracks[j][0]
+		}
+		return tracks[i][1] < tracks[j][1]
+	})
+	for _, tr := range tracks {
+		b = s.sep(b)
+		b = append(b, `{"name":"thread_name","ph":"M","pid":`...)
+		b = strconv.AppendInt(b, int64(tr[0]), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(tr[1]), 10)
+		b = append(b, `,"args":{"name":`...)
+		b = strconv.AppendQuote(b, trackNames[tr[1]])
+		b = append(b, `}}`...)
+	}
+	b = append(b, "\n]}\n"...)
+	_, err := s.w.Write(b)
+	return err
+}

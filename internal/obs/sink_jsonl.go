@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// JSONLSink writes one JSON object per line per event. Field order is
+// fixed and optional fields are omitted (dur when zero, page when -1,
+// cat/label when empty), so output is deterministic and greppable. The
+// arg/arg2/arg3 fields are kind-specific; OBSERVABILITY.md tabulates
+// their meaning per kind. The line buffer is reused across events, so
+// steady-state emission allocates only when a line outgrows it.
+type JSONLSink struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewJSONLSink returns a sink writing JSON Lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Emit writes one event as a JSON line.
+func (s *JSONLSink) Emit(e *Event) {
+	b := s.buf[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, int64(e.Time), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","node":`...)
+	b = strconv.AppendInt(b, int64(e.Node), 10)
+	if e.Dur != 0 {
+		b = append(b, `,"dur":`...)
+		b = strconv.AppendInt(b, int64(e.Dur), 10)
+	}
+	if e.Page >= 0 {
+		b = append(b, `,"page":`...)
+		b = strconv.AppendInt(b, int64(e.Page), 10)
+	}
+	b = append(b, `,"arg":`...)
+	b = strconv.AppendInt(b, int64(e.Arg), 10)
+	b = append(b, `,"arg2":`...)
+	b = strconv.AppendInt(b, int64(e.Arg2), 10)
+	b = append(b, `,"arg3":`...)
+	b = strconv.AppendInt(b, int64(e.Arg3), 10)
+	if e.Cat != "" {
+		b = append(b, `,"cat":`...)
+		b = strconv.AppendQuote(b, e.Cat)
+	}
+	if e.Label != "" {
+		b = append(b, `,"label":`...)
+		b = strconv.AppendQuote(b, e.Label)
+	}
+	b = append(b, '}', '\n')
+	s.buf = b
+	s.w.Write(b)
+}
+
+// Close is a no-op; the sink does not own the writer.
+func (s *JSONLSink) Close() error { return nil }

@@ -16,6 +16,14 @@ type CPU struct {
 
 	// BusyTime accumulates slot-occupancy for utilization reporting.
 	BusyTime Duration
+
+	// OnWait, when set, observes the time each process spends queued for
+	// a busy slot (the 1Thread-1CPU contention signal). It is a plain
+	// func field rather than an interface so the disabled path is a
+	// single nil check on the already-slow queueing branch; sim cannot
+	// import internal/obs (obs uses sim's time types), so the runtime
+	// wires a closure here.
+	OnWait func(d Duration)
 }
 
 // DefaultQuantum approximates a Linux 2.4-era scheduler time slice.
@@ -43,6 +51,12 @@ func (c *CPU) acquire(p *Proc) {
 		return
 	}
 	c.queue = append(c.queue, p)
+	if c.OnWait != nil {
+		t0 := c.sim.Now()
+		p.park("cpu")
+		c.OnWait(Duration(c.sim.Now() - t0))
+		return
+	}
 	p.park("cpu")
 	// Ownership is transferred by release; busy already accounts for us.
 }

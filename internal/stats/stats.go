@@ -1,6 +1,8 @@
-// Package stats collects protocol and traffic counters for a simulated
-// cluster run. The simulation kernel is single-threaded (one process runs
-// at a time), so plain integer fields are safe without atomics.
+// Package stats collects the cluster-wide protocol and traffic counters
+// for a simulated run. The simulation kernel is single-threaded (exactly
+// one simulated process runs at a time), so plain integer fields are safe
+// without atomics — the same invariant internal/obs relies on for its
+// richer recording.
 package stats
 
 import (
@@ -11,7 +13,9 @@ import (
 
 // Counters aggregates everything the experiment harness reports alongside
 // execution time. One Counters instance is shared by all subsystems of a
-// cluster; per-node breakdowns were not needed for any paper figure.
+// cluster and is always on; per-node breakdowns, latency histograms, and
+// per-region phase attribution live in internal/obs and are recorded only
+// when a run attaches an obs.Recorder.
 type Counters struct {
 	// Network traffic.
 	Messages     int64 // messages injected into the fabric
