@@ -5,6 +5,10 @@
 // With -regress it instead runs the substrate benchmark suites (event
 // kernel, diff engine, directive microbenchmarks, Fig 6/7 sweeps) and
 // writes a JSON report; see scripts/bench.sh.
+//
+// With -chaos it runs the fault-injection matrix: the four app kernels
+// in both directive modes under every built-in netsim fault profile,
+// asserting bit-identical results against the fault-free baselines.
 package main
 
 import (
@@ -48,6 +52,17 @@ func writeMetrics(path string, points []metricsPoint) error {
 	}{Schema: "parade-bench-metrics/v1", Points: points})
 }
 
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 6..11 or 'all'")
 	nodesFlag := flag.String("nodes", "1,2,4,8", "comma-separated node counts")
@@ -58,7 +73,32 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "regress: -benchtime passed to go test")
 	maxRegress := flag.Float64("max-regress", 0, "regress: exit non-zero if any benchmark slows more than this factor vs baseline (0 disables)")
 	metricsOut := flag.String("metrics", "", "write per-figure observability metrics JSON to this file ('-' for stdout)")
+	chaos := flag.Bool("chaos", false, "run the fault-injection matrix (app kernels under every fault profile) instead of figures")
+	chaosNodes := flag.Int("chaos-nodes", 4, "chaos: cluster size")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault-plane seed")
+	chaosApps := flag.String("chaos-apps", "", "chaos: comma-separated subset of helmholtz,ep,cg,md (empty = all)")
+	chaosProfiles := flag.String("chaos-profiles", "", "chaos: comma-separated subset of drop,dup,reorder,straggler,chaos (empty = all)")
 	flag.Parse()
+
+	if *chaos {
+		opt := harness.ChaosOptions{Nodes: *chaosNodes, Seed: *chaosSeed}
+		if *chaosApps != "" {
+			opt.Apps = splitList(*chaosApps)
+		}
+		if *chaosProfiles != "" {
+			opt.Profiles = splitList(*chaosProfiles)
+		}
+		rep, err := harness.RunChaos(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parade-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *regress {
 		n, err := runRegress(*out, *baseline, *benchtime, *maxRegress)

@@ -140,6 +140,11 @@ func loadBaseline(path string) (map[string]benchResult, error) {
 // maxRegress <= 0).
 func runRegress(outPath, baselinePath, benchtime string, maxRegress float64) (int, error) {
 	rep := benchReport{Schema: "parade-bench-regress/v1", Benchtime: benchtime}
+	// A gate without a baseline would pass vacuously; refuse instead of
+	// letting CI silently stop checking for slowdowns.
+	if maxRegress > 0 && baselinePath == "" {
+		return 0, fmt.Errorf("-max-regress %g requires -baseline; refusing to run an unanchored gate", maxRegress)
+	}
 	// Load the baseline up front so a bad path fails before, not after,
 	// minutes of benchmarking.
 	var base map[string]benchResult
@@ -161,12 +166,14 @@ func runRegress(outPath, baselinePath, benchtime string, maxRegress float64) (in
 	}
 
 	regressions := 0
+	matched := 0
 	if base != nil {
 		for i := range rep.Results {
 			b, ok := base[rep.Results[i].Name]
 			if !ok || b.NsPerOp <= 0 {
 				continue
 			}
+			matched++
 			r := &rep.Results[i]
 			ns, by, al := b.NsPerOp, b.BytesPerOp, b.AllocsPerOp
 			r.BaselineNsPerOp, r.BaselineBytesPerOp, r.BaselineAllocsPerOp = &ns, &by, &al
@@ -177,6 +184,12 @@ func runRegress(outPath, baselinePath, benchtime string, maxRegress float64) (in
 				fmt.Fprintf(os.Stderr, "regress: %s slowed %.2fx (%.1f -> %.1f ns/op)\n",
 					r.Name, r.NsPerOp/ns, ns, r.NsPerOp)
 			}
+		}
+		// A baseline whose names match nothing (renamed benchmarks, wrong
+		// file) would also make the gate vacuous.
+		if maxRegress > 0 && matched == 0 {
+			return 0, fmt.Errorf("baseline %s matched none of the %d benchmarks; the -max-regress gate checked nothing",
+				baselinePath, len(rep.Results))
 		}
 	}
 

@@ -79,6 +79,8 @@ func main() {
 	traceFormat := flag.String("trace-format", "text", "trace format: text, jsonl, or chrome")
 	traceMsgs := flag.Bool("trace-msgs", false, "include per-message send events in the trace (verbose)")
 	metricsOut := flag.String("metrics", "", "write observability metrics JSON to this file ('-' for stdout)")
+	faults := flag.String("faults", "", "inject faults: profile name (drop, dup, reorder, straggler, chaos)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-plane seed (with -faults)")
 	flag.Parse()
 
 	cfg := core.Config{Nodes: *nodes, ThreadsPerNode: *tpn, CPUsPerNode: *cpus,
@@ -94,6 +96,14 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "parade-run: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *faults != "" {
+		prof, err := netsim.ProfileByName(*faults, *faultSeed)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Faults = &prof
 	}
 
 	var rec *obs.Recorder

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"parade/internal/netsim"
+)
+
+// TestChaosZeroProfileIsTimingNeutral: attaching a fault plane that
+// injects nothing must not change the modeled execution at all — the
+// reliability sublayer's acks and timers ride outside the CPU and NIC
+// models, so deliveries land at the same virtual instants and the run
+// is cycle-identical to the ideal fabric, with zero recovery activity.
+func TestChaosZeroProfileIsTimingNeutral(t *testing.T) {
+	var arr F64Array
+	program := func(m *Thread) {
+		arr = m.Cluster().AllocF64(1024)
+		m.Parallel(func(tt *Thread) {
+			for i := 0; i < 8; i++ {
+				tt.ForCost(0, 128, 2000, func(j int) {
+					arr.Set(tt, j, arr.Get(tt, j)+float64(i*j))
+				})
+			}
+		})
+	}
+	base, err := Run(Config{Nodes: 4, ThreadsPerNode: 1, HomeMigration: true}, program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := netsim.Profile{Name: "none", Seed: 1}
+	faulted, err := Run(Config{Nodes: 4, ThreadsPerNode: 1, HomeMigration: true, Faults: &prof}, program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Time != base.Time {
+		t.Fatalf("zero-fault plane changed virtual time: %v vs %v", faulted.Time, base.Time)
+	}
+	if faulted.MemHash != base.MemHash {
+		t.Fatal("zero-fault plane changed final DSM state")
+	}
+	c := faulted.Counters
+	if c.Retransmits != 0 || c.Timeouts != 0 || c.DupsSuppressed != 0 {
+		t.Fatalf("zero-fault plane caused recovery activity: retrans=%d timeouts=%d dups=%d",
+			c.Retransmits, c.Timeouts, c.DupsSuppressed)
+	}
+	if c.AcksSent == 0 {
+		t.Fatal("reliability sublayer not engaged")
+	}
+	if base.Counters.AcksSent != 0 {
+		t.Fatal("ideal fabric sent acks")
+	}
+}

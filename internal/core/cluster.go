@@ -96,6 +96,11 @@ type Report struct {
 	// PageReport lists the hottest shared pages (top 16 by fetches) —
 	// the diagnostic behind the paper's §7 locality guidelines.
 	PageReport []hlrc.PageStat
+	// MemHash fingerprints the final DSM state (page homes, validity, and
+	// contents). Two runs of the same program that agree here finished
+	// with identical shared memory — the chaos harness compares it across
+	// fault profiles.
+	MemHash uint64
 	// Obs is the run's observability metrics (per-node counters, latency
 	// histograms, per-region phases); nil unless Config.Obs was set.
 	Obs *obs.Metrics
@@ -154,6 +159,9 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		c.nodes[i] = n
 	}
 	c.net = netsim.New(c.s, cfg.Nodes, cfg.Fabric, cpus, c.counters)
+	if cfg.Faults != nil {
+		c.net.EnableFaults(*cfg.Faults)
+	}
 	c.world = mpi.NewWorld(c.s, c.net, c.counters)
 	c.engine = hlrc.New(c.s, c.net, cpus, hlrc.Config{
 		Nodes: cfg.Nodes, ShmBytes: cfg.ShmBytes,
@@ -218,6 +226,7 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		Config:     cfg,
 		CPUBusy:    busy,
 		PageReport: c.engine.PageReport(16),
+		MemHash:    c.engine.StateFingerprint(),
 	}
 	if c.rec != nil {
 		rep.Obs = c.rec.Metrics()

@@ -67,6 +67,12 @@ type Config struct {
 	// the run's Report carries its Metrics. Nil — the default — keeps
 	// every recording site on its zero-overhead disabled path.
 	Obs *obs.Recorder
+	// Faults, when non-nil, attaches a netsim fault plane (and with it the
+	// reliability sublayer) to the interconnect: messages are dropped,
+	// duplicated, reordered, and delayed per the profile, and recovered
+	// underneath the protocol layers. Nil — the default — keeps the ideal
+	// fabric with its original byte-identical timing.
+	Faults *netsim.Profile
 }
 
 // DefaultSmallThreshold is the paper's update/invalidate switch point for

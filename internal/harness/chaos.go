@@ -1,0 +1,249 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"parade/internal/apps"
+	"parade/internal/core"
+	"parade/internal/kdsm"
+	"parade/internal/netsim"
+	"parade/internal/sim"
+)
+
+// The chaos harness runs the paper's four application kernels under the
+// built-in netsim fault profiles and checks graceful degradation: every
+// faulted run must produce results bit-identical to the fault-free run
+// of the same configuration (only the virtual execution time may
+// change), must converge to the same final DSM state, and each profile
+// must actually exercise the recovery path (at least one retransmit
+// across the matrix).
+
+// chaosApp is one kernel of the chaos matrix. run returns the result
+// fingerprint (hex of the exact float bits of every result field) and
+// the run report.
+type chaosApp struct {
+	name string
+	run  func(cfg core.Config) (string, sim.Duration, core.Report, error)
+}
+
+// fpBits fingerprints float64 results exactly: any single-bit
+// difference in any field changes the string.
+func fpBits(vs ...float64) string {
+	var b strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&b, "%016x", math.Float64bits(v))
+	}
+	return b.String()
+}
+
+var chaosApps = []chaosApp{
+	{"helmholtz", func(cfg core.Config) (string, sim.Duration, core.Report, error) {
+		r, err := apps.RunHelmholtz(cfg, apps.HelmholtzTest())
+		return fpBits(r.Error, float64(r.Iterations)), r.KernelTime, r.Report, err
+	}},
+	{"ep", func(cfg core.Config) (string, sim.Duration, core.Report, error) {
+		r, err := apps.RunEP(cfg, apps.EPClassT)
+		vs := []float64{r.Sx, r.Sy, r.Accepted}
+		vs = append(vs, r.Counts[:]...)
+		return fpBits(vs...), r.KernelTime, r.Report, err
+	}},
+	{"cg", func(cfg core.Config) (string, sim.Duration, core.Report, error) {
+		r, err := apps.RunCG(cfg, apps.CGClassT)
+		return fpBits(r.Zeta, r.RNorm, float64(r.NZ)), r.KernelTime, r.Report, err
+	}},
+	{"md", func(cfg core.Config) (string, sim.Duration, core.Report, error) {
+		r, err := apps.RunMD(cfg, apps.MDTest())
+		return fpBits(r.E0, r.EFinal, r.MaxDrift), r.KernelTime, r.Report, err
+	}},
+}
+
+// chaosMode is one directive-execution mode of the matrix.
+type chaosMode struct {
+	name string
+	cfg  func(nodes int) core.Config
+}
+
+var chaosModes = []chaosMode{
+	{"hybrid", func(n int) core.Config {
+		return core.Config{Nodes: n, ThreadsPerNode: 1, Mode: core.Hybrid, HomeMigration: true}.WithDefaults()
+	}},
+	{"sdsm", func(n int) core.Config { return kdsm.Config(n, 1, 2) }},
+}
+
+// ChaosRun is the record of one cell of the chaos matrix.
+type ChaosRun struct {
+	App, Mode, Profile string // Profile "" is the fault-free baseline
+	Result             string // result-bits fingerprint
+	MemHash            uint64 // final DSM state fingerprint
+	Kernel             sim.Duration
+	Slowdown           float64 // kernel time / baseline kernel time
+	Retransmits        int64
+	Timeouts           int64
+	DupsSuppressed     int64
+	InjectedDrops      int64
+	InjectedDups       int64
+	InjectedDelays     int64
+	Err                string // run error, if any
+}
+
+// ChaosReport is the outcome of a chaos sweep.
+type ChaosReport struct {
+	Nodes    int
+	Seed     int64
+	Runs     []ChaosRun
+	Failures []string
+}
+
+// OK reports whether every invariant held.
+func (r ChaosReport) OK() bool { return len(r.Failures) == 0 }
+
+// ChaosOptions selects the sweep.
+type ChaosOptions struct {
+	Nodes    int      // cluster size (default 4)
+	Seed     int64    // fault-plane seed (default 1)
+	Apps     []string // subset of helmholtz, ep, cg, md (nil = all)
+	Profiles []string // subset of the built-in profiles (nil = all)
+}
+
+func contains(set []string, s string) bool {
+	for _, have := range set {
+		if have == s {
+			return true
+		}
+	}
+	return false
+}
+
+// RunChaos executes the chaos matrix: for each selected app and both
+// directive modes, one fault-free baseline plus one run per selected
+// fault profile, asserting bit-identical results and final DSM state
+// and at least one retransmit per profile across the matrix.
+func RunChaos(opt ChaosOptions) (ChaosReport, error) {
+	if opt.Nodes == 0 {
+		opt.Nodes = 4
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	profiles := netsim.Profiles(opt.Seed)
+	if opt.Profiles != nil {
+		kept := profiles[:0]
+		for _, p := range profiles {
+			if contains(opt.Profiles, p.Name) {
+				kept = append(kept, p)
+			}
+		}
+		profiles = kept
+		if len(profiles) == 0 {
+			return ChaosReport{}, fmt.Errorf("harness: no fault profiles match %v", opt.Profiles)
+		}
+	}
+	rep := ChaosReport{Nodes: opt.Nodes, Seed: opt.Seed}
+	fail := func(format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+	}
+	retransmitsByProfile := map[string]int64{}
+	for _, app := range chaosApps {
+		if opt.Apps != nil && !contains(opt.Apps, app.name) {
+			continue
+		}
+		for _, mode := range chaosModes {
+			base, err := runChaosCell(app, mode, opt.Nodes, nil)
+			if err != nil {
+				return rep, fmt.Errorf("harness: %s/%s baseline: %w", app.name, mode.name, err)
+			}
+			base.Slowdown = 1
+			rep.Runs = append(rep.Runs, base)
+			if base.Retransmits != 0 || base.InjectedDrops != 0 {
+				fail("%s/%s baseline: %d retransmits, %d drops on the ideal fabric",
+					app.name, mode.name, base.Retransmits, base.InjectedDrops)
+			}
+			for i := range profiles {
+				prof := profiles[i]
+				run, err := runChaosCell(app, mode, opt.Nodes, &prof)
+				if err != nil {
+					run = ChaosRun{App: app.name, Mode: mode.name, Profile: prof.Name, Err: err.Error()}
+					rep.Runs = append(rep.Runs, run)
+					fail("%s/%s under %q: %v", app.name, mode.name, prof.Name, err)
+					continue
+				}
+				if base.Kernel > 0 {
+					run.Slowdown = float64(run.Kernel) / float64(base.Kernel)
+				}
+				rep.Runs = append(rep.Runs, run)
+				retransmitsByProfile[prof.Name] += run.Retransmits
+				if run.Result != base.Result {
+					fail("%s/%s under %q: result bits diverged from the fault-free run",
+						app.name, mode.name, prof.Name)
+				}
+				if run.MemHash != base.MemHash {
+					fail("%s/%s under %q: final DSM state diverged from the fault-free run",
+						app.name, mode.name, prof.Name)
+				}
+			}
+		}
+	}
+	for _, p := range profiles {
+		if retransmitsByProfile[p.Name] == 0 {
+			fail("profile %q: no retransmit observed anywhere in the matrix (injection not exercised)", p.Name)
+		}
+	}
+	return rep, nil
+}
+
+func runChaosCell(app chaosApp, mode chaosMode, nodes int, prof *netsim.Profile) (ChaosRun, error) {
+	cfg := mode.cfg(nodes)
+	run := ChaosRun{App: app.name, Mode: mode.name}
+	if prof != nil {
+		p := *prof
+		cfg.Faults = &p
+		run.Profile = prof.Name
+	}
+	result, kernel, report, err := app.run(cfg)
+	if err != nil {
+		return run, err
+	}
+	run.Result = result
+	run.Kernel = kernel
+	run.MemHash = report.MemHash
+	c := report.Counters
+	run.Retransmits = c.Retransmits
+	run.Timeouts = c.Timeouts
+	run.DupsSuppressed = c.DupsSuppressed
+	run.InjectedDrops = c.InjectedDrops
+	run.InjectedDups = c.InjectedDups
+	run.InjectedDelays = c.InjectedDelays
+	return run, nil
+}
+
+// Render formats the sweep as an aligned text table plus the verdict.
+func (r ChaosReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos matrix: %d nodes, fault seed %d\n", r.Nodes, r.Seed)
+	fmt.Fprintf(&b, "%-10s %-7s %-10s %12s %9s %8s %8s %8s %8s %8s\n",
+		"app", "mode", "profile", "kernel", "slowdown", "retrans", "dupsupp", "drops", "dups", "delays")
+	for _, run := range r.Runs {
+		prof := run.Profile
+		if prof == "" {
+			prof = "(none)"
+		}
+		if run.Err != "" {
+			fmt.Fprintf(&b, "%-10s %-7s %-10s ERROR: %s\n", run.App, run.Mode, prof, run.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %-7s %-10s %12s %8.2fx %8d %8d %8d %8d %8d\n",
+			run.App, run.Mode, prof, run.Kernel, run.Slowdown,
+			run.Retransmits, run.DupsSuppressed,
+			run.InjectedDrops, run.InjectedDups, run.InjectedDelays)
+	}
+	if r.OK() {
+		fmt.Fprintf(&b, "OK: all runs bit-identical to their fault-free baselines\n")
+	} else {
+		for _, f := range r.Failures {
+			fmt.Fprintf(&b, "FAIL: %s\n", f)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"parade/internal/netsim"
+)
+
+// TestChaosMatrix is the acceptance sweep: all four app kernels in both
+// directive modes under every built-in fault profile must produce
+// results bit-identical to the fault-free baselines, converge to the
+// same final DSM state, and exercise at least one retransmit per
+// profile. (~0.7s on a laptop; CI runs the same sweep via
+// `go test -run Chaos ./...` and `parade-bench -chaos`.)
+func TestChaosMatrix(t *testing.T) {
+	rep, err := RunChaos(ChaosOptions{Nodes: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("chaos matrix failed:\n%s", rep.Render())
+	}
+	wantRuns := len(chaosApps) * len(chaosModes) * (1 + len(netsim.Profiles(1)))
+	if len(rep.Runs) != wantRuns {
+		t.Fatalf("matrix ran %d cells, want %d", len(rep.Runs), wantRuns)
+	}
+}
+
+// TestChaosMatrixReproducible: the same seeds replay the identical
+// sweep, cell for cell (virtual times, counters, fingerprints).
+func TestChaosMatrixReproducible(t *testing.T) {
+	opt := ChaosOptions{Nodes: 2, Seed: 9, Apps: []string{"helmholtz"}}
+	a, err := RunChaos(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("chaos sweep not reproducible:\n--- first\n%s--- second\n%s", a.Render(), b.Render())
+	}
+}
+
+// TestChaosUnknownProfileRejected: a profile filter that matches no
+// built-in profile is an error, not an empty (vacuously passing) sweep.
+func TestChaosUnknownProfileRejected(t *testing.T) {
+	_, err := RunChaos(ChaosOptions{Profiles: []string{"nope"}})
+	if err == nil || !strings.Contains(err.Error(), "no fault profiles") {
+		t.Fatalf("err = %v, want profile-match error", err)
+	}
+}
+
+// TestChaosFilters: app and profile subsets select the right cells.
+func TestChaosFilters(t *testing.T) {
+	rep, err := RunChaos(ChaosOptions{Nodes: 2, Apps: []string{"ep"}, Profiles: []string{"chaos"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One app, two modes, baseline + one profile each.
+	if len(rep.Runs) != 4 {
+		t.Fatalf("got %d runs, want 4:\n%s", len(rep.Runs), rep.Render())
+	}
+	for _, run := range rep.Runs {
+		if run.App != "ep" {
+			t.Fatalf("unexpected app %q in filtered sweep", run.App)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package hlrc
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// StateFingerprint hashes the cluster's final DSM state: every node's
+// page states, permissions, and home directory, plus the contents of
+// each page's authoritative copy (the frame held at its home node).
+// Replica frames are deliberately excluded — under lazy release
+// consistency a replica fetched while the home was concurrently writing
+// (legal for a nowait loop's non-conflicting accesses) snapshots
+// timing-dependent bytes, while the home copy and every directory entry
+// are fixed by program order alone. Two runs that agree on the
+// fingerprint converged to the same protocol state and shared memory —
+// the chaos harness compares it between fault-free and fault-injected
+// runs of the same program, which must agree because the reliability
+// sublayer hides every injected fault from the protocol.
+func (e *Engine) StateFingerprint() uint64 {
+	h := fnv.New64a()
+	var word [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(word[:], uint64(int64(v)))
+		h.Write(word[:])
+	}
+	for node, ns := range e.nodes {
+		writeInt(node)
+		for pg := range ns.table.Pages {
+			pi := &ns.table.Pages[pg]
+			writeInt(int(pi.State)<<16 | int(pi.Perm)<<8 | pi.Home)
+			if pi.Home != node {
+				continue
+			}
+			frame := ns.mem.FrameIfPresent(pg)
+			if frame == nil {
+				// A never-materialized home frame reads as zeroes but is
+				// distinguished from an explicit zero frame: materialization
+				// at the home is deterministic, so the distinction is stable.
+				writeInt(0)
+				continue
+			}
+			writeInt(1 + len(frame))
+			h.Write(frame)
+		}
+	}
+	return h.Sum64()
+}

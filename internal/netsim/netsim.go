@@ -98,6 +98,8 @@ type Network struct {
 	counters *stats.Counters
 	freeDel  []*delivery // pooled arrival events
 	rec      *obs.Recorder
+	fault    *FaultPlane // nil: ideal fabric, original Send path
+	rel      *relState   // reliability sublayer state (set with fault)
 }
 
 // SetRecorder attaches an observability recorder for per-node traffic
@@ -185,6 +187,10 @@ func (n *Network) Send(p *sim.Proc, m *Message) {
 		n.deliverAt(n.fabric.LocalLatency, dst, m)
 		return
 	}
+	if n.fault != nil {
+		n.sendReliable(p, m)
+		return
+	}
 	n.cpus[m.From].Compute(p, n.fabric.SendOverhead)
 	n.counters.Messages++
 	n.counters.Bytes += int64(m.Bytes + n.fabric.HeaderBytes)
@@ -209,5 +215,5 @@ func (n *Network) Send(p *sim.Proc, m *Message) {
 // RecvCost charges the per-message receive overhead to node's CPU from
 // p's context. Communication threads call this once per popped message.
 func (n *Network) RecvCost(p *sim.Proc, node int) {
-	n.cpus[node].Compute(p, n.fabric.RecvOverhead)
+	n.cpus[node].Compute(p, n.fault.scale(node, n.fabric.RecvOverhead))
 }

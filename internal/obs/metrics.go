@@ -10,27 +10,29 @@ import (
 // Histogram identifiers. All latency histograms are in virtual
 // nanoseconds; HistDiffBytes is in bytes.
 const (
-	HistPageFetch   = iota // fault -> page installed
-	HistDiffFlush          // flush start -> last home ack
-	HistLockAcquire        // AcquireLock entry -> grant
-	HistBarrierWait        // SDSM barrier entry -> departure
-	HistDirective          // directive entry -> completion, per thread
-	HistCollective         // MPI collective entry -> completion, per rank
-	HistCPUWait            // time a runnable proc queued for a busy CPU
-	HistDiffBytes          // wire size of each created diff
+	HistPageFetch    = iota // fault -> page installed
+	HistDiffFlush           // flush start -> last home ack
+	HistLockAcquire         // AcquireLock entry -> grant
+	HistBarrierWait         // SDSM barrier entry -> departure
+	HistDirective           // directive entry -> completion, per thread
+	HistCollective          // MPI collective entry -> completion, per rank
+	HistCPUWait             // time a runnable proc queued for a busy CPU
+	HistDiffBytes           // wire size of each created diff
+	HistRetryLatency        // first send -> ack, frames that needed a retransmit
 	NumHists
 )
 
 // histDefs gives each histogram its stable exported name and unit.
 var histDefs = [NumHists]struct{ Name, Unit string }{
-	HistPageFetch:   {"page_fetch", "ns"},
-	HistDiffFlush:   {"diff_flush", "ns"},
-	HistLockAcquire: {"lock_acquire", "ns"},
-	HistBarrierWait: {"barrier_wait", "ns"},
-	HistDirective:   {"directive", "ns"},
-	HistCollective:  {"collective", "ns"},
-	HistCPUWait:     {"cpu_wait", "ns"},
-	HistDiffBytes:   {"diff_size", "bytes"},
+	HistPageFetch:    {"page_fetch", "ns"},
+	HistDiffFlush:    {"diff_flush", "ns"},
+	HistLockAcquire:  {"lock_acquire", "ns"},
+	HistBarrierWait:  {"barrier_wait", "ns"},
+	HistDirective:    {"directive", "ns"},
+	HistCollective:   {"collective", "ns"},
+	HistCPUWait:      {"cpu_wait", "ns"},
+	HistDiffBytes:    {"diff_size", "bytes"},
+	HistRetryLatency: {"retry_latency", "ns"},
 }
 
 // HistName returns the stable name of histogram id (as used in the
@@ -64,6 +66,12 @@ type NodeCounters struct {
 	Collectives   int64 `json:"collectives"`
 	Directives    int64 `json:"directives"`
 	CPUWaitNs     int64 `json:"cpu_wait_ns"`
+
+	// Reliability sublayer (nonzero only under fault injection).
+	Timeouts       int64 `json:"rel_timeouts,omitempty"`
+	Retransmits    int64 `json:"rel_retransmits,omitempty"`
+	DupsSuppressed int64 `json:"rel_dups_suppressed,omitempty"`
+	AcksSent       int64 `json:"rel_acks_sent,omitempty"`
 }
 
 // PhaseCounters is the activity attributed to one parallel region (or

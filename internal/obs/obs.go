@@ -367,6 +367,49 @@ func (r *Recorder) LocalDelivered(node int) {
 	r.m.node(node).LocalDeliver++
 }
 
+// --- netsim: reliability sublayer (active under fault injection) ---
+
+// Timeout counts a retransmit timer firing on node's still-unacked frame.
+func (r *Recorder) Timeout(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).Timeouts++
+}
+
+// Retransmit counts a data frame node re-injected after a timeout.
+func (r *Recorder) Retransmit(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).Retransmits++
+}
+
+// DupSuppressed counts an arrival node discarded as a duplicate.
+func (r *Recorder) DupSuppressed(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).DupsSuppressed++
+}
+
+// AckSent counts a cumulative ack node put on the control channel.
+func (r *Recorder) AckSent(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).AcksSent++
+}
+
+// RetrySettled records the first-send-to-ack latency of a frame from
+// node that needed at least one retransmission.
+func (r *Recorder) RetrySettled(firstSent, acked sim.Time, node int) {
+	if r == nil {
+		return
+	}
+	r.m.hist[HistRetryLatency].Observe(int64(acked - firstSent))
+}
+
 // --- mpi ---
 
 // Collective records one rank's pass through an MPI collective.

@@ -50,6 +50,17 @@ type Counters struct {
 	HybridSingles    int64 // singles served by a broadcast
 	HybridReductions int64 // reduction clauses served by allreduce
 	HybridAtomics    int64
+
+	// Reliability sublayer (nonzero only with a fault plane attached).
+	AcksSent       int64 // cumulative acks put on the control channel
+	Timeouts       int64 // retransmit timers that fired on unacked frames
+	Retransmits    int64 // data frames re-injected after a timeout
+	DupsSuppressed int64 // arrivals discarded by the receiver as duplicates
+
+	// Fault plane injection tallies (what the chaos profile actually did).
+	InjectedDrops  int64 // data or ack frames lost on the wire
+	InjectedDups   int64 // data frames delivered twice
+	InjectedDelays int64 // data frames held back for reordering
 }
 
 // Reset zeroes every counter.
@@ -85,6 +96,13 @@ func (c *Counters) Map() map[string]int64 {
 		"hybrid_singles":    c.HybridSingles,
 		"hybrid_reductions": c.HybridReductions,
 		"hybrid_atomics":    c.HybridAtomics,
+		"rel_acks":          c.AcksSent,
+		"rel_timeouts":      c.Timeouts,
+		"rel_retransmits":   c.Retransmits,
+		"rel_dups_dropped":  c.DupsSuppressed,
+		"faults_dropped":    c.InjectedDrops,
+		"faults_duplicated": c.InjectedDups,
+		"faults_delayed":    c.InjectedDelays,
 	}
 	for k, v := range m {
 		if v == 0 {

@@ -1,14 +1,35 @@
 #!/bin/sh
 # Benchmark-regression harness: runs the substrate benchmark suites
 # (event kernel, diff engine, directive microbenchmarks, Fig 6/7) with
-# -benchmem and writes BENCH_PR1.json, comparing against the pre-overhaul
-# numbers recorded in bench/baseline_pr0.txt.
+# -benchmem, comparing against the pre-overhaul numbers recorded in
+# bench/baseline_pr0.txt. Writes BENCH_PR1.json unless the caller picks
+# another -out; `-out -` streams the report to stdout and creates no
+# file at all.
 #
 # Usage: scripts/bench.sh [extra parade-bench -regress flags]
-# e.g.   scripts/bench.sh -benchtime 100x -out -
+# e.g.   scripts/bench.sh -benchtime 0.1s -max-regress 1.5 -out -
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./cmd/parade-bench -regress \
-    -baseline bench/baseline_pr0.txt \
-    -out BENCH_PR1.json \
-    "$@"
+
+baseline=bench/baseline_pr0.txt
+if [ ! -f "$baseline" ]; then
+    echo "bench.sh: baseline $baseline is missing; the regression gate would check nothing." >&2
+    echo "bench.sh: restore it (git checkout -- $baseline) or record a new one with:" >&2
+    echo "bench.sh:   go run ./cmd/parade-bench -regress -out $baseline" >&2
+    exit 1
+fi
+
+# Apply the default report path only when the caller did not pick one,
+# instead of relying on flag-override order -- that way `-out -` can
+# never leave a stray BENCH_PR1.json behind.
+out_set=0
+for arg in "$@"; do
+    case "$arg" in
+    -out | -out=* | --out | --out=*) out_set=1 ;;
+    esac
+done
+set -- -baseline "$baseline" "$@"
+if [ "$out_set" -eq 0 ]; then
+    set -- -out BENCH_PR1.json "$@"
+fi
+exec go run ./cmd/parade-bench -regress "$@"
