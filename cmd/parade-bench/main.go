@@ -6,9 +6,13 @@
 // kernel, diff engine, directive microbenchmarks, Fig 6/7 sweeps) and
 // writes a JSON report; see scripts/bench.sh.
 //
-// With -chaos it runs the fault-injection matrix: the four app kernels
-// in both directive modes under every built-in netsim fault profile,
+// With -chaos it runs the fault-injection matrix: the app kernels in
+// both directive modes under every built-in netsim fault profile,
 // asserting bit-identical results against the fault-free baselines.
+//
+// With -crash it runs the crash-stop acceptance matrix instead:
+// deterministic node crash/restart schedules at barrier points, with
+// every recovered run checked bit-identical to its fault-free baseline.
 package main
 
 import (
@@ -78,7 +82,27 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault-plane seed")
 	chaosApps := flag.String("chaos-apps", "", "chaos: comma-separated subset of helmholtz,ep,cg,md (empty = all)")
 	chaosProfiles := flag.String("chaos-profiles", "", "chaos: comma-separated subset of drop,dup,reorder,straggler,chaos (empty = all)")
+	crash := flag.Bool("crash", false, "run the crash-stop acceptance matrix (checkpoint/restart recovery) instead of figures")
+	crashNodes := flag.Int("crash-nodes", 4, "crash: cluster size")
+	crashApps := flag.String("crash-apps", "", "crash: comma-separated subset of helmholtz,ep,cg,md,lockmix (empty = all)")
 	flag.Parse()
+
+	if *crash {
+		opt := harness.CrashOptions{Nodes: *crashNodes}
+		if *crashApps != "" {
+			opt.Apps = splitList(*crashApps)
+		}
+		rep, err := harness.RunCrash(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parade-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaos {
 		opt := harness.ChaosOptions{Nodes: *chaosNodes, Seed: *chaosSeed}

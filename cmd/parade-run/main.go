@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"parade/internal/apps"
 	"parade/internal/core"
@@ -17,6 +19,33 @@ import (
 	"parade/internal/netsim"
 	"parade/internal/obs"
 )
+
+// parseCrashPlan parses a -crash spec: comma-separated node@barrier
+// events, e.g. "1@2" or "1@1,1@3". Every event restarts — the full
+// runtime cannot run on with a removed member (see core.Validate).
+func parseCrashPlan(spec string) (*hlrc.CrashPlan, error) {
+	plan := &hlrc.CrashPlan{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		nodeStr, barStr, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad crash event %q (want node@barrier, e.g. 1@2)", part)
+		}
+		node, err1 := strconv.Atoi(nodeStr)
+		barrier, err2 := strconv.Atoi(barStr)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad crash event %q (want node@barrier, e.g. 1@2)", part)
+		}
+		plan.Events = append(plan.Events, hlrc.CrashEvent{Node: node, Barrier: barrier, Restart: true})
+	}
+	if len(plan.Events) == 0 {
+		return nil, fmt.Errorf("empty -crash spec")
+	}
+	return plan, nil
+}
 
 // printPages renders the hottest-pages table when requested.
 func printPages(rep core.Report, n int) {
@@ -67,7 +96,7 @@ func newSink(format string, w io.Writer) (obs.Sink, error) {
 }
 
 func main() {
-	app := flag.String("app", "cg", "application: cg, ep, helmholtz, md")
+	app := flag.String("app", "cg", "application: cg, ep, helmholtz, md, lockmix")
 	nodes := flag.Int("nodes", 4, "cluster nodes")
 	tpn := flag.Int("tpn", 1, "computational threads per node")
 	cpus := flag.Int("cpus", 2, "CPUs per node")
@@ -81,6 +110,7 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write observability metrics JSON to this file ('-' for stdout)")
 	faults := flag.String("faults", "", "inject faults: profile name (drop, dup, reorder, straggler, chaos)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-plane seed (with -faults)")
+	crash := flag.String("crash", "", "crash-and-restart events: node@barrier[,node@barrier...], e.g. 1@2")
 	flag.Parse()
 
 	cfg := core.Config{Nodes: *nodes, ThreadsPerNode: *tpn, CPUsPerNode: *cpus,
@@ -104,6 +134,14 @@ func main() {
 			fail(err)
 		}
 		cfg.Faults = &prof
+	}
+
+	if *crash != "" {
+		plan, err := parseCrashPlan(*crash)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Crash = plan
 	}
 
 	var rec *obs.Recorder
@@ -168,6 +206,15 @@ func main() {
 		}
 		fmt.Printf("MD: e0=%.6f efinal=%.6f drift=%.3e kernel=%v util=%.2f\n",
 			r.E0, r.EFinal, r.MaxDrift, r.KernelTime, r.Report.Utilization())
+		fmt.Println(r.Report.Counters.String())
+		printPages(r.Report, *pages)
+	case "lockmix":
+		r, err := apps.RunLockmix(cfg, apps.LockmixDefault())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Lockmix: sum=%.0f expected=%.0f time=%v util=%.2f\n",
+			r.Sum, r.Expected, r.Report.Time, r.Report.Utilization())
 		fmt.Println(r.Report.Counters.String())
 		printPages(r.Report, *pages)
 	default:

@@ -322,3 +322,55 @@ func TestClassResolvers(t *testing.T) {
 		t.Fatal("bogus EP class accepted")
 	}
 }
+
+func TestLockmixSumMatchesExpectedAcrossShapes(t *testing.T) {
+	for _, cfg := range []core.Config{
+		{Nodes: 1, ThreadsPerNode: 2},
+		{Nodes: 2, ThreadsPerNode: 1},
+		{Nodes: 2, ThreadsPerNode: 2},
+		{Nodes: 4, ThreadsPerNode: 1},
+	} {
+		for _, caching := range []bool{false, true} {
+			c := cfg
+			c.LockCaching = caching
+			r, err := RunLockmix(c, LockmixTest())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Sum != r.Expected {
+				t.Fatalf("cfg %dx%d caching=%v: sum %v, expected %v (lost a critical-section update)",
+					cfg.Nodes, cfg.ThreadsPerNode, caching, r.Sum, r.Expected)
+			}
+		}
+	}
+}
+
+func TestLockmixDeterministic(t *testing.T) {
+	cfg := core.Config{Nodes: 2, ThreadsPerNode: 2, LockCaching: true}
+	r1, err := RunLockmix(cfg, LockmixTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunLockmix(cfg, LockmixTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Sum != r2.Sum || r1.Report.MemHash != r2.Report.MemHash || r1.Report.Time != r2.Report.Time {
+		t.Fatalf("lockmix not deterministic: %v/%x/%v vs %v/%x/%v",
+			r1.Sum, r1.Report.MemHash, r1.Report.Time, r2.Sum, r2.Report.MemHash, r2.Report.Time)
+	}
+}
+
+func TestLockmixSameAnswerUnderSDSMMode(t *testing.T) {
+	h, err := RunLockmix(core.Config{Nodes: 2, ThreadsPerNode: 1, Mode: core.Hybrid, HomeMigration: true}, LockmixTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RunLockmix(kdsm.Config(2, 1, 2), LockmixTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Sum != s.Sum || h.Sum != h.Expected {
+		t.Fatalf("hybrid sum %v (want %v), SDSM sum %v", h.Sum, h.Expected, s.Sum)
+	}
+}

@@ -1,0 +1,139 @@
+package apps
+
+import (
+	"fmt"
+
+	"parade/internal/core"
+	"parade/internal/dsm"
+	"parade/internal/sim"
+)
+
+// Lockmix is a synthetic lock-heavy kernel built to stress the SDSM
+// lock protocols (the centralized manager of lock.go and the cached
+// lazy-release tokens of lockcache.go) rather than the barrier path the
+// numeric apps lean on. Every thread hammers a small set of named
+// critical sections, each guarding a shared counter, while also
+// streaming writes into a private page-sized slot — so lock traffic,
+// token revocations, write-notice piggybacking, and diff flushes all
+// interleave. Counters accumulate integer-valued floats, keeping the
+// result exact and order-independent: every schedule (any fault
+// profile, any crash placement) must converge to the same sum.
+//
+// Critical is called with nil scalars, which routes through the SDSM
+// lock path in BOTH execution modes — hybrid's collective shortcut only
+// fires for analyzable scalar updates, and the point here is the lock
+// protocol itself.
+
+// LockmixParams sizes the kernel.
+type LockmixParams struct {
+	Locks   int // distinct named critical sections
+	Iters   int // per-thread passes over the lock set, per phase
+	PerIter sim.Duration
+}
+
+// LockmixDefault is the standard shape.
+func LockmixDefault() LockmixParams {
+	return LockmixParams{Locks: 3, Iters: 8, PerIter: 2 * sim.Microsecond}
+}
+
+// LockmixTest is a small configuration for unit tests.
+func LockmixTest() LockmixParams {
+	return LockmixParams{Locks: 2, Iters: 4, PerIter: 2 * sim.Microsecond}
+}
+
+// LockmixResult is the outcome of one run.
+type LockmixResult struct {
+	Sum      float64 // final sum over the counters
+	Expected float64 // what the sum must be
+	Report   core.Report
+}
+
+// RunLockmix executes the kernel under cfg.
+func RunLockmix(cfg core.Config, prm LockmixParams) (LockmixResult, error) {
+	cfg = cfg.WithDefaults()
+	var res LockmixResult
+	rep, err := core.Run(cfg, func(m *core.Thread) {
+		c := m.Cluster()
+		nt := c.TotalThreads()
+		stride := dsm.PageSize / 8 // floats per page
+		// One page per counter: pages are the coherence unit, and the
+		// SDSM's lock discipline requires that a page be written under
+		// only one lock at a time (a dirty page named by an incoming
+		// grant's notice keeps its local modifications — see
+		// applyGrantInvalidations). Packing the counters onto one page
+		// would be exactly that forbidden false sharing.
+		counters := c.AllocF64(prm.Locks * stride)
+		slots := c.AllocF64(nt * stride)
+		for l := 0; l < prm.Locks; l++ {
+			counters.Set(m, l*stride, 0)
+		}
+
+		names := make([]string, prm.Locks)
+		for l := range names {
+			names[l] = fmt.Sprintf("mix%d", l)
+		}
+
+		m.Parallel(func(tc *core.Thread) {
+			gid := tc.GID()
+			// Phase 1: every thread walks the lock set starting at a
+			// different offset, so requests collide in shifting patterns
+			// (queues form, tokens bounce).
+			for it := 0; it < prm.Iters; it++ {
+				for k := 0; k < prm.Locks; k++ {
+					l := (gid + it + k) % prm.Locks
+					tc.Critical(names[l], nil, func() {
+						tc.Compute(prm.PerIter)
+						counters.Set(tc, l*stride, counters.Get(tc, l*stride)+1)
+						slots.Set(tc, gid*stride+it%stride,
+							float64(gid+1))
+					})
+				}
+			}
+			tc.Barrier()
+
+			// Phase 2: reverse walk, so the token migration pattern of
+			// phase 1 runs against the grain.
+			for it := 0; it < prm.Iters; it++ {
+				for k := prm.Locks - 1; k >= 0; k-- {
+					l := (gid + k) % prm.Locks
+					tc.Critical(names[l], nil, func() {
+						tc.Compute(prm.PerIter)
+						counters.Set(tc, l*stride, counters.Get(tc, l*stride)+1)
+					})
+				}
+			}
+			tc.Barrier()
+
+			// Each thread folds its own slot back in — a reduction over
+			// data every thread wrote under locks.
+			mine := slots.Get(tc, gid*stride)
+			total := tc.Reduce("mix-slots", core.OpSum, mine)
+			_ = total
+
+			// Determinize: the master takes every lock once more, so
+			// cached tokens end resident on node 0 no matter which node
+			// happened to hold them last — final protocol state (and with
+			// it the state fingerprint) is schedule-independent.
+			tc.Master(func() {
+				for l := 0; l < prm.Locks; l++ {
+					tc.Critical(names[l], nil, func() {
+						counters.Set(tc, l*stride, counters.Get(tc, l*stride)+1)
+					})
+				}
+			})
+			tc.Barrier()
+		})
+
+		var sum float64
+		for l := 0; l < prm.Locks; l++ {
+			sum += counters.Get(m, l*stride)
+		}
+		res.Sum = sum
+		res.Expected = float64(2*nt*prm.Iters*prm.Locks + prm.Locks)
+	})
+	if err != nil {
+		return LockmixResult{}, err
+	}
+	res.Report = rep
+	return res, nil
+}

@@ -159,6 +159,13 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		c.nodes[i] = n
 	}
 	c.net = netsim.New(c.s, cfg.Nodes, cfg.Fabric, cpus, c.counters)
+	if cfg.Crash.Active() && cfg.Faults == nil {
+		// Crash detection rides the reliability sublayer's retransmit
+		// timers, so a fault plane is mandatory; the crash-only plane
+		// injects no link faults and leaves fault-free timing untouched.
+		prof := netsim.ProfileCrashOnly(cfg.Seed)
+		cfg.Faults = &prof
+	}
 	if cfg.Faults != nil {
 		c.net.EnableFaults(*cfg.Faults)
 	}
@@ -166,7 +173,7 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 	c.engine = hlrc.New(c.s, c.net, cpus, hlrc.Config{
 		Nodes: cfg.Nodes, ShmBytes: cfg.ShmBytes,
 		HomeMigration: cfg.HomeMigration, LockCaching: cfg.LockCaching,
-		Strategy: cfg.Strategy, Cost: cfg.Cost,
+		Strategy: cfg.Strategy, Cost: cfg.Cost, Crash: cfg.Crash,
 	}, c.counters)
 
 	if cfg.Obs != nil {
@@ -214,6 +221,12 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 	}
 
 	if err := c.s.Run(); err != nil {
+		if pd := c.net.PeerDownErr(); pd != nil {
+			// A stalled simulation with a recorded retry exhaustion is an
+			// undetected node failure, not a runtime bug: surface the
+			// typed peer-down cause (errors.Is(err, netsim.ErrPeerDown)).
+			return Report{}, fmt.Errorf("core: %v: %w", err, pd)
+		}
 		return Report{}, err
 	}
 	busy := make([]sim.Duration, cfg.Nodes)

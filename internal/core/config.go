@@ -73,6 +73,14 @@ type Config struct {
 	// underneath the protocol layers. Nil — the default — keeps the ideal
 	// fabric with its original byte-identical timing.
 	Faults *netsim.Profile
+	// Crash, when active, schedules deterministic crash-stop node
+	// failures at barrier points and arms the engine's
+	// checkpoint/recovery protocol (see internal/hlrc). Requires a fault
+	// plane for failure detection; when Faults is nil, Run attaches the
+	// zero-link-fault crash-only plane automatically. The full runtime
+	// only supports Restart events — a shrunken node would leave its
+	// team threads unjoinable at shutdown.
+	Crash *hlrc.CrashPlan
 }
 
 // DefaultSmallThreshold is the paper's update/invalidate switch point for
@@ -129,6 +137,16 @@ func (c Config) Validate() error {
 	}
 	if c.SmallThreshold < 8 {
 		return fmt.Errorf("core: SmallThreshold = %d", c.SmallThreshold)
+	}
+	if c.Crash.Active() {
+		if err := c.Crash.Validate(c.Nodes); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		for _, ev := range c.Crash.Events {
+			if !ev.Restart {
+				return fmt.Errorf("core: crash event for node %d has Restart=false; the runtime requires restart recovery (a shrunken node's team threads never rejoin the shutdown)", ev.Node)
+			}
+		}
 	}
 	return nil
 }

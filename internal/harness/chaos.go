@@ -57,6 +57,14 @@ var chaosApps = []chaosApp{
 		r, err := apps.RunMD(cfg, apps.MDTest())
 		return fpBits(r.E0, r.EFinal, r.MaxDrift), r.KernelTime, r.Report, err
 	}},
+	{"lockmix", func(cfg core.Config) (string, sim.Duration, core.Report, error) {
+		// The lock-protocol stress kernel runs with lazy-release tokens
+		// so the cached lock path (lockcache.go) degrades gracefully
+		// under injected faults too, not just the centralized one.
+		cfg.LockCaching = true
+		r, err := apps.RunLockmix(cfg, apps.LockmixTest())
+		return fpBits(r.Sum, r.Expected), sim.Duration(r.Report.Time), r.Report, err
+	}},
 }
 
 // chaosMode is one directive-execution mode of the matrix.
@@ -129,6 +137,16 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 	}
 	profiles := netsim.Profiles(opt.Seed)
 	if opt.Profiles != nil {
+		valid := make([]string, 0, len(profiles))
+		for _, p := range profiles {
+			valid = append(valid, p.Name)
+		}
+		for _, want := range opt.Profiles {
+			if !contains(valid, want) {
+				return ChaosReport{}, fmt.Errorf("harness: unknown fault profile %q (valid: %s)",
+					want, strings.Join(valid, ", "))
+			}
+		}
 		kept := profiles[:0]
 		for _, p := range profiles {
 			if contains(opt.Profiles, p.Name) {
@@ -136,8 +154,17 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 			}
 		}
 		profiles = kept
-		if len(profiles) == 0 {
-			return ChaosReport{}, fmt.Errorf("harness: no fault profiles match %v", opt.Profiles)
+	}
+	if opt.Apps != nil {
+		valid := make([]string, 0, len(chaosApps))
+		for _, a := range chaosApps {
+			valid = append(valid, a.name)
+		}
+		for _, want := range opt.Apps {
+			if !contains(valid, want) {
+				return ChaosReport{}, fmt.Errorf("harness: unknown app %q (valid: %s)",
+					want, strings.Join(valid, ", "))
+			}
 		}
 	}
 	rep := ChaosReport{Nodes: opt.Nodes, Seed: opt.Seed}

@@ -44,12 +44,25 @@ func TestChaosMatrixReproducible(t *testing.T) {
 	}
 }
 
-// TestChaosUnknownProfileRejected: a profile filter that matches no
-// built-in profile is an error, not an empty (vacuously passing) sweep.
+// TestChaosUnknownProfileRejected: any unknown profile name in the
+// filter is an error naming the valid set — even alongside valid names,
+// so a typo can never silently shrink the sweep.
 func TestChaosUnknownProfileRejected(t *testing.T) {
-	_, err := RunChaos(ChaosOptions{Profiles: []string{"nope"}})
-	if err == nil || !strings.Contains(err.Error(), "no fault profiles") {
-		t.Fatalf("err = %v, want profile-match error", err)
+	for _, sel := range [][]string{{"nope"}, {"drop", "nope"}} {
+		_, err := RunChaos(ChaosOptions{Profiles: sel})
+		if err == nil || !strings.Contains(err.Error(), `unknown fault profile "nope"`) ||
+			!strings.Contains(err.Error(), "drop") {
+			t.Fatalf("Profiles=%v: err = %v, want unknown-profile error listing the valid set", sel, err)
+		}
+	}
+}
+
+// TestChaosUnknownAppRejected: same strictness for the app filter.
+func TestChaosUnknownAppRejected(t *testing.T) {
+	_, err := RunChaos(ChaosOptions{Apps: []string{"helmholtz", "nosuch"}})
+	if err == nil || !strings.Contains(err.Error(), `unknown app "nosuch"`) ||
+		!strings.Contains(err.Error(), "lockmix") {
+		t.Fatalf("err = %v, want unknown-app error listing the valid set", err)
 	}
 }
 

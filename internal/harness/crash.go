@@ -1,0 +1,278 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"parade/internal/apps"
+	"parade/internal/core"
+	"parade/internal/hlrc"
+	"parade/internal/sim"
+)
+
+// The crash harness is the acceptance matrix for crash-stop node
+// failures: every application kernel, in both directive modes, is run
+// fault-free and then re-run with deterministic crash/restart schedules
+// injected at barrier points. A recovered run must produce results and
+// a final DSM state bit-identical to the fault-free run — the
+// checkpoint/restore protocol's whole contract — and must actually
+// exercise the recovery machinery (crashes injected, recoveries
+// completed, checkpoints shipped). It also proves the zero-crash plane
+// inert: a run with an empty crash plan must be indistinguishable from
+// one with no plan at all, down to the virtual clock.
+
+// crashApp is one kernel of the crash matrix; lockCaching marks the
+// lock-protocol stress kernel, which runs with lazy-release tokens so
+// the token-replication and reclaim paths get coverage.
+type crashApp struct {
+	name        string
+	lockCaching bool
+	run         func(cfg core.Config) (string, sim.Duration, core.Report, error)
+}
+
+var crashApps = []crashApp{
+	{"helmholtz", false, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
+		r, err := apps.RunHelmholtz(cfg, apps.HelmholtzTest())
+		return fpBits(r.Error, float64(r.Iterations)), r.KernelTime, r.Report, err
+	}},
+	{"ep", false, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
+		r, err := apps.RunEP(cfg, apps.EPClassT)
+		vs := []float64{r.Sx, r.Sy, r.Accepted}
+		vs = append(vs, r.Counts[:]...)
+		return fpBits(vs...), r.KernelTime, r.Report, err
+	}},
+	{"cg", false, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
+		r, err := apps.RunCG(cfg, apps.CGClassT)
+		return fpBits(r.Zeta, r.RNorm, float64(r.NZ)), r.KernelTime, r.Report, err
+	}},
+	{"md", false, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
+		r, err := apps.RunMD(cfg, apps.MDTest())
+		return fpBits(r.E0, r.EFinal, r.MaxDrift), r.KernelTime, r.Report, err
+	}},
+	{"lockmix", true, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
+		r, err := apps.RunLockmix(cfg, apps.LockmixTest())
+		return fpBits(r.Sum, r.Expected), 0, r.Report, err
+	}},
+}
+
+// crashSchedule is one deterministic failure plan of the matrix. Every
+// event restarts (the full runtime cannot shrink — see core.Validate);
+// shrink recovery is covered by the engine-level tests.
+type crashSchedule struct {
+	name       string
+	events     []hlrc.CrashEvent
+	maxBarrier int
+}
+
+func candidateSchedules(nodes int) []crashSchedule {
+	mk := func(name string, evs ...hlrc.CrashEvent) crashSchedule {
+		max := 0
+		for _, ev := range evs {
+			if ev.Barrier > max {
+				max = ev.Barrier
+			}
+		}
+		return crashSchedule{name: name, events: evs, maxBarrier: max}
+	}
+	last := nodes - 1
+	return []crashSchedule{
+		mk("n1@b1", hlrc.CrashEvent{Node: 1, Barrier: 1, Restart: true}),
+		mk(fmt.Sprintf("n%d@b2", last), hlrc.CrashEvent{Node: last, Barrier: 2, Restart: true}),
+		mk("n1@b1+b3",
+			hlrc.CrashEvent{Node: 1, Barrier: 1, Restart: true},
+			hlrc.CrashEvent{Node: 1, Barrier: 3, Restart: true}),
+	}
+}
+
+// CrashRun is the record of one cell of the crash matrix.
+type CrashRun struct {
+	App, Mode, Schedule string // Schedule "" is the fault-free baseline
+	Result              string // result-bits fingerprint
+	MemHash             uint64 // final DSM state fingerprint
+	Time                sim.Duration
+	Crashes             int64
+	Restarts            int64
+	Recoveries          int64
+	CkptMsgs            int64
+	ResentBundles       int64
+	Refetches           int64
+	ReclaimedLocks      int64
+	PagesRestored       int64
+	Err                 string
+}
+
+// CrashReport is the outcome of a crash sweep.
+type CrashReport struct {
+	Nodes    int
+	Runs     []CrashRun
+	Skipped  []string // schedules dropped because the app has too few barriers
+	Failures []string
+}
+
+// OK reports whether every invariant held.
+func (r CrashReport) OK() bool { return len(r.Failures) == 0 }
+
+// CrashOptions selects the sweep.
+type CrashOptions struct {
+	Nodes int      // cluster size (default 4)
+	Apps  []string // subset of the crash apps (nil = all)
+}
+
+// RunCrash executes the crash acceptance matrix.
+func RunCrash(opt CrashOptions) (CrashReport, error) {
+	if opt.Nodes == 0 {
+		opt.Nodes = 4
+	}
+	if opt.Nodes < 2 {
+		return CrashReport{}, fmt.Errorf("harness: crash matrix needs at least 2 nodes, got %d", opt.Nodes)
+	}
+	if opt.Apps != nil {
+		for _, want := range opt.Apps {
+			if !containsCrashApp(want) {
+				return CrashReport{}, fmt.Errorf("harness: unknown app %q (valid: %s)",
+					want, strings.Join(crashAppNames(), ", "))
+			}
+		}
+	}
+	rep := CrashReport{Nodes: opt.Nodes}
+	fail := func(format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+	}
+	schedules := candidateSchedules(opt.Nodes)
+	for _, app := range crashApps {
+		if opt.Apps != nil && !contains(opt.Apps, app.name) {
+			continue
+		}
+		for _, mode := range chaosModes {
+			base, barriers, err := runCrashCell(app, mode, opt.Nodes, nil)
+			if err != nil {
+				return rep, fmt.Errorf("harness: %s/%s baseline: %w", app.name, mode.name, err)
+			}
+			rep.Runs = append(rep.Runs, base)
+
+			// Inertness: an empty crash plan must not change the run at
+			// all — same bits, same final state, same virtual clock.
+			inert, _, err := runCrashCell(app, mode, opt.Nodes, &crashSchedule{name: "(empty)"})
+			if err != nil {
+				return rep, fmt.Errorf("harness: %s/%s empty-plan run: %w", app.name, mode.name, err)
+			}
+			if inert.Result != base.Result || inert.MemHash != base.MemHash || inert.Time != base.Time {
+				fail("%s/%s: empty crash plan perturbed the run (time %v vs %v)",
+					app.name, mode.name, inert.Time, base.Time)
+			}
+
+			for i := range schedules {
+				sched := schedules[i]
+				if int64(sched.maxBarrier) > barriers {
+					rep.Skipped = append(rep.Skipped, fmt.Sprintf(
+						"%s/%s %s: needs barrier %d, app runs only %d",
+						app.name, mode.name, sched.name, sched.maxBarrier, barriers))
+					continue
+				}
+				run, _, err := runCrashCell(app, mode, opt.Nodes, &sched)
+				if err != nil {
+					run = CrashRun{App: app.name, Mode: mode.name, Schedule: sched.name, Err: err.Error()}
+					rep.Runs = append(rep.Runs, run)
+					fail("%s/%s under %s: %v", app.name, mode.name, sched.name, err)
+					continue
+				}
+				rep.Runs = append(rep.Runs, run)
+				if run.Result != base.Result {
+					fail("%s/%s under %s: result bits diverged from the fault-free run",
+						app.name, mode.name, sched.name)
+				}
+				if run.MemHash != base.MemHash {
+					fail("%s/%s under %s: final DSM state diverged from the fault-free run",
+						app.name, mode.name, sched.name)
+				}
+				if want := int64(len(sched.events)); run.Crashes != want || run.Restarts != want {
+					fail("%s/%s under %s: %d crashes, %d restarts injected, want %d each",
+						app.name, mode.name, sched.name, run.Crashes, run.Restarts, want)
+				}
+				if run.Recoveries < int64(len(sched.events)) {
+					fail("%s/%s under %s: %d recoveries for %d crash events",
+						app.name, mode.name, sched.name, run.Recoveries, len(sched.events))
+				}
+				if run.CkptMsgs == 0 {
+					fail("%s/%s under %s: no checkpoint traffic", app.name, mode.name, sched.name)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+func crashAppNames() []string {
+	names := make([]string, len(crashApps))
+	for i, a := range crashApps {
+		names[i] = a.name
+	}
+	return names
+}
+
+func containsCrashApp(name string) bool {
+	return contains(crashAppNames(), name)
+}
+
+// runCrashCell executes one cell and returns the run record plus the
+// engine barrier count (used to filter schedules against the baseline).
+func runCrashCell(app crashApp, mode chaosMode, nodes int, sched *crashSchedule) (CrashRun, int64, error) {
+	cfg := mode.cfg(nodes)
+	if app.lockCaching {
+		cfg.LockCaching = true
+	}
+	run := CrashRun{App: app.name, Mode: mode.name}
+	if sched != nil {
+		cfg.Crash = &hlrc.CrashPlan{Events: sched.events}
+		run.Schedule = sched.name
+	}
+	result, _, report, err := app.run(cfg)
+	if err != nil {
+		return run, 0, err
+	}
+	run.Result = result
+	run.MemHash = report.MemHash
+	run.Time = report.Time
+	c := report.Counters
+	run.Crashes = c.Crashes
+	run.Restarts = c.NodeRestarts
+	run.Recoveries = c.Recoveries
+	run.CkptMsgs = c.CkptMsgs
+	run.ResentBundles = c.ResentBundles
+	run.Refetches = c.Refetches
+	run.ReclaimedLocks = c.ReclaimedLocks
+	run.PagesRestored = c.PagesRestored
+	return run, c.Barriers, nil
+}
+
+// Render formats the sweep as an aligned text table plus the verdict.
+func (r CrashReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "crash matrix: %d nodes\n", r.Nodes)
+	fmt.Fprintf(&b, "%-10s %-7s %-10s %12s %7s %7s %6s %8s %7s %7s %7s\n",
+		"app", "mode", "schedule", "time", "crashes", "recov", "ckpt", "resent", "refetch", "locks", "pages")
+	for _, run := range r.Runs {
+		sched := run.Schedule
+		if sched == "" {
+			sched = "(none)"
+		}
+		if run.Err != "" {
+			fmt.Fprintf(&b, "%-10s %-7s %-10s ERROR: %s\n", run.App, run.Mode, sched, run.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %-7s %-10s %12s %7d %7d %6d %8d %7d %7d %7d\n",
+			run.App, run.Mode, sched, run.Time, run.Crashes, run.Recoveries,
+			run.CkptMsgs, run.ResentBundles, run.Refetches, run.ReclaimedLocks, run.PagesRestored)
+	}
+	for _, s := range r.Skipped {
+		fmt.Fprintf(&b, "skip: %s\n", s)
+	}
+	if r.OK() {
+		fmt.Fprintf(&b, "OK: every recovered run bit-identical to its fault-free baseline\n")
+	} else {
+		for _, f := range r.Failures {
+			fmt.Fprintf(&b, "FAIL: %s\n", f)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCrashMatrix is the acceptance gate for crash-stop recovery: every
+// app, both modes, every applicable crash schedule — recovered runs
+// bit-identical to their fault-free baselines, recovery machinery
+// demonstrably exercised, and the empty crash plan provably inert.
+func TestCrashMatrix(t *testing.T) {
+	rep, err := RunCrash(CrashOptions{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("crash matrix failed:\n%s", rep.Render())
+	}
+	crashed := 0
+	for _, run := range rep.Runs {
+		if run.Schedule != "" && run.Crashes > 0 {
+			crashed++
+		}
+	}
+	if crashed < 10 {
+		t.Fatalf("only %d crash cells ran:\n%s", crashed, rep.Render())
+	}
+}
+
+// TestCrashMatrixReproducible: the deterministic substrate makes the
+// whole sweep — crashes, recoveries, checkpoint counts, virtual times —
+// replay identically.
+func TestCrashMatrixReproducible(t *testing.T) {
+	opt := CrashOptions{Nodes: 4, Apps: []string{"md"}}
+	a, err := RunCrash(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCrash(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("crash sweep not reproducible:\n--- first\n%s--- second\n%s", a.Render(), b.Render())
+	}
+}
+
+// TestCrashLockmixExercisesLockCaching: the lockmix rows must run the
+// cached lock protocol (the matrix's reason for carrying the kernel).
+func TestCrashLockmixExercisesLockCaching(t *testing.T) {
+	rep, err := RunCrash(CrashOptions{Nodes: 4, Apps: []string{"lockmix"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("lockmix crash cells failed:\n%s", rep.Render())
+	}
+	for _, run := range rep.Runs {
+		if run.Schedule != "" && run.CkptMsgs == 0 {
+			t.Fatalf("lockmix %s/%s shipped no checkpoints (token replication dead?)", run.Mode, run.Schedule)
+		}
+	}
+}
+
+// TestCrashUnknownAppRejected: a typo in the app filter is an error
+// listing the valid set, not a silently smaller matrix.
+func TestCrashUnknownAppRejected(t *testing.T) {
+	_, err := RunCrash(CrashOptions{Apps: []string{"md", "nosuch"}})
+	if err == nil || !strings.Contains(err.Error(), `unknown app "nosuch"`) ||
+		!strings.Contains(err.Error(), "lockmix") {
+		t.Fatalf("err = %v, want unknown-app error listing the valid set", err)
+	}
+}
+
+// TestCrashNeedsTwoNodes: a single node has no buddy to checkpoint to.
+func TestCrashNeedsTwoNodes(t *testing.T) {
+	if _, err := RunCrash(CrashOptions{Nodes: 1}); err == nil {
+		t.Fatal("1-node crash matrix accepted")
+	}
+}

@@ -18,8 +18,30 @@ func (e *Engine) Barrier(p *sim.Proc, node int) {
 	if e.rec != nil {
 		t0 = e.sim.Now()
 	}
-	ns := e.nodes[node]
+	if e.recov != nil {
+		e.recov.barrierSeq[node]++
+	}
 	notices := e.flush(p, node)
+	// The interval ends here: departure will carry its notices to every
+	// node, so releases after the barrier start accumulating afresh.
+	for pg := range e.nodes[node].relNotices {
+		delete(e.nodes[node].relNotices, pg)
+	}
+	if e.recov != nil {
+		e.logBarrier(p, node, notices)
+		if ev := e.crashEventDue(node); ev >= 0 {
+			// Crash here, at the quiescent point: the flush is acked,
+			// the checkpoint log is durable at the buddy, and the
+			// arrival below is never sent. The representative parks on
+			// the crash gate until recovery releases it.
+			e.crashNow(p, node, ev)
+			if e.rec != nil {
+				e.rec.BarrierWait(t0, e.sim.Now(), node)
+			}
+			return
+		}
+	}
+	ns := e.nodes[node]
 	ns.barrierGate = sim.NewGate(e.sim)
 	e.send(p, node, 0, msgBarrierArrive, 16+8*len(notices),
 		barrierArrive{Epoch: e.epoch, Notices: notices})
@@ -36,7 +58,9 @@ func (e *Engine) Barrier(p *sim.Proc, node int) {
 // piggybacked on the region-start control messages and are applied with
 // ApplyNotices on the receiving nodes.
 func (e *Engine) FlushForFork(p *sim.Proc, node int) []dsm.WriteNotice {
-	return e.flush(p, node)
+	notices := e.flush(p, node)
+	e.shipMiniLog(p, node)
+	return notices
 }
 
 // ApplyNotices invalidates node's stale copies of the noticed pages (no
@@ -69,9 +93,27 @@ func (e *Engine) ApplyNotices(node int, notices []dsm.WriteNotice) {
 // after the barrier see the new contents.
 func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 	ns := e.nodes[node]
+	// Serialize flushes per node: the scratch buffers and twin frames
+	// admit one flush at a time, and a release that waited here still
+	// sees its own pages home (the active flush's bundle carried them,
+	// and it only returns after the acks).
+	for ns.flushing {
+		if ns.flushIdle == nil {
+			ns.flushIdle = sim.NewGate(e.sim)
+		}
+		ns.flushIdle.Wait(p)
+	}
 	if len(ns.dirty) == 0 {
 		return nil
 	}
+	ns.flushing = true
+	defer func() {
+		ns.flushing = false
+		if g := ns.flushIdle; g != nil {
+			ns.flushIdle = nil
+			g.Open()
+		}
+	}()
 	var t0 sim.Time
 	if e.rec != nil {
 		t0 = e.sim.Now()
@@ -82,6 +124,14 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 	}
 	sort.Ints(pages)
 	ns.flushPages = pages
+	// Clear exactly the snapshot, and before the first yield: another
+	// thread may dirty new pages (or re-dirty flushed ones) while the
+	// diff scans and sends below run, and those entries must survive
+	// for the flush that owns them.
+	for _, pg := range pages {
+		delete(ns.dirty, pg)
+		ns.relNotices[pg] = struct{}{}
+	}
 
 	// bundles and homes are per-node scratch: bundle slices keep empty
 	// entries for homes seen in earlier flushes, so homes (the list of
@@ -97,6 +147,9 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 			// the interval so the next write re-arms dirty tracking.
 			ns.table.Set(pg, dsm.ReadOnly)
 			ns.mem.SetAppPerm(pg, dsm.PermRead)
+			if e.recov != nil && node != 0 {
+				ns.flushSelf = append(ns.flushSelf, pg)
+			}
 			continue
 		}
 		e.cpus[node].Compute(p, e.cfg.Cost.DiffScan)
@@ -120,9 +173,6 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 		ns.table.Set(pg, dsm.ReadOnly)
 		ns.mem.SetAppPerm(pg, dsm.PermRead)
 	}
-	for pg := range ns.dirty {
-		delete(ns.dirty, pg)
-	}
 
 	if e.rec != nil {
 		e.rec.FlushStart(e.sim.Now(), node, len(pages), len(homes))
@@ -134,18 +184,31 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 		// the communication thread while we are still sending.
 		ns.flushGate = sim.NewGate(e.sim)
 		ns.flushPending = len(homes)
+		if e.recov != nil && ns.flushAwait == nil {
+			ns.flushAwait = map[int]bool{}
+		}
 		for _, h := range homes {
 			diffs := bundles[h]
 			bytes := 0
 			for _, d := range diffs {
 				bytes += d.WireBytes()
 			}
+			if e.recov != nil {
+				ns.flushAwait[h] = true
+			}
 			e.send(p, node, h, msgDiff, bytes, diffMsg{Diffs: diffs})
 		}
 		ns.flushGate.Wait(p)
-		// Every home has applied and pooled its diffs; the bundle slices
-		// are dead and can back the next flush.
+		// Every home has applied its diffs; the bundle slices are dead
+		// and can back the next flush. Without a crash plan the homes
+		// pooled the diffs on application; with one, a bundle may be
+		// resent after a crash, so pooling moves here to the creator.
 		for _, h := range homes {
+			if e.recov != nil {
+				for _, d := range bundles[h] {
+					e.diffs.Put(d)
+				}
+			}
 			bundles[h] = bundles[h][:0]
 		}
 	}

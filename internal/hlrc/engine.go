@@ -60,6 +60,7 @@ type Config struct {
 	LockCaching   bool               // lazy-release lock tokens (Yun et al.)
 	Strategy      dsm.UpdateStrategy // atomic page update method
 	Cost          CostModel
+	Crash         *CrashPlan // crash-stop fault plan (nil/empty: inert)
 }
 
 // Protocol message subtypes carried in netsim.Message.Type.
@@ -75,6 +76,14 @@ const (
 	msgLockRelease
 	msgLockRevoke
 	msgLockToken
+	// Crash recovery plane (recovery.go). Active only with a crash plan.
+	msgPing           // master liveness probe during a stalled barrier
+	msgCkptFlush      // flush-time checkpoint log to the buddy
+	msgCkptAck        // buddy durability ack for a barrier log
+	msgCkptPage       // incremental home-page mirror update to the buddy
+	msgCkptTok        // lock-token replica delta to the buddy
+	msgRecoverState   // buddy -> restarted node: full state restore
+	msgRecoverInstall // buddy -> new home: orphaned page contents (shrink)
 )
 
 // pageReq asks the home for the current contents of a page.
@@ -133,6 +142,26 @@ type nodeState struct {
 	flushGate    *sim.Gate // waiting for diff acks
 	flushPending int
 
+	// Lock releases can flush from any team thread, so two threads of
+	// one node can reach flush concurrently (the diff-scan cost yields
+	// the CPU). Flushes serialize on flushing/flushIdle: the waiter
+	// re-flushes whatever stayed dirty once the active flush's acks are
+	// in, which preserves release semantics (its writes are home either
+	// way before its release proceeds).
+	flushing  bool
+	flushIdle *sim.Gate
+
+	// relNotices accumulates every page this node flushed since its
+	// last barrier. A release's write notices are drawn from here, not
+	// from the flush it triggered: with several team threads, a
+	// concurrent release's flush can sweep up this thread's writes, and
+	// attributing them only to that other lock would let a later
+	// acquirer of THIS lock miss the invalidation. Re-notifying is
+	// conservative (the manager's per-lock notice map is cumulative
+	// anyway); the barrier clears it because barrier departure
+	// propagates the interval's notices cluster-wide itself.
+	relNotices map[int]struct{}
+
 	// Flush scratch, reused across flushes so the steady-state flush
 	// path allocates only its notice slice (which escapes into protocol
 	// messages). flushBundle's slices are recycled after the acks.
@@ -145,6 +174,12 @@ type nodeState struct {
 	barrierGate *sim.Gate // waiting for barrier departure
 
 	lockGate map[int]*sim.Gate // waiting for a lock grant
+
+	// Crash-recovery bookkeeping, maintained only with an active plan.
+	flushAwait  map[int]bool // homes with an outstanding diff ack
+	flushSelf   []int        // dirty home pages of the current flush
+	ckptGate    *sim.Gate    // waiting for the buddy's barrier-log ack
+	ckptPending *ckptFlush   // unacked barrier log, kept for resend
 }
 
 // lockState is the manager-side state of one global lock.
@@ -153,6 +188,9 @@ type lockState struct {
 	holder  int
 	queue   []int
 	notices map[int]int // page -> last modifier, sent with grants
+	// reclaimed holds the token notices salvaged from a crashed holder
+	// when no requester was queued; the next grant carries them.
+	reclaimed []dsm.WriteNotice
 }
 
 // masterBarrier is the master node's view of the in-progress barrier.
@@ -193,6 +231,11 @@ type Engine struct {
 	// SetTrace call installed, tracked so it can be detached again.
 	rec       *obs.Recorder
 	traceSink *obs.TextSink
+
+	// recov is the crash/recovery plane (nil without an active crash
+	// plan — the nil check keeps every hot path identical to a build
+	// without it).
+	recov *recovery
 }
 
 // New creates a protocol engine for the given cluster.
@@ -219,6 +262,7 @@ func New(s *sim.Simulator, net *netsim.Network, cpus []*sim.CPU, cfg Config, c *
 			lockGate:    map[int]*sim.Gate{},
 			lockCache:   map[int]*nodeLock{},
 			flushBundle: map[int][]*dsm.Diff{},
+			relNotices:  map[int]struct{}{},
 		}
 		// Master starts with every page readable (paper §5.2.3).
 		if i == 0 {
@@ -228,6 +272,9 @@ func New(s *sim.Simulator, net *netsim.Network, cpus []*sim.CPU, cfg Config, c *
 		}
 	}
 	e.master.modifiers = map[int]map[int]bool{}
+	if cfg.Crash.Active() {
+		e.armRecovery(s, net)
+	}
 	return e
 }
 
@@ -273,6 +320,20 @@ func (e *Engine) Handle(p *sim.Proc, node int, m *netsim.Message) {
 		e.handleLockRevoke(p, node, m)
 	case msgLockToken:
 		e.handleLockToken(p, node, m)
+	case msgPing:
+		// Liveness probe: reaching the inbox is the whole answer.
+	case msgCkptFlush:
+		e.handleCkptFlush(p, node, m)
+	case msgCkptAck:
+		e.handleCkptAck(p, node, m)
+	case msgCkptPage:
+		e.handleCkptPage(m)
+	case msgCkptTok:
+		e.handleCkptTok(m)
+	case msgRecoverState:
+		e.handleRecoverState(p, node, m)
+	case msgRecoverInstall:
+		e.handleRecoverInstall(p, node, m)
 	default:
 		panic(fmt.Sprintf("hlrc: unknown message type %d", m.Type))
 	}

@@ -46,6 +46,15 @@ func (e *Engine) handlePageReply(p *sim.Proc, node int, m *netsim.Message) {
 	ns.table.Set(pg, dsm.ReadOnly)
 	ns.mem.EndSystemUpdate(pg, dsm.PermRead)
 	gate := ns.fetch[pg]
+	if gate == nil {
+		if e.recov != nil {
+			// A fetch reissued during recovery can race the original
+			// reply (served before the crash, delivered after); the
+			// second install is idempotent and wakes nobody.
+			return
+		}
+		panic("hlrc: page reply without a pending fetch")
+	}
 	delete(ns.fetch, pg)
 	gate.Open()
 }
@@ -63,14 +72,22 @@ func (e *Engine) handleDiff(p *sim.Proc, node int, m *netsim.Message) {
 		d.ApplyInto(ns.mem.Frame(d.Page))
 		e.counters.DiffsApplied++
 		e.rec.DiffApplied(node)
-		e.diffs.Put(d)
+		if e.recov == nil {
+			// Under a crash plan the flusher keeps (and pools) its
+			// bundle: an unacked bundle may need a resend.
+			e.diffs.Put(d)
+		}
+		e.forwardHomePage(p, node, d.Page)
 	}
 	e.send(p, node, m.From, msgDiffAck, 8, nil)
 }
 
 // handleDiffAck counts down the flusher's outstanding acknowledgements.
-func (e *Engine) handleDiffAck(_ *sim.Proc, node int, _ *netsim.Message) {
+func (e *Engine) handleDiffAck(_ *sim.Proc, node int, m *netsim.Message) {
 	ns := e.nodes[node]
+	if e.recov != nil {
+		delete(ns.flushAwait, m.From)
+	}
 	ns.flushPending--
 	if ns.flushPending < 0 {
 		panic("hlrc: diff ack underflow")
@@ -102,11 +119,21 @@ func (e *Engine) handleBarrierArrive(p *sim.Proc, node int, m *netsim.Message) {
 		e.counters.WriteNotices++
 	}
 	mb.arrived++
-	if mb.arrived < e.cfg.Nodes {
+	if e.recov != nil {
+		e.noteArrival(m.From)
+	}
+	if mb.arrived < e.aliveThreshold() {
 		return
 	}
+	e.completeBarrier(p, arr.Epoch)
+}
 
-	// Last arrival: elect homes and release everyone.
+// completeBarrier runs the last-arrival work at the master: elect homes
+// and release everyone. Split out of handleBarrierArrive because a
+// shrink recovery also completes a barrier (on the dead member's
+// behalf) once the survivors are all in.
+func (e *Engine) completeBarrier(p *sim.Proc, epoch int) {
+	mb := &e.master
 	entries := make([]departEntry, 0, len(mb.modifiers))
 	homes := e.nodes[0].table // any table works for reading current homes
 	for pg, set := range mb.modifiers {
@@ -118,10 +145,11 @@ func (e *Engine) handleBarrierArrive(p *sim.Proc, node int, m *netsim.Message) {
 			sort.Ints(mods)
 		}
 		newHome := homes.Pages[pg].Home
-		if e.cfg.HomeMigration && len(mods) == 1 && mods[0] != newHome {
+		if e.cfg.HomeMigration && len(mods) == 1 && mods[0] != newHome && !e.gone(mods[0]) {
 			// Single modifier becomes the new home (§5.2.2). With
 			// multiple modifiers the current home keeps the highest
-			// priority, so it stays.
+			// priority, so it stays. A dead single modifier cannot take
+			// the page (its notices may reach a shrink barrier).
 			newHome = mods[0]
 		}
 		entries = append(entries, departEntry{Page: pg, NewHome: newHome, Modifiers: mods})
@@ -138,15 +166,21 @@ func (e *Engine) handleBarrierArrive(p *sim.Proc, node int, m *netsim.Message) {
 			e.counters.HomeMigrations++
 			e.pgMigrations[ent.Page]++
 			if e.rec != nil {
-				e.rec.HomeMigrate(e.sim.Now(), arr.Epoch, ent.Page, cur, ent.NewHome)
+				e.rec.HomeMigrate(e.sim.Now(), epoch, ent.Page, cur, ent.NewHome)
 			}
 		}
 	}
 	mb.modifiers = map[int]map[int]bool{}
 	mb.arrived = 0
+	if e.recov != nil {
+		for i := range e.recov.arrivedFrom {
+			e.recov.arrivedFrom[i] = false
+		}
+		e.recov.detectArmed = false
+	}
 	e.counters.Barriers++
 	if e.rec != nil {
-		e.rec.BarrierComplete(e.sim.Now(), arr.Epoch, len(entries))
+		e.rec.BarrierComplete(e.sim.Now(), epoch, len(entries))
 	}
 
 	// Advance the epoch BEFORE sending departures: each send charges CPU
@@ -156,8 +190,11 @@ func (e *Engine) handleBarrierArrive(p *sim.Proc, node int, m *netsim.Message) {
 	e.epoch++
 
 	bytes := 16 + 12*len(entries)
-	dep := barrierDepart{Epoch: arr.Epoch, Entries: entries}
+	dep := barrierDepart{Epoch: epoch, Entries: entries}
 	for n := 0; n < e.cfg.Nodes; n++ {
+		if e.gone(n) {
+			continue
+		}
 		e.send(p, 0, n, msgBarrierDepart, bytes, dep)
 	}
 }
@@ -178,6 +215,7 @@ func (e *Engine) handleBarrierDepart(p *sim.Proc, node int, m *netsim.Message) {
 	ns := e.nodes[node]
 	for _, ent := range dep.Entries {
 		pi := &ns.table.Pages[ent.Page]
+		oldHome := pi.Home
 		pi.Home = ent.NewHome
 		soleLocal := len(ent.Modifiers) == 1 && ent.Modifiers[0] == node
 		if ent.NewHome == node || soleLocal {
@@ -193,6 +231,12 @@ func (e *Engine) handleBarrierDepart(p *sim.Proc, node int, m *netsim.Message) {
 				pi.Twin = nil
 			}
 			ns.mem.SetAppPerm(ent.Page, dsm.PermRead)
+			if ent.NewHome == node && oldHome != node {
+				// The page migrated INTO this node: its frame just
+				// became the authoritative copy, so the buddy mirror
+				// must cover it from here on.
+				e.forwardHomePage(p, node, ent.Page)
+			}
 			continue
 		}
 		// Someone else's modification invalidates our copy (coherence

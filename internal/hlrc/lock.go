@@ -1,6 +1,8 @@
 package hlrc
 
 import (
+	"sort"
+
 	"parade/internal/dsm"
 	"parade/internal/netsim"
 	"parade/internal/sim"
@@ -13,8 +15,16 @@ import (
 // exactly the mechanism ParADE's hybrid path eliminates; the KDSM
 // baseline configuration exercises it for every critical/single.
 
-// lockManager returns the manager node of lock id.
-func (e *Engine) lockManager(id int) int { return id % e.cfg.Nodes }
+// lockManager returns the manager node of lock id. Under a crash plan
+// every lock is managed by the master: manager state (holder, queue,
+// accumulated notices) is not replicated, so it must live on the one
+// node the crash model treats as immortal.
+func (e *Engine) lockManager(id int) int {
+	if e.recov != nil {
+		return 0
+	}
+	return id % e.cfg.Nodes
+}
 
 func (e *Engine) lockState(id int) *lockState {
 	ls := e.locks[id]
@@ -101,10 +111,10 @@ func (e *Engine) handleLockReq(p *sim.Proc, node int, m *netsim.Message) {
 }
 
 // handleLockGrant installs a grant at the requester.
-func (e *Engine) handleLockGrant(_ *sim.Proc, node int, m *netsim.Message) {
+func (e *Engine) handleLockGrant(p *sim.Proc, node int, m *netsim.Message) {
 	g := m.Payload.(lockMsg)
 	if e.cfg.LockCaching {
-		e.applyCachedGrant(node, g.Lock, g.Notices)
+		e.applyCachedGrant(p, node, g.Lock, g.Notices)
 		return
 	}
 	e.applyGrant(node, g.Lock, g.Notices)
@@ -159,9 +169,33 @@ func (e *Engine) ReleaseLock(p *sim.Proc, node, id int) {
 	}
 }
 
+// releaseNotices builds the write notices a release carries: every page
+// the node flushed since its last barrier (relNotices), not just the
+// pages of the flush the release itself triggered — a concurrent
+// thread's release may already have flushed this thread's writes, and
+// they must still be attributed to this lock.
+func (e *Engine) releaseNotices(node int) []dsm.WriteNotice {
+	ns := e.nodes[node]
+	if len(ns.relNotices) == 0 {
+		return nil
+	}
+	pages := make([]int, 0, len(ns.relNotices))
+	for pg := range ns.relNotices {
+		pages = append(pages, pg)
+	}
+	sort.Ints(pages)
+	notices := make([]dsm.WriteNotice, len(pages))
+	for i, pg := range pages {
+		notices[i] = dsm.WriteNotice{Page: pg, Modifier: node}
+	}
+	return notices
+}
+
 // releaseCentral is ReleaseLock's body under the centralized protocol.
 func (e *Engine) releaseCentral(p *sim.Proc, node, id int) {
-	notices := e.flush(p, node)
+	e.flush(p, node)
+	notices := e.releaseNotices(node)
+	e.shipMiniLog(p, node)
 	mgr := e.lockManager(id)
 	if mgr == node {
 		e.cpus[node].Compute(p, e.cfg.Cost.LockManage)

@@ -67,17 +67,22 @@ func (e *Engine) acquireCached(p *sim.Proc, node, id int) {
 func (e *Engine) releaseCached(p *sim.Proc, node, id int) {
 	ns := e.nodes[node]
 	nl := ns.nodeLockFor(id)
-	notices := e.flush(p, node)
+	e.flush(p, node)
+	notices := e.releaseNotices(node)
+	e.shipMiniLog(p, node)
 	nl.notices = mergeNotices(nl.notices, notices)
 	nl.inUse = false
 	if !nl.revokePending {
-		// Lazy release: keep the token; no message.
+		// Lazy release: keep the token; no message (beyond refreshing
+		// the buddy's token replica with the merged notices).
+		e.forwardToken(p, node, id, nl)
 		return
 	}
 	nl.revokePending = false
 	nl.cached = false
 	tok := nl.notices
 	nl.notices = nil
+	e.forwardToken(p, node, id, nl)
 	mgr := e.lockManager(id)
 	if mgr == node {
 		e.cpus[node].Compute(p, e.cfg.Cost.LockManage)
@@ -94,10 +99,14 @@ func (e *Engine) cachedLockReq(p *sim.Proc, from, id int) {
 		panic("hlrc: cached lock re-requested by its owner")
 	}
 	if !ls.held {
-		// No owner anywhere: grant directly; the token starts empty.
+		// No owner anywhere: grant directly. The token starts empty
+		// unless a recovery reclaimed it from a crashed holder with its
+		// notices attached.
 		ls.held = true
 		ls.holder = from
-		e.grantCachedToken(p, from, id, nil)
+		tok := ls.reclaimed
+		ls.reclaimed = nil
+		e.grantCachedToken(p, from, id, tok)
 		return
 	}
 	e.counters.LockWaits++
@@ -134,6 +143,7 @@ func (e *Engine) revokeAt(p *sim.Proc, node, id int) {
 	nl.cached = false
 	tok := nl.notices
 	nl.notices = nil
+	e.forwardToken(p, node, id, nl)
 	mgr := e.lockManager(id)
 	if mgr == node {
 		e.tokenReturned(p, id, tok)
@@ -168,7 +178,7 @@ func (e *Engine) tokenReturned(p *sim.Proc, id int, tok []dsm.WriteNotice) {
 func (e *Engine) grantCachedToken(p *sim.Proc, to, id int, tok []dsm.WriteNotice) {
 	mgr := e.lockManager(id)
 	if to == mgr {
-		e.applyCachedGrant(to, id, tok)
+		e.applyCachedGrant(p, to, id, tok)
 		return
 	}
 	e.send(p, mgr, to, msgLockGrant, 16+8*len(tok), lockMsg{Lock: id, Notices: tok})
@@ -177,13 +187,14 @@ func (e *Engine) grantCachedToken(p *sim.Proc, to, id int, tok []dsm.WriteNotice
 // applyCachedGrant installs the token at the acquiring node. The token
 // arrives already claimed (inUse) for the waiting acquirer, so a revoke
 // processed before the acquirer resumes cannot ship it away.
-func (e *Engine) applyCachedGrant(node, id int, tok []dsm.WriteNotice) {
+func (e *Engine) applyCachedGrant(p *sim.Proc, node, id int, tok []dsm.WriteNotice) {
 	ns := e.nodes[node]
 	e.applyGrantInvalidations(node, tok)
 	nl := ns.nodeLockFor(id)
 	nl.cached = true
 	nl.inUse = true
 	nl.notices = tok
+	e.forwardToken(p, node, id, nl)
 	gate := ns.lockGate[id]
 	delete(ns.lockGate, id)
 	gate.Open()

@@ -3,26 +3,46 @@ package hlrc
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"sort"
+
+	"parade/internal/dsm"
 )
 
 // StateFingerprint hashes the cluster's final DSM state: every node's
 // page states, permissions, and home directory, plus the contents of
-// each page's authoritative copy (the frame held at its home node).
+// each page's authoritative copy (the frame held at its home node),
+// plus the lock-subsystem state (manager tables, cached tokens) and
+// the pending write-notice state (token notices, the master barrier's
+// in-flight modifier sets — empty at quiescence).
 // Replica frames are deliberately excluded — under lazy release
 // consistency a replica fetched while the home was concurrently writing
 // (legal for a nowait loop's non-conflicting accesses) snapshots
 // timing-dependent bytes, while the home copy and every directory entry
-// are fixed by program order alone. Two runs that agree on the
-// fingerprint converged to the same protocol state and shared memory —
-// the chaos harness compares it between fault-free and fault-injected
-// runs of the same program, which must agree because the reliability
-// sublayer hides every injected fault from the protocol.
+// are fixed by program order alone. For the same reason the lock
+// sections hash page SETS, never the last-modifier ids: which of two
+// racing critical sections ran last is a timing artifact, but the union
+// of pages ever dirtied under a lock is fixed by the program. Two runs
+// that agree on the fingerprint converged to the same protocol state
+// and shared memory — the chaos harness compares it between fault-free
+// and fault-injected runs of the same program, and the crash harness
+// between fault-free and crash-recovered runs.
 func (e *Engine) StateFingerprint() uint64 {
 	h := fnv.New64a()
 	var word [8]byte
 	writeInt := func(v int) {
 		binary.LittleEndian.PutUint64(word[:], uint64(int64(v)))
 		h.Write(word[:])
+	}
+	writeNoticePages := func(notices []dsm.WriteNotice) {
+		pages := make([]int, 0, len(notices))
+		for _, wn := range notices {
+			pages = append(pages, wn.Page)
+		}
+		sort.Ints(pages)
+		writeInt(len(pages))
+		for _, pg := range pages {
+			writeInt(pg)
+		}
 	}
 	for node, ns := range e.nodes {
 		writeInt(node)
@@ -42,6 +62,78 @@ func (e *Engine) StateFingerprint() uint64 {
 			}
 			writeInt(1 + len(frame))
 			h.Write(frame)
+		}
+		// Cached lock tokens resident on this node.
+		ids := make([]int, 0, len(ns.lockCache))
+		for id := range ns.lockCache {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		writeInt(len(ids))
+		for _, id := range ids {
+			nl := ns.lockCache[id]
+			flags := 0
+			if nl.cached {
+				flags |= 1
+			}
+			if nl.inUse {
+				flags |= 2
+			}
+			if nl.revokePending {
+				flags |= 4
+			}
+			writeInt(id<<8 | flags)
+			writeNoticePages(nl.notices)
+		}
+	}
+	// Manager-side lock state.
+	lockIDs := make([]int, 0, len(e.locks))
+	for id := range e.locks {
+		lockIDs = append(lockIDs, id)
+	}
+	sort.Ints(lockIDs)
+	writeInt(len(lockIDs))
+	for _, id := range lockIDs {
+		ls := e.locks[id]
+		holder := -1
+		if ls.held {
+			holder = ls.holder
+		}
+		writeInt(id)
+		writeInt(holder)
+		writeInt(len(ls.queue))
+		for _, q := range ls.queue {
+			writeInt(q)
+		}
+		pages := make([]int, 0, len(ls.notices))
+		for pg := range ls.notices {
+			pages = append(pages, pg)
+		}
+		sort.Ints(pages)
+		writeInt(len(pages))
+		for _, pg := range pages {
+			writeInt(pg)
+		}
+		writeNoticePages(ls.reclaimed)
+	}
+	// The master barrier's pending write notices (empty at quiescence).
+	mbPages := make([]int, 0, len(e.master.modifiers))
+	for pg := range e.master.modifiers {
+		mbPages = append(mbPages, pg)
+	}
+	sort.Ints(mbPages)
+	writeInt(len(mbPages))
+	for _, pg := range mbPages {
+		set := e.master.modifiers[pg]
+		mods := make([]int, 0, len(set))
+		for n := range set {
+			mods = append(mods, n)
+		}
+		sort.Ints(mods)
+		writeInt(pg)
+		writeInt(len(mods))
+		for _, n := range mods {
+			writeInt(n)
 		}
 	}
 	return h.Sum64()

@@ -12,26 +12,29 @@ import "parade/internal/sim"
 // Ring algorithm: n-1 rounds, each rank forwarding the newest block to
 // its successor — bandwidth-optimal for large blocks.
 func (e *Endpoint) Allgather(p *sim.Proc, val any, bytes int) []any {
-	n := e.world.Size()
-	out := make([]any, n)
+	w := e.world
+	n := w.AliveSize()
+	out := make([]any, w.Size()) // physical indexing; removed ranks nil
 	out[e.rank] = val
 	if n == 1 {
 		return out
 	}
 	tag := e.nextCollTag()
-	rec, t0 := e.world.collStart()
-	succ := (e.rank + 1) % n
-	pred := (e.rank - 1 + n) % n
-	// In round r we send the block that originated at rank - r and
-	// receive the block that originated at pred - r.
+	rec, t0 := w.collStart()
+	idx := w.logicalOf(e.rank)
+	succ := w.phys((idx + 1) % n)
+	predIdx := (idx - 1 + n) % n
+	pred := w.phys(predIdx)
+	// In round r we send the block that originated at position idx - r
+	// and receive the block that originated at position predIdx - r.
 	for r := 0; r < n-1; r++ {
-		sendOrigin := (e.rank - r + n) % n
-		recvOrigin := (pred - r + n) % n
+		sendOrigin := w.phys((idx - r + n) % n)
+		recvOrigin := w.phys((predIdx - r + n) % n)
 		e.send(p, succ, tag+r, out[sendOrigin], bytes)
 		m := e.Recv(p, pred, tag+r)
 		out[recvOrigin] = m.Payload
 	}
-	rec.Collective(t0, e.world.s.Now(), e.rank, "allgather", bytes)
+	rec.Collective(t0, w.s.Now(), e.rank, "allgather", bytes)
 	return out
 }
 
@@ -39,21 +42,23 @@ func (e *Endpoint) Allgather(p *sim.Proc, val any, bytes int) []any {
 // rank's element. vals is only read on the root. Linear sends: the
 // paper-era MPICH default for small scatters.
 func (e *Endpoint) Scatter(p *sim.Proc, root int, vals []any, bytes int) any {
-	n := e.world.Size()
+	w := e.world
+	n := w.AliveSize()
 	tag := e.nextCollTag()
-	rec, t0 := e.world.collStart()
+	rec, t0 := w.collStart()
 	if e.rank == root {
-		for r := 0; r < n; r++ {
+		for i := 0; i < n; i++ {
+			r := w.phys(i)
 			if r == root {
 				continue
 			}
 			e.send(p, r, tag, vals[r], bytes)
 		}
-		rec.Collective(t0, e.world.s.Now(), e.rank, "scatter", bytes)
+		rec.Collective(t0, w.s.Now(), e.rank, "scatter", bytes)
 		return vals[root]
 	}
 	v := e.Recv(p, root, tag).Payload
-	rec.Collective(t0, e.world.s.Now(), e.rank, "scatter", bytes)
+	rec.Collective(t0, w.s.Now(), e.rank, "scatter", bytes)
 	return v
 }
 
@@ -62,32 +67,36 @@ func (e *Endpoint) Scatter(p *sim.Proc, root int, vals []any, bytes int) any {
 // Pairwise exchange: n-1 rounds with partner rank^r for power-of-two
 // sizes, shifted partners otherwise.
 func (e *Endpoint) Alltoall(p *sim.Proc, vals []any, bytes int) []any {
-	n := e.world.Size()
-	out := make([]any, n)
+	w := e.world
+	n := w.AliveSize()
+	out := make([]any, w.Size()) // physical indexing; removed ranks nil
 	out[e.rank] = vals[e.rank]
 	if n == 1 {
 		return out
 	}
 	tag := e.nextCollTag()
-	rec, t0 := e.world.collStart()
+	rec, t0 := w.collStart()
+	idx := w.logicalOf(e.rank)
 	pow2 := n&(n-1) == 0
 	for r := 1; r < n; r++ {
-		var partner int
+		var pIdx int
 		if pow2 {
-			partner = e.rank ^ r
+			pIdx = idx ^ r
 		} else {
-			partner = (e.rank + r) % n
+			pIdx = (idx + r) % n
 		}
+		partner := w.phys(pIdx)
 		e.send(p, partner, tag+r, vals[partner], bytes)
-		var from int
+		var fIdx int
 		if pow2 {
-			from = partner
+			fIdx = pIdx
 		} else {
-			from = (e.rank - r + n) % n
+			fIdx = (idx - r + n) % n
 		}
+		from := w.phys(fIdx)
 		m := e.Recv(p, from, tag+r)
 		out[from] = m.Payload
 	}
-	rec.Collective(t0, e.world.s.Now(), e.rank, "alltoall", bytes)
+	rec.Collective(t0, w.s.Now(), e.rank, "alltoall", bytes)
 	return out
 }

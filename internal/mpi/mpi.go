@@ -40,6 +40,13 @@ type World struct {
 	eps      []*Endpoint
 	counters *stats.Counters
 	rec      *obs.Recorder
+
+	// Crash-stop membership: removed marks shrunk ranks, alive lists the
+	// participating physical ranks ascending. alive == nil is the
+	// identity mapping (nobody removed) — the fast path that keeps the
+	// unshrunken communicator's behavior bit-identical.
+	removed []bool
+	alive   []int
 }
 
 // SetRecorder attaches an observability recorder: each rank's pass
@@ -70,6 +77,92 @@ func (w *World) Size() int { return len(w.eps) }
 
 // Rank returns the endpoint for the given rank.
 func (w *World) Rank(r int) *Endpoint { return w.eps[r] }
+
+// Shrink removes rank from the communicator after a crash-stop failure:
+// subsequent collectives run over the surviving ranks only, with
+// logical positions remapped so the tree, recursive-doubling, and
+// dissemination algorithms stay correct over the smaller membership.
+// The removed endpoint must never enter another collective (doing so
+// panics), and every survivor must observe the shrink at the same
+// quiescent point — the recovery protocol's job.
+func (w *World) Shrink(rank int) {
+	if w.removed == nil {
+		w.removed = make([]bool, len(w.eps))
+	}
+	if w.removed[rank] {
+		panic(fmt.Sprintf("mpi: rank %d shrunk twice", rank))
+	}
+	w.removed[rank] = true
+	w.rebuildAlive()
+	if len(w.alive) == 0 {
+		panic("mpi: communicator shrunk to zero ranks")
+	}
+}
+
+// Restore returns a previously shrunk rank to the communicator (a
+// restarted node rejoining at a quiescent point). Its endpoint's
+// collective sequence number is the caller's responsibility to realign
+// — a restarted ParADE node resumes from a checkpoint whose sequence
+// state is part of the snapshot.
+func (w *World) Restore(rank int) {
+	if w.removed == nil || !w.removed[rank] {
+		panic(fmt.Sprintf("mpi: restore of live rank %d", rank))
+	}
+	w.removed[rank] = false
+	w.rebuildAlive()
+}
+
+func (w *World) rebuildAlive() {
+	w.alive = w.alive[:0]
+	any := false
+	for r := range w.eps {
+		if w.removed[r] {
+			any = true
+			continue
+		}
+		w.alive = append(w.alive, r)
+	}
+	if !any {
+		w.alive = nil // back to the identity fast path
+	}
+}
+
+// Removed reports whether rank has been shrunk out of the communicator.
+func (w *World) Removed(rank int) bool {
+	return w.removed != nil && w.removed[rank]
+}
+
+// AliveSize returns the number of ranks currently participating in
+// collectives.
+func (w *World) AliveSize() int {
+	if w.alive == nil {
+		return len(w.eps)
+	}
+	return len(w.alive)
+}
+
+// phys maps a logical collective position to its physical rank.
+func (w *World) phys(idx int) int {
+	if w.alive == nil {
+		return idx
+	}
+	return w.alive[idx]
+}
+
+// logicalOf maps a physical rank to its logical collective position,
+// panicking for a removed rank (a dead endpoint in a collective is a
+// protocol bug, not a recoverable condition).
+func (w *World) logicalOf(rank int) int {
+	if w.alive == nil {
+		return rank
+	}
+	for i, r := range w.alive {
+		if r == rank {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("mpi: rank %d is not in the shrunken communicator", rank))
+}
 
 // Serve spawns a daemon communication pump for every rank that delivers
 // MPI traffic from the network inbox. The ParADE runtime replaces this
@@ -168,20 +261,21 @@ func (e *Endpoint) nextCollTag() int {
 // Bcast broadcasts payload/bytes from root along a binomial tree. On the
 // root it returns payload; elsewhere it returns the received payload.
 func (e *Endpoint) Bcast(p *sim.Proc, root int, payload any, bytes int) any {
-	n := e.world.Size()
+	w := e.world
+	n := w.AliveSize()
 	tag := e.nextCollTag()
 	if n == 1 {
 		return payload
 	}
-	e.world.counters.Bcasts++
-	rec, t0 := e.world.collStart()
-	rel := (e.rank - root + n) % n
+	w.counters.Bcasts++
+	rec, t0 := w.collStart()
+	rel := (w.logicalOf(e.rank) - w.logicalOf(root) + n) % n
 	// Walk up the tree to find our parent: the first set bit of rel
 	// names the round in which we receive.
 	mask := 1
 	for mask < n {
 		if rel&mask != 0 {
-			parent := (e.rank - mask + n) % n
+			parent := w.phys((w.logicalOf(e.rank) - mask + n) % n)
 			m := e.Recv(p, parent, tag)
 			payload = m.Payload
 			bytes = m.Bytes
@@ -192,11 +286,11 @@ func (e *Endpoint) Bcast(p *sim.Proc, root int, payload any, bytes int) any {
 	// Then fan out to our children at decreasing distances.
 	for mask >>= 1; mask > 0; mask >>= 1 {
 		if rel+mask < n {
-			child := (e.rank + mask) % n
+			child := w.phys((w.logicalOf(e.rank) + mask) % n)
 			e.send(p, child, tag, payload, bytes)
 		}
 	}
-	rec.Collective(t0, e.world.s.Now(), e.rank, "bcast", bytes)
+	rec.Collective(t0, w.s.Now(), e.rank, "bcast", bytes)
 	return payload
 }
 
@@ -210,31 +304,36 @@ type CombineFunc func(a, b any) any
 // doubling (log2 n rounds); other counts fall back to a binomial-tree
 // reduce to rank 0 followed by a broadcast.
 func (e *Endpoint) Allreduce(p *sim.Proc, val any, bytes int, combine CombineFunc) any {
-	n := e.world.Size()
+	w := e.world
+	n := w.AliveSize()
 	if n == 1 {
 		return val
 	}
-	e.world.counters.Allreduces++
-	rec, t0 := e.world.collStart()
+	w.counters.Allreduces++
+	rec, t0 := w.collStart()
 	if n&(n-1) == 0 {
 		tag := e.nextCollTag()
+		idx := w.logicalOf(e.rank)
 		for dist := 1; dist < n; dist <<= 1 {
-			partner := e.rank ^ dist
+			partner := w.phys(idx ^ dist)
 			e.send(p, partner, tag+bits.TrailingZeros(uint(dist)), val, bytes)
 			m := e.Recv(p, partner, tag+bits.TrailingZeros(uint(dist)))
 			val = combine(val, m.Payload)
 		}
 	} else {
-		val = e.reduceToRoot(p, 0, val, bytes, combine)
-		val = e.Bcast(p, 0, val, bytes)
+		// A shrunken (non-power-of-two) membership falls back to
+		// reduce+bcast rooted at the smallest surviving rank.
+		root := w.phys(0)
+		val = e.reduceToRoot(p, root, val, bytes, combine)
+		val = e.Bcast(p, root, val, bytes)
 	}
-	rec.Collective(t0, e.world.s.Now(), e.rank, "allreduce", bytes)
+	rec.Collective(t0, w.s.Now(), e.rank, "allreduce", bytes)
 	return val
 }
 
 // Reduce combines contributions onto root; non-root ranks return nil.
 func (e *Endpoint) Reduce(p *sim.Proc, root int, val any, bytes int, combine CombineFunc) any {
-	n := e.world.Size()
+	n := e.world.AliveSize()
 	if n == 1 {
 		return val
 	}
@@ -249,17 +348,19 @@ func (e *Endpoint) Reduce(p *sim.Proc, root int, val any, bytes int, combine Com
 
 // reduceToRoot runs a binomial-tree reduction rooted at root.
 func (e *Endpoint) reduceToRoot(p *sim.Proc, root int, val any, bytes int, combine CombineFunc) any {
-	n := e.world.Size()
+	w := e.world
+	n := w.AliveSize()
 	tag := e.nextCollTag()
-	rel := (e.rank - root + n) % n
+	rootIdx := w.logicalOf(root)
+	rel := (w.logicalOf(e.rank) - rootIdx + n) % n
 	for mask := 1; mask < n; mask <<= 1 {
 		if rel&mask != 0 {
-			parent := (root + rel - mask) % n
+			parent := w.phys((rootIdx + rel - mask) % n)
 			e.send(p, parent, tag, val, bytes)
 			return val // leaf done; its value no longer matters
 		}
 		if rel+mask < n {
-			m := e.Recv(p, (root+rel+mask)%n, tag)
+			m := e.Recv(p, w.phys((rootIdx+rel+mask)%n), tag)
 			val = combine(val, m.Payload)
 		}
 	}
@@ -269,39 +370,43 @@ func (e *Endpoint) reduceToRoot(p *sim.Proc, root int, val any, bytes int, combi
 // Barrier blocks p until every rank has entered, using the dissemination
 // algorithm: ceil(log2 n) rounds of one send and one receive per rank.
 func (e *Endpoint) Barrier(p *sim.Proc) {
-	n := e.world.Size()
+	w := e.world
+	n := w.AliveSize()
 	if n == 1 {
 		return
 	}
-	e.world.counters.MPIBarrier++
-	rec, t0 := e.world.collStart()
+	w.counters.MPIBarrier++
+	rec, t0 := w.collStart()
 	tag := e.nextCollTag()
+	idx := w.logicalOf(e.rank)
 	for round, dist := 0, 1; dist < n; round, dist = round+1, dist<<1 {
-		to := (e.rank + dist) % n
-		from := (e.rank - dist + n) % n
+		to := w.phys((idx + dist) % n)
+		from := w.phys((idx - dist + n) % n)
 		e.send(p, to, tag+round, nil, 0)
 		e.Recv(p, from, tag+round)
 	}
-	rec.Collective(t0, e.world.s.Now(), e.rank, "mpi_barrier", 0)
+	rec.Collective(t0, w.s.Now(), e.rank, "mpi_barrier", 0)
 }
 
 // Gather collects every rank's contribution at root, returned as a slice
 // indexed by rank. Non-root ranks return nil.
 func (e *Endpoint) Gather(p *sim.Proc, root int, val any, bytes int) []any {
-	n := e.world.Size()
+	w := e.world
+	n := w.AliveSize()
 	tag := e.nextCollTag()
-	rec, t0 := e.world.collStart()
+	rec, t0 := w.collStart()
 	if e.rank != root {
 		e.send(p, root, tag, val, bytes)
-		rec.Collective(t0, e.world.s.Now(), e.rank, "gather", bytes)
+		rec.Collective(t0, w.s.Now(), e.rank, "gather", bytes)
 		return nil
 	}
-	out := make([]any, n)
+	// Output stays indexed by physical rank; removed ranks read nil.
+	out := make([]any, w.Size())
 	out[root] = val
 	for i := 0; i < n-1; i++ {
 		m := e.Recv(p, AnySource, tag)
 		out[m.From] = m.Payload
 	}
-	rec.Collective(t0, e.world.s.Now(), e.rank, "gather", bytes)
+	rec.Collective(t0, w.s.Now(), e.rank, "gather", bytes)
 	return out
 }

@@ -1,0 +1,121 @@
+package mpi
+
+import (
+	"testing"
+
+	"parade/internal/netsim"
+	"parade/internal/sim"
+	"parade/internal/stats"
+)
+
+// shrinkHarness builds a world of n ranks, shrinks out the given ranks,
+// and runs body once per surviving rank.
+func shrinkHarness(t *testing.T, n int, gone []int, body func(p *sim.Proc, ep *Endpoint)) *World {
+	t.Helper()
+	s := sim.New(1)
+	cpus := make([]*sim.CPU, n)
+	for i := range cpus {
+		cpus[i] = sim.NewCPU(s, 2, 0)
+	}
+	c := &stats.Counters{}
+	net := netsim.New(s, n, netsim.VIA(), cpus, c)
+	w := NewWorld(s, net, c)
+	w.Serve()
+	for _, r := range gone {
+		w.Shrink(r)
+	}
+	for r := 0; r < n; r++ {
+		if w.Removed(r) {
+			continue
+		}
+		ep := w.Rank(r)
+		s.Spawn("rank", func(p *sim.Proc) { body(p, ep) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestShrinkCollectives: after shrinking one rank out of four, every
+// collective still produces correct results over the three survivors
+// (a non-power-of-two membership, so Allreduce takes the fallback path
+// and the logical remapping is exercised everywhere).
+func TestShrinkCollectives(t *testing.T) {
+	const n = 4
+	sum := func(a, b any) any { return a.(int) + b.(int) }
+	bcast := make([]any, n)
+	allred := make([]any, n)
+	var gathered []any
+	allg := make([][]any, n)
+	shrinkHarness(t, n, []int{2}, func(p *sim.Proc, ep *Endpoint) {
+		r := ep.RankID()
+		bcast[r] = ep.Bcast(p, 0, "hello", 8)
+		allred[r] = ep.Allreduce(p, 1<<r, 8, sum)
+		ep.Barrier(p)
+		if g := ep.Gather(p, 0, r*10, 8); g != nil {
+			gathered = g
+		}
+		allg[r] = ep.Allgather(p, r+100, 8)
+	})
+	want := 1 + 2 + 8 // ranks 0, 1, 3
+	for _, r := range []int{0, 1, 3} {
+		if bcast[r] != "hello" {
+			t.Fatalf("rank %d bcast got %v", r, bcast[r])
+		}
+		if allred[r] != want {
+			t.Fatalf("rank %d allreduce got %v, want %d", r, allred[r], want)
+		}
+		if allg[r][2] != nil {
+			t.Fatalf("rank %d allgather has a block from the removed rank: %v", r, allg[r][2])
+		}
+		for _, src := range []int{0, 1, 3} {
+			if allg[r][src] != src+100 {
+				t.Fatalf("rank %d allgather[%d] = %v", r, src, allg[r][src])
+			}
+		}
+	}
+	if gathered[0] != 0 || gathered[1] != 10 || gathered[3] != 30 || gathered[2] != nil {
+		t.Fatalf("gather got %v", gathered)
+	}
+}
+
+// TestShrinkPowerOfTwoAllreduce: shrinking 4 -> 2 keeps a power-of-two
+// membership, so recursive doubling runs over remapped partners.
+func TestShrinkPowerOfTwoAllreduce(t *testing.T) {
+	sum := func(a, b any) any { return a.(int) + b.(int) }
+	got := make([]any, 4)
+	shrinkHarness(t, 4, []int{1, 2}, func(p *sim.Proc, ep *Endpoint) {
+		got[ep.RankID()] = ep.Allreduce(p, ep.RankID()+1, 8, sum)
+	})
+	for _, r := range []int{0, 3} {
+		if got[r] != 5 { // 1 + 4
+			t.Fatalf("rank %d allreduce got %v, want 5", r, got[r])
+		}
+	}
+}
+
+// TestShrinkRestoreIdentity: restoring every shrunk rank returns the
+// communicator to the identity mapping (AliveSize == Size, nobody
+// removed), so a restarted node resumes full-membership collectives.
+func TestShrinkRestoreIdentity(t *testing.T) {
+	s := sim.New(1)
+	cpus := []*sim.CPU{sim.NewCPU(s, 2, 0), sim.NewCPU(s, 2, 0), sim.NewCPU(s, 2, 0)}
+	c := &stats.Counters{}
+	net := netsim.New(s, 3, netsim.VIA(), cpus, c)
+	w := NewWorld(s, net, c)
+	w.Shrink(1)
+	if w.AliveSize() != 2 || !w.Removed(1) {
+		t.Fatalf("AliveSize=%d Removed(1)=%v after shrink", w.AliveSize(), w.Removed(1))
+	}
+	if got := w.phys(1); got != 2 {
+		t.Fatalf("logical 1 maps to %d, want 2", got)
+	}
+	w.Restore(1)
+	if w.AliveSize() != 3 || w.Removed(1) {
+		t.Fatalf("AliveSize=%d Removed(1)=%v after restore", w.AliveSize(), w.Removed(1))
+	}
+	if w.alive != nil {
+		t.Fatal("identity fast path not restored after Restore")
+	}
+}

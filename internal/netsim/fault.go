@@ -125,6 +125,18 @@ func ProfileChaos(seed int64) Profile {
 	return p.WithDefaults()
 }
 
+// ProfileCrashOnly injects no link faults at all: it exists to arm the
+// reliability sublayer (whose retry exhaustion is the crash detector)
+// for runs whose only injected fault is a node crash. The tight retry
+// budget keeps detection latency in the low-millisecond virtual range.
+// It is deliberately NOT in Profiles(): the chaos matrix asserts every
+// registered profile provokes at least one retransmission, which a
+// zero-fault plane by design never does.
+func ProfileCrashOnly(seed int64) Profile {
+	return Profile{Name: "crash-only", Seed: seed,
+		RTOCap: 200 * sim.Microsecond, MaxAttempts: 8}.WithDefaults()
+}
+
 // Profiles returns every built-in profile seeded from seed.
 func Profiles(seed int64) []Profile {
 	return []Profile{
@@ -163,6 +175,7 @@ func (n *Network) EnableFaults(prof Profile) *FaultPlane {
 	}
 	n.fault = fp
 	n.rel = newRelState(len(n.inbox))
+	n.down = make([]bool, len(n.inbox))
 	return fp
 }
 

@@ -100,6 +100,11 @@ type Network struct {
 	rec      *obs.Recorder
 	fault    *FaultPlane // nil: ideal fabric, original Send path
 	rel      *relState   // reliability sublayer state (set with fault)
+
+	// Crash-stop state (crash.go); down is allocated with the fault plane.
+	down        []bool
+	onPeerDown  func(observer, dead int)
+	peerDownErr *PeerDownError
 }
 
 // SetRecorder attaches an observability recorder for per-node traffic

@@ -20,8 +20,6 @@
 package netsim
 
 import (
-	"fmt"
-
 	"parade/internal/sim"
 )
 
@@ -34,6 +32,7 @@ type pendingFrame struct {
 	seq       int64
 	attempts  int // retransmissions so far
 	firstSent sim.Time
+	epoch     int // link epoch at first send (stale after a link reset)
 }
 
 // relLink is the reliability state of one directed link. Both endpoints'
@@ -45,6 +44,10 @@ type relLink struct {
 	// Receiver side.
 	expected int64              // next in-order sequence number
 	buffer   map[int64]*Message // out-of-order arrivals awaiting the gap
+	// epoch increments on every link reset (node restart/shrink); timer
+	// and arrival closures carry the epoch they were armed under and
+	// no-op when it no longer matches.
+	epoch int
 }
 
 // relState holds the per-link reliability state, indexed from*nodes+to.
@@ -78,7 +81,7 @@ func (n *Network) sendReliable(p *sim.Proc, m *Message) {
 		n.rec.MsgSent(n.sim.Now(), m.From, m.To, m.Bytes+n.fabric.HeaderBytes, int(m.Kind))
 	}
 	lk := n.rel.link(m.From, m.To)
-	pf := &pendingFrame{m: m, seq: lk.nextSeq, firstSent: n.sim.Now()}
+	pf := &pendingFrame{m: m, seq: lk.nextSeq, firstSent: n.sim.Now(), epoch: lk.epoch}
 	lk.nextSeq++
 	lk.pending[pf.seq] = pf
 	n.transmitFrame(pf)
@@ -93,6 +96,9 @@ func (n *Network) sendReliable(p *sim.Proc, m *Message) {
 func (n *Network) transmitFrame(pf *pendingFrame) {
 	m := pf.m
 	from, to := m.From, m.To
+	if n.down != nil && n.down[from] {
+		return // a dead node puts nothing on the wire
+	}
 	fp := n.fault
 	now := n.sim.Now()
 	if pf.attempts > 0 {
@@ -116,7 +122,7 @@ func (n *Network) transmitFrame(pf *pendingFrame) {
 	// overtaken by up to ReorderWindow back-to-back successors.
 	frameTime := xfer + n.fabric.Latency
 	maxHold := sim.Duration(lf.ReorderWindow) * frameTime
-	seq := pf.seq
+	seq, ep := pf.seq, pf.epoch
 	dropped := lf.DropProb > 0 && fp.rng.Float64() < lf.DropProb
 	if dropped {
 		n.counters.InjectedDrops++
@@ -126,10 +132,10 @@ func (n *Network) transmitFrame(pf *pendingFrame) {
 			hold = sim.Duration(fp.rng.Int63n(int64(maxHold) + 1))
 			n.counters.InjectedDelays++
 		}
-		n.sim.At(sim.Duration(arrive-now)+hold, func() { n.arriveData(from, to, seq, m) })
+		n.sim.At(sim.Duration(arrive-now)+hold, func() { n.arriveData(from, to, seq, ep, m) })
 		if lf.DupProb > 0 && fp.rng.Float64() < lf.DupProb {
 			n.counters.InjectedDups++
-			n.sim.At(sim.Duration(arrive-now)+hold+frameTime, func() { n.arriveData(from, to, seq, m) })
+			n.sim.At(sim.Duration(arrive-now)+hold+frameTime, func() { n.arriveData(from, to, seq, ep, m) })
 		}
 	}
 
@@ -148,7 +154,7 @@ func (n *Network) transmitFrame(pf *pendingFrame) {
 		slack = fp.prof.RTOCap
 	}
 	timeout := sim.Duration(arrive-now) + maxHold + n.ackReturnTime() + slack
-	n.sim.At(timeout, func() { n.frameTimeout(from, to, seq) })
+	n.sim.At(timeout, func() { n.frameTimeout(from, to, seq, ep) })
 }
 
 // ackReturnTime is the modeled latency of an ack control frame.
@@ -157,9 +163,17 @@ func (n *Network) ackReturnTime() sim.Duration {
 }
 
 // frameTimeout fires when a data frame's ack deadline passes. A frame
-// acked in the meantime left the pending map and the timer is stale.
-func (n *Network) frameTimeout(from, to int, seq int64) {
+// acked in the meantime left the pending map and the timer is stale, as
+// is a timer from before a link reset (epoch mismatch). A crashed
+// sender's timers freeze: a dead node does not retransmit.
+func (n *Network) frameTimeout(from, to int, seq int64, ep int) {
 	lk := n.rel.link(from, to)
+	if lk.epoch != ep {
+		return
+	}
+	if n.down != nil && n.down[from] {
+		return
+	}
 	pf := lk.pending[seq]
 	if pf == nil {
 		return
@@ -168,8 +182,10 @@ func (n *Network) frameTimeout(from, to int, seq int64) {
 	n.counters.Timeouts++
 	n.rec.Timeout(from)
 	if pf.attempts > n.fault.prof.MaxAttempts {
-		panic(fmt.Sprintf("netsim: frame %d->%d seq %d undeliverable after %d attempts",
-			from, to, seq, pf.attempts))
+		// Retry budget exhausted: declare the peer dead instead of
+		// retransmitting forever (or panicking, as before crash support).
+		n.peerDown(from, to, pf.attempts)
+		return
 	}
 	n.counters.Retransmits++
 	n.rec.Retransmit(from)
@@ -178,9 +194,16 @@ func (n *Network) frameTimeout(from, to int, seq int64) {
 
 // arriveData handles one data-frame arrival at the receiving NIC:
 // suppress duplicates, restore per-link order, release in-order messages
-// to the inbox, and acknowledge cumulatively.
-func (n *Network) arriveData(from, to int, seq int64, m *Message) {
+// to the inbox, and acknowledge cumulatively. Frames addressed to a
+// crashed node, or arriving from before a link reset, evaporate.
+func (n *Network) arriveData(from, to int, seq int64, ep int, m *Message) {
 	lk := n.rel.link(from, to)
+	if lk.epoch != ep {
+		return
+	}
+	if n.down != nil && n.down[to] {
+		return
+	}
 	if seq < lk.expected || lk.buffer[seq] != nil {
 		// A late original after a retransmit already delivered, or an
 		// injected duplicate. Re-ack so the sender stops resending.
@@ -217,14 +240,18 @@ func (n *Network) sendAck(from, to int) {
 		n.counters.InjectedDrops++
 		return
 	}
-	n.sim.At(n.ackReturnTime(), func() { n.arriveAck(from, to, acked) })
+	ep := lk.epoch
+	n.sim.At(n.ackReturnTime(), func() { n.arriveAck(from, to, acked, ep) })
 }
 
 // arriveAck clears every pending frame the cumulative ack covers and
 // records the first-send-to-ack latency of frames that needed a
-// retransmission.
-func (n *Network) arriveAck(from, to int, acked int64) {
+// retransmission. Acks from before a link reset are stale.
+func (n *Network) arriveAck(from, to int, acked int64, ep int) {
 	lk := n.rel.link(from, to)
+	if lk.epoch != ep {
+		return
+	}
 	now := n.sim.Now()
 	for seq, pf := range lk.pending {
 		if seq > acked {

@@ -10,29 +10,31 @@ import (
 // Histogram identifiers. All latency histograms are in virtual
 // nanoseconds; HistDiffBytes is in bytes.
 const (
-	HistPageFetch    = iota // fault -> page installed
-	HistDiffFlush           // flush start -> last home ack
-	HistLockAcquire         // AcquireLock entry -> grant
-	HistBarrierWait         // SDSM barrier entry -> departure
-	HistDirective           // directive entry -> completion, per thread
-	HistCollective          // MPI collective entry -> completion, per rank
-	HistCPUWait             // time a runnable proc queued for a busy CPU
-	HistDiffBytes           // wire size of each created diff
-	HistRetryLatency        // first send -> ack, frames that needed a retransmit
+	HistPageFetch       = iota // fault -> page installed
+	HistDiffFlush              // flush start -> last home ack
+	HistLockAcquire            // AcquireLock entry -> grant
+	HistBarrierWait            // SDSM barrier entry -> departure
+	HistDirective              // directive entry -> completion, per thread
+	HistCollective             // MPI collective entry -> completion, per rank
+	HistCPUWait                // time a runnable proc queued for a busy CPU
+	HistDiffBytes              // wire size of each created diff
+	HistRetryLatency           // first send -> ack, frames that needed a retransmit
+	HistRecoveryLatency        // crash detected -> recovery complete, per execution
 	NumHists
 )
 
 // histDefs gives each histogram its stable exported name and unit.
 var histDefs = [NumHists]struct{ Name, Unit string }{
-	HistPageFetch:    {"page_fetch", "ns"},
-	HistDiffFlush:    {"diff_flush", "ns"},
-	HistLockAcquire:  {"lock_acquire", "ns"},
-	HistBarrierWait:  {"barrier_wait", "ns"},
-	HistDirective:    {"directive", "ns"},
-	HistCollective:   {"collective", "ns"},
-	HistCPUWait:      {"cpu_wait", "ns"},
-	HistDiffBytes:    {"diff_size", "bytes"},
-	HistRetryLatency: {"retry_latency", "ns"},
+	HistPageFetch:       {"page_fetch", "ns"},
+	HistDiffFlush:       {"diff_flush", "ns"},
+	HistLockAcquire:     {"lock_acquire", "ns"},
+	HistBarrierWait:     {"barrier_wait", "ns"},
+	HistDirective:       {"directive", "ns"},
+	HistCollective:      {"collective", "ns"},
+	HistCPUWait:         {"cpu_wait", "ns"},
+	HistDiffBytes:       {"diff_size", "bytes"},
+	HistRetryLatency:    {"retry_latency", "ns"},
+	HistRecoveryLatency: {"recovery_latency", "ns"},
 }
 
 // HistName returns the stable name of histogram id (as used in the
@@ -72,6 +74,14 @@ type NodeCounters struct {
 	Retransmits    int64 `json:"rel_retransmits,omitempty"`
 	DupsSuppressed int64 `json:"rel_dups_suppressed,omitempty"`
 	AcksSent       int64 `json:"rel_acks_sent,omitempty"`
+
+	// Crash faults and recovery (nonzero only with a crash plan).
+	Crashes   int64 `json:"crash_injected,omitempty"`
+	Restarts  int64 `json:"crash_restarts,omitempty"`
+	PeerDowns int64 `json:"rel_peer_downs,omitempty"`
+	CkptMsgs  int64 `json:"ckpt_msgs,omitempty"`
+	CkptBytes int64 `json:"ckpt_bytes,omitempty"`
+	Recovered int64 `json:"recovery_runs,omitempty"`
 }
 
 // PhaseCounters is the activity attributed to one parallel region (or

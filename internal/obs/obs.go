@@ -410,6 +410,52 @@ func (r *Recorder) RetrySettled(firstSent, acked sim.Time, node int) {
 	r.m.hist[HistRetryLatency].Observe(int64(acked - firstSent))
 }
 
+// --- netsim + hlrc: crash faults and recovery ---
+
+// CrashInjected counts a crash-stop event on node.
+func (r *Recorder) CrashInjected(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).Crashes++
+}
+
+// NodeRestarted counts a crashed node coming back.
+func (r *Recorder) NodeRestarted(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).Restarts++
+}
+
+// PeerDown counts a retry-budget exhaustion observed by node.
+func (r *Recorder) PeerDown(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).PeerDowns++
+}
+
+// CkptShipped records one checkpoint message node sent to its buddy.
+func (r *Recorder) CkptShipped(node, bytes int) {
+	if r == nil {
+		return
+	}
+	nc := r.m.node(node)
+	nc.CkptMsgs++
+	nc.CkptBytes += int64(bytes)
+}
+
+// RecoveryDone records one completed recovery execution: detection
+// instant through the last repair action, attributed to the master.
+func (r *Recorder) RecoveryDone(start, end sim.Time, node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).Recovered++
+	r.m.hist[HistRecoveryLatency].Observe(int64(end - start))
+}
+
 // --- mpi ---
 
 // Collective records one rank's pass through an MPI collective.

@@ -61,6 +61,18 @@ type Counters struct {
 	InjectedDrops  int64 // data or ack frames lost on the wire
 	InjectedDups   int64 // data frames delivered twice
 	InjectedDelays int64 // data frames held back for reordering
+
+	// Crash-stop faults and the recovery protocol above them.
+	Crashes        int64 // node crash events injected
+	NodeRestarts   int64 // crashed nodes brought back
+	PeerDowns      int64 // links that exhausted their retry budget
+	CkptMsgs       int64 // checkpoint messages shipped to buddy nodes
+	CkptBytes      int64 // payload bytes of checkpoint traffic
+	Recoveries     int64 // recovery protocol executions
+	ResentBundles  int64 // diff bundles resent to a restarted node
+	Refetches      int64 // stuck page fetches reissued during recovery
+	ReclaimedLocks int64 // orphaned lock tokens reclaimed
+	PagesRestored  int64 // pages reinstalled from a buddy mirror
 }
 
 // Reset zeroes every counter.
@@ -103,6 +115,17 @@ func (c *Counters) Map() map[string]int64 {
 		"faults_dropped":    c.InjectedDrops,
 		"faults_duplicated": c.InjectedDups,
 		"faults_delayed":    c.InjectedDelays,
+
+		"crash_injected":           c.Crashes,
+		"crash_restarts":           c.NodeRestarts,
+		"rel_peer_downs":           c.PeerDowns,
+		"ckpt_messages":            c.CkptMsgs,
+		"ckpt_bytes":               c.CkptBytes,
+		"recovery_runs":            c.Recoveries,
+		"recovery_resent_bundles":  c.ResentBundles,
+		"recovery_refetches":       c.Refetches,
+		"recovery_reclaimed_locks": c.ReclaimedLocks,
+		"recovery_pages_restored":  c.PagesRestored,
 	}
 	for k, v := range m {
 		if v == 0 {
