@@ -80,11 +80,11 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the fault-injection matrix (app kernels under every fault profile) instead of figures")
 	chaosNodes := flag.Int("chaos-nodes", 4, "chaos: cluster size")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault-plane seed")
-	chaosApps := flag.String("chaos-apps", "", "chaos: comma-separated subset of helmholtz,ep,cg,md (empty = all)")
+	chaosApps := flag.String("chaos-apps", "", "chaos: comma-separated subset of helmholtz,ep,cg,md,quad,lockmix (empty = all)")
 	chaosProfiles := flag.String("chaos-profiles", "", "chaos: comma-separated subset of drop,dup,reorder,straggler,chaos (empty = all)")
 	crash := flag.Bool("crash", false, "run the crash-stop acceptance matrix (checkpoint/restart recovery) instead of figures")
 	crashNodes := flag.Int("crash-nodes", 4, "crash: cluster size")
-	crashApps := flag.String("crash-apps", "", "crash: comma-separated subset of helmholtz,ep,cg,md,lockmix (empty = all)")
+	crashApps := flag.String("crash-apps", "", "crash: comma-separated subset of helmholtz,ep,cg,md,quad,lockmix (empty = all)")
 	flag.Parse()
 
 	if *crash {

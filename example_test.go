@@ -75,18 +75,20 @@ func ExampleThread_Single() {
 	// Output: [2.5 2.5 2.5 2.5]
 }
 
-// Dynamic scheduling (the paper's future-work extension): an imbalanced
-// loop spreads across the team chunk by chunk.
-func ExampleThread_ForDynamic() {
+// Loop schedules are functional options on For: here the dynamic
+// schedule (the paper's future-work extension) spreads an imbalanced
+// loop across the team chunk by chunk.
+func ExampleThread_For() {
 	cfg := parade.Config{Nodes: 2, ThreadsPerNode: 1}
 	_, err := parade.Run(cfg, func(m *parade.Thread) {
 		shares := make([]int, 2)
 		m.Parallel(func(tc *parade.Thread) {
 			// Each iteration carries compute cost, so chunks interleave
 			// between the nodes instead of one racing through them all.
-			tc.ForDynamic("work", 0, 100, 8, 50*1000, func(i int) {
+			tc.For(0, 100, func(i int) {
 				shares[tc.GID()]++
-			})
+			}, parade.WithName("work"), parade.WithSchedule(parade.Dynamic, 8),
+				parade.WithIterCost(50*1000))
 		})
 		fmt.Printf("both threads got work: %v (total %d)\n",
 			shares[0] > 0 && shares[1] > 0, shares[0]+shares[1])
@@ -95,4 +97,46 @@ func ExampleThread_ForDynamic() {
 		fmt.Println(err)
 	}
 	// Output: both threads got work: true (total 100)
+}
+
+// Explicit tasks: spawned work lands on the spawner's node deque, idle
+// nodes steal it over the fabric, and Taskwait returns the merged sum
+// of every task's result — identical on all threads, bit-for-bit, no
+// matter which node executed what.
+func ExampleThread_Task() {
+	cfg := parade.Config{Nodes: 2, ThreadsPerNode: 1}
+	_, err := parade.Run(cfg, func(m *parade.Thread) {
+		m.Parallel(func(tc *parade.Thread) {
+			if tc.GID() == 0 {
+				for k := 1; k <= 10; k++ {
+					v := float64(k)
+					tc.Task(func(ex *parade.Thread) float64 { return v })
+				}
+			}
+			total := tc.Taskwait()
+			tc.Master(func() { fmt.Printf("total = %.0f\n", total) })
+		})
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output: total = 55
+}
+
+// Taskloop chunks an iteration space into stealable tasks and joins
+// them, returning the summed body results.
+func ExampleThread_Taskloop() {
+	cfg := parade.Config{Nodes: 2, ThreadsPerNode: 2}
+	_, err := parade.Run(cfg, func(m *parade.Thread) {
+		m.Parallel(func(tc *parade.Thread) {
+			sum := tc.Taskloop(1, 101, func(ex *parade.Thread, i int) float64 {
+				return float64(i)
+			}, parade.WithGrainsize(10))
+			tc.Master(func() { fmt.Printf("sum = %.0f\n", sum) })
+		})
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output: sum = 5050
 }

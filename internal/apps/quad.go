@@ -1,0 +1,163 @@
+package apps
+
+import (
+	"math"
+
+	"parade/internal/core"
+	"parade/internal/sim"
+)
+
+// Quad is the irregular kernel of the tasking runtime: adaptive Simpson
+// quadrature of an increasingly oscillatory integrand. Refinement depth
+// varies wildly across the interval, so a static partition is badly
+// imbalanced by construction — exactly the workload class the paper's
+// §8 names as the open problem, and the one task spawning plus
+// cross-node stealing is built for.
+//
+// The kernel has two task phases. Phase A is the adaptive recursion:
+// every interval that fails its error test spawns its two halves as
+// child tasks, and converged leaves return their Richardson-extrapolated
+// estimate — the integral is exactly the Taskwait sum, returned through
+// the update-protocol collective (no shared-memory writes at all).
+// Phase B tabulates the integrand into shared memory with a Taskloop,
+// exercising task-made DSM writes: element values depend only on the
+// index, so any steal schedule produces the same table. A final static
+// rewrite pass (the lockmix determinization precedent) makes each
+// page's last writer schedule-independent, so the run's MemHash is
+// bit-identical across fault profiles, crash plans, and steal orders.
+
+// QuadParams sizes the kernel.
+type QuadParams struct {
+	A, B     float64      // integration interval
+	Tol      float64      // absolute error target for phase A
+	MaxDepth int          // refinement depth cap
+	Segments int          // initial root tasks the interval splits into
+	Samples  int          // phase B table size
+	PerEval  sim.Duration // virtual cost per integrand evaluation
+}
+
+// QuadDefault is the standard shape.
+func QuadDefault() QuadParams {
+	return QuadParams{A: 0, B: 2, Tol: 1e-8, MaxDepth: 14, Segments: 16,
+		Samples: 1024, PerEval: 2 * sim.Microsecond}
+}
+
+// QuadTest is a small configuration for unit tests and the acceptance
+// matrices.
+func QuadTest() QuadParams {
+	return QuadParams{A: 0, B: 2, Tol: 1e-6, MaxDepth: 10, Segments: 8,
+		Samples: 256, PerEval: 2 * sim.Microsecond}
+}
+
+// quadF is the integrand: a chirp — oscillation frequency grows with x,
+// so the adaptive recursion goes a few levels deep near A and many near
+// B. Pure float math: the value is identical no matter which node
+// evaluates it.
+func quadF(x float64) float64 {
+	return math.Sin(30*x*x) + 0.5*math.Cos(7*x)
+}
+
+// quadSimpson is the three-point Simpson estimate on [a, b].
+func quadSimpson(a, b float64) float64 {
+	m := 0.5 * (a + b)
+	return (b - a) / 6 * (quadF(a) + 4*quadF(m) + quadF(b))
+}
+
+// QuadReference computes a dense composite-Simpson reference value for
+// prm's interval (plain Go, no simulation), for validating the adaptive
+// result in tests.
+func QuadReference(prm QuadParams) float64 {
+	const n = 1 << 16
+	h := (prm.B - prm.A) / n
+	var sum float64
+	for i := 0; i < n; i++ {
+		a := prm.A + float64(i)*h
+		sum += quadSimpson(a, a+h)
+	}
+	return sum
+}
+
+// QuadResult is the outcome of one run.
+type QuadResult struct {
+	Integral   float64 // phase A adaptive estimate
+	TableSum   float64 // phase B Taskloop sum over the tabulated values
+	KernelTime sim.Duration
+	Report     core.Report
+}
+
+// RunQuad executes the kernel under cfg.
+func RunQuad(cfg core.Config, prm QuadParams) (QuadResult, error) {
+	cfg = cfg.WithDefaults()
+	var res QuadResult
+	rep, err := core.Run(cfg, func(m *core.Thread) {
+		c := m.Cluster()
+		table := c.AllocF64(prm.Samples)
+		evalCost := 5 * prm.PerEval // one Simpson split = five fresh evaluations
+		var t0 sim.Time
+
+		// segment builds the task body for one interval carrying its
+		// parent's whole-interval estimate. A converged (or depth-capped)
+		// interval returns its extrapolated value; a diverged one spawns
+		// its halves and contributes nothing itself, so the Taskwait sum
+		// is exactly the sum over the adaptive leaves.
+		var segment func(a, b, whole, tol float64, depth int) func(*core.Thread) float64
+		segment = func(a, b, whole, tol float64, depth int) func(*core.Thread) float64 {
+			return func(ex *core.Thread) float64 {
+				ex.Compute(evalCost)
+				mid := 0.5 * (a + b)
+				left := quadSimpson(a, mid)
+				right := quadSimpson(mid, b)
+				diff := left + right - whole
+				if depth >= prm.MaxDepth || math.Abs(diff) <= 15*tol {
+					return left + right + diff/15
+				}
+				ex.Task(segment(a, mid, left, 0.5*tol, depth+1))
+				ex.Task(segment(mid, b, right, 0.5*tol, depth+1))
+				return 0
+			}
+		}
+
+		m.Parallel(func(tc *core.Thread) {
+			tc.Master(func() { t0 = tc.Now() })
+
+			// Phase A: each thread seeds its static share of the root
+			// segments (locality-aligned, like Taskloop), then the team
+			// drains the adaptive recursion — deep subtrees migrate to idle
+			// nodes through steals.
+			h := (prm.B - prm.A) / float64(prm.Segments)
+			segTol := prm.Tol / float64(prm.Segments)
+			sLo, sHi := tc.StaticRange(0, prm.Segments)
+			for s := sLo; s < sHi; s++ {
+				a := prm.A + float64(s)*h
+				tc.Task(segment(a, a+h, quadSimpson(a, a+h), segTol, 0))
+			}
+			integral := tc.Taskwait()
+			tc.Master(func() { res.Integral = integral })
+
+			// Phase B: tabulate the integrand into shared memory. The
+			// written value depends only on the index, so stolen chunks
+			// write the same bits a local execution would.
+			step := (prm.B - prm.A) / float64(prm.Samples)
+			sum := tc.Taskloop(0, prm.Samples, func(ex *core.Thread, i int) float64 {
+				v := quadF(prm.A + float64(i)*step)
+				table.Set(ex, i, v)
+				return v
+			}, core.WithGrainsize(prm.Samples/(4*tc.NumThreads())), core.WithIterCost(prm.PerEval))
+			tc.Master(func() { res.TableSum = sum })
+
+			// Determinize: a static rewrite of the same values makes each
+			// page's final-epoch writer (and with it home election and
+			// validity) independent of who executed which stolen chunk.
+			tc.For(0, prm.Samples, func(i int) {
+				table.Set(tc, i, quadF(prm.A+float64(i)*step))
+			})
+
+			tc.Master(func() { res.KernelTime = sim.Duration(tc.Now() - t0) })
+		})
+	})
+	if err != nil {
+		return QuadResult{}, err
+	}
+	res.Report = rep
+	return res, nil
+}

@@ -1,0 +1,99 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"parade/internal/core"
+	"parade/internal/kdsm"
+)
+
+func TestQuadConvergesToReference(t *testing.T) {
+	prm := QuadTest()
+	r, err := RunQuad(core.Config{Nodes: 2, ThreadsPerNode: 2}, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := QuadReference(prm)
+	if got := math.Abs(r.Integral - ref); got > 100*prm.Tol {
+		t.Fatalf("adaptive integral %v, reference %v (|err| %v > %v)", r.Integral, ref, got, 100*prm.Tol)
+	}
+	if r.Report.Counters.TasksSpawned == 0 || r.Report.Counters.TasksExecuted != r.Report.Counters.TasksSpawned {
+		t.Fatalf("tasks spawned %d executed %d", r.Report.Counters.TasksSpawned, r.Report.Counters.TasksExecuted)
+	}
+}
+
+func TestQuadSameAnswerAcrossClusterShapes(t *testing.T) {
+	// Task ids derive from the spawning thread, and Taskloop's default
+	// grain scales with the team, so the float reduction GROUPING differs
+	// across shapes (like every other kernel's) — the answers agree to
+	// rounding. Bit-identity is asserted where the runtime promises it:
+	// at fixed shape across steal orders, fault profiles, and crashes.
+	prm := QuadTest()
+	ref, err := RunQuad(core.Config{Nodes: 1, ThreadsPerNode: 1}, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []core.Config{
+		{Nodes: 1, ThreadsPerNode: 4},
+		{Nodes: 4, ThreadsPerNode: 1},
+		{Nodes: 2, ThreadsPerNode: 2},
+	} {
+		r, err := RunQuad(cfg, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.Integral-ref.Integral) > 1e-9 || math.Abs(r.TableSum-ref.TableSum) > 1e-9 {
+			t.Fatalf("cfg %dx%d: integral %v / tablesum %v, reference %v / %v",
+				cfg.Nodes, cfg.ThreadsPerNode, r.Integral, r.TableSum, ref.Integral, ref.TableSum)
+		}
+	}
+}
+
+func TestQuadStealsUnderImbalance(t *testing.T) {
+	r, err := RunQuad(core.Config{Nodes: 4, ThreadsPerNode: 1}, QuadTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Report.Counters.TasksStolen == 0 {
+		t.Fatalf("chirp workload produced no steals: %s", r.Report.Counters.String())
+	}
+}
+
+func TestQuadSameAnswerUnderSDSMMode(t *testing.T) {
+	prm := QuadTest()
+	h, err := RunQuad(core.Config{Nodes: 2, ThreadsPerNode: 1, Mode: core.Hybrid, HomeMigration: true}, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := RunQuad(kdsm.Config(2, 1, 2), prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Integral != s.Integral || h.TableSum != s.TableSum {
+		t.Fatalf("hybrid %v/%v != sdsm %v/%v", h.Integral, h.TableSum, s.Integral, s.TableSum)
+	}
+}
+
+func TestQuadDeterministicAcrossSeeds(t *testing.T) {
+	// Steal-order perturbation: the seed rotates victim selection, so
+	// different seeds move different subtrees between nodes; results and
+	// final memory must not notice.
+	prm := QuadTest()
+	ref, err := RunQuad(core.Config{Nodes: 4, ThreadsPerNode: 1, Seed: 1}, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(2); seed <= 4; seed++ {
+		r, err := RunQuad(core.Config{Nodes: 4, ThreadsPerNode: 1, Seed: seed}, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Integral != ref.Integral || r.TableSum != ref.TableSum {
+			t.Fatalf("seed %d: result bits diverged", seed)
+		}
+		if r.Report.MemHash != ref.Report.MemHash {
+			t.Fatalf("seed %d: MemHash %x != %x", seed, r.Report.MemHash, ref.Report.MemHash)
+		}
+	}
+}

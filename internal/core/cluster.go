@@ -45,6 +45,14 @@ type Cluster struct {
 	slotArrays map[string]F64Array
 	dynLoops   map[string]*dynLoop // chunk-server state (master node)
 
+	// Tasking runtime (task.go): cluster-wide live-task count, the
+	// condition idle drainers park on, and the seeded victim-selection
+	// rotation.
+	taskMu    *sim.Mutex
+	taskCond  *sim.Cond
+	tasksLive int
+	stealRot  uint64
+
 	programEnd sim.Time
 }
 
@@ -74,6 +82,15 @@ type node struct {
 	// Dynamic-schedule chunk requests in flight from this node.
 	chunkSeq   int
 	chunkWaits map[int]*chunkWait
+
+	// Tasking runtime (task.go): the node's task deque (index 0 oldest —
+	// local threads pop the tail, thieves take the head), the executed-task
+	// result records pending the next Taskwait merge, and the node's
+	// in-flight steal requests.
+	taskq       []*task
+	taskResults []taskResult
+	stealSeq    int
+	stealWaits  map[int]*stealWait
 }
 
 // localPthreadOp approximates the cost of an uncontended pthread
@@ -151,6 +168,7 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 			rendezvous: map[string]*rendezvous{},
 			gates:      map[string]*gateInfo{},
 			chunkWaits: map[int]*chunkWait{},
+			stealWaits: map[int]*stealWait{},
 		}
 		n.workMu = sim.NewMutex(c.s)
 		n.workCond = sim.NewCond(n.workMu)
@@ -158,6 +176,9 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		n.barCond = sim.NewCond(n.barMu)
 		c.nodes[i] = n
 	}
+	c.taskMu = sim.NewMutex(c.s)
+	c.taskCond = sim.NewCond(c.taskMu)
+	c.stealRot = splitmix64(uint64(cfg.Seed))
 	c.net = netsim.New(c.s, cfg.Nodes, cfg.Fabric, cpus, c.counters)
 	if cfg.Crash.Active() && cfg.Faults == nil {
 		// Crash detection rides the reliability sublayer's retransmit
@@ -270,6 +291,10 @@ func (c *Cluster) commLoop(p *sim.Proc, nodeID int) {
 				c.handleChunkReq(p, m)
 			case ctlChunkReply:
 				c.handleChunkReply(nodeID, m)
+			case ctlStealReq:
+				c.handleStealReq(p, nodeID, m)
+			case ctlStealReply:
+				c.handleStealReply(nodeID, m)
 			case ctlStop:
 				c.stopLocal(p, nodeID)
 				return

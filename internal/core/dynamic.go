@@ -107,11 +107,8 @@ func (c *Cluster) handleChunkReply(nodeID int, m *netsim.Message) {
 	w.gate.Open()
 }
 
-// grabChunk obtains the next chunk for the calling thread.
-func (t *Thread) grabChunk(key string, lo, hi, chunk int) (int, int) {
-	return t.grabChunkOpt(key, lo, hi, chunk, false)
-}
-
+// grabChunkOpt obtains the next chunk for the calling thread: served
+// directly on the master node, through a control round trip elsewhere.
 func (t *Thread) grabChunkOpt(key string, lo, hi, chunk int, guided bool) (int, int) {
 	c, n, p := t.c, t.node, t.p
 	req := chunkReq{Key: key, Node: n.id, Lo: lo, Hi: hi, Chunk: chunk, Guided: guided}
@@ -131,28 +128,50 @@ func (t *Thread) grabChunkOpt(key string, lo, hi, chunk int, guided bool) (int, 
 	return w.lo, w.hi
 }
 
-// ForGuided executes a guided-schedule work-sharing loop: chunk sizes
-// start at remaining/(2 x team size) and shrink exponentially toward
-// minChunk, trading the dynamic schedule's request traffic against its
-// load balance. Provided, like ForDynamic, as a §8 extension.
-func (t *Thread) ForGuided(name string, lo, hi, minChunk int, perIter sim.Duration, body func(i int)) {
-	if minChunk < 1 {
-		minChunk = 1
+// forServed is the chunk-served loop body shared by the dynamic and
+// guided schedules: grab chunks from the master's chunk server until
+// the iteration space is exhausted. A positive perIter charges virtual
+// compute once per served chunk. The caller handles the implicit
+// barrier (or its nowait elision).
+func (t *Thread) forServed(cfg *forConfig, lo, hi int, body func(i int)) {
+	chunk := cfg.chunk
+	if chunk < 1 {
+		chunk = 1
 	}
-	key := fmt.Sprintf("%s#%d", name, t.round("gui:"+name))
+	guided := cfg.kind == Guided
+	prefix := "dyn:"
+	if guided {
+		prefix = "gui:"
+	}
+	name := cfg.name
+	if name == "" {
+		// Unnamed sites number themselves in per-thread arrival order;
+		// SPMD execution makes every thread agree on the numbering.
+		name = fmt.Sprintf("for@%d", t.round("anon:"+prefix))
+	}
+	key := fmt.Sprintf("%s#%d", name, t.round(prefix+name))
 	for {
-		clo, chi := t.grabChunkOpt(key, lo, hi, minChunk, true)
+		clo, chi := t.grabChunkOpt(key, lo, hi, chunk, guided)
 		if clo >= chi {
 			break
 		}
 		for i := clo; i < chi; i++ {
 			body(i)
 		}
-		if perIter > 0 {
-			t.Compute(perIter * sim.Duration(chi-clo))
+		if cfg.perIter > 0 {
+			t.Compute(cfg.perIter * sim.Duration(chi-clo))
 		}
 	}
-	t.Barrier()
+}
+
+// ForGuided executes a guided-schedule work-sharing loop: chunk sizes
+// start at remaining/(2 x team size) and shrink exponentially toward
+// minChunk, trading the dynamic schedule's request traffic against its
+// load balance. Provided, like ForDynamic, as a §8 extension.
+//
+// Deprecated: use For with WithName and WithSchedule(Guided, minChunk).
+func (t *Thread) ForGuided(name string, lo, hi, minChunk int, perIter sim.Duration, body func(i int)) {
+	t.For(lo, hi, body, WithName(name), WithSchedule(Guided, minChunk), WithIterCost(perIter))
 }
 
 // ForDynamic executes a dynamically scheduled work-sharing loop: chunks
@@ -161,24 +180,7 @@ func (t *Thread) ForGuided(name string, lo, hi, minChunk int, perIter sim.Durati
 // per chunk. perIter charges virtual compute like ForCost. The loop ends
 // with the for directive's implicit barrier.
 //
-// name identifies the loop site; as with every directive, all team
-// threads must reach the same sites in the same order.
+// Deprecated: use For with WithName and WithSchedule(Dynamic, chunk).
 func (t *Thread) ForDynamic(name string, lo, hi, chunk int, perIter sim.Duration, body func(i int)) {
-	if chunk < 1 {
-		chunk = 1
-	}
-	key := fmt.Sprintf("%s#%d", name, t.round("dyn:"+name))
-	for {
-		clo, chi := t.grabChunk(key, lo, hi, chunk)
-		if clo >= chi {
-			break
-		}
-		for i := clo; i < chi; i++ {
-			body(i)
-		}
-		if perIter > 0 {
-			t.Compute(perIter * sim.Duration(chi-clo))
-		}
-	}
-	t.Barrier()
+	t.For(lo, hi, body, WithName(name), WithSchedule(Dynamic, chunk), WithIterCost(perIter))
 }

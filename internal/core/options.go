@@ -1,0 +1,95 @@
+package core
+
+import "parade/internal/sim"
+
+// Functional options for the work-sharing and tasking surface. The
+// historical API grew one method per clause combination (For, ForNowait,
+// ForCost, ForCostNowait, ForDynamic, ForGuided); the options collapse
+// that product back into the OpenMP shape — one directive, orthogonal
+// clauses — while the old methods remain as deprecated shims.
+
+// ScheduleKind selects how a work-sharing loop distributes iterations
+// across the team (the schedule clause).
+type ScheduleKind int
+
+const (
+	// Static is the paper's schedule (§4.3): contiguous per-thread
+	// blocks in gid order, so threads of one node work on adjacent data.
+	Static ScheduleKind = iota
+	// Dynamic serves fixed-size chunks first-come-first-served from a
+	// chunk server on the master node (§8 extension).
+	Dynamic
+	// Guided serves exponentially shrinking chunks, floored at the
+	// configured minimum (§8 extension).
+	Guided
+)
+
+func (k ScheduleKind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	default:
+		return "?"
+	}
+}
+
+// forConfig is the resolved clause set of one For/Taskloop instance.
+type forConfig struct {
+	kind    ScheduleKind
+	chunk   int // dynamic chunk / guided minimum / taskloop grainsize
+	nowait  bool
+	perIter sim.Duration
+	name    string
+}
+
+// ForOption configures Thread.For and Thread.Taskloop.
+type ForOption func(*forConfig)
+
+// WithSchedule selects the loop schedule. chunk is the fixed chunk size
+// under Dynamic, the minimum chunk under Guided, and is ignored under
+// Static (the static partition is always one block per thread); chunk
+// values below 1 are treated as 1.
+func WithSchedule(kind ScheduleKind, chunk int) ForOption {
+	return func(c *forConfig) {
+		c.kind = kind
+		c.chunk = chunk
+	}
+}
+
+// Nowait elides the loop's implicit trailing barrier (the nowait
+// clause). The caller takes responsibility for the missing flush, as in
+// OpenMP.
+func Nowait() ForOption {
+	return func(c *forConfig) { c.nowait = true }
+}
+
+// WithIterCost charges d of virtual processor time per iteration, so the
+// loop's computation contends with the communication thread for CPUs.
+// Static loops batch the charge (about computeBatch per Compute call);
+// dynamic and guided loops charge once per served chunk.
+func WithIterCost(d sim.Duration) ForOption {
+	return func(c *forConfig) { c.perIter = d }
+}
+
+// WithName names the loop site. Dynamic and guided loops key their
+// chunk-server instance by site name and per-thread round, so a name is
+// required when distinct loops must not share an instance across
+// threads arriving in different textual order; unnamed sites are
+// auto-numbered in per-thread arrival order, which is safe under the
+// SPMD rule that every team thread reaches the same sites in the same
+// order. Taskloop uses the name only for tracing.
+func WithName(name string) ForOption {
+	return func(c *forConfig) { c.name = name }
+}
+
+// WithGrainsize sets Taskloop's chunk length: the loop is split into
+// tasks of up to g consecutive iterations. For ignores it under the
+// static schedule and treats it as the chunk size otherwise. Values
+// below 1 select the default grain.
+func WithGrainsize(g int) ForOption {
+	return func(c *forConfig) { c.chunk = g }
+}

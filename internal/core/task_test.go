@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"parade/internal/sim"
+)
+
+func TestTaskwaitReturnsSumOnEveryThread(t *testing.T) {
+	cfg := Config{Nodes: 3, ThreadsPerNode: 2}
+	const perThread = 8
+	results := make([]float64, 6)
+	rep := run(t, cfg, func(m *Thread) {
+		m.Parallel(func(tc *Thread) {
+			for k := 0; k < perThread; k++ {
+				v := float64(tc.GID()*perThread + k)
+				tc.Task(func(*Thread) float64 { return v })
+			}
+			results[tc.GID()] = tc.Taskwait()
+		})
+	})
+	n := 6 * perThread
+	want := float64(n*(n-1)) / 2
+	for gid, got := range results {
+		if got != want {
+			t.Fatalf("thread %d: Taskwait() = %v, want %v", gid, got, want)
+		}
+	}
+	if rep.Counters.TasksSpawned != int64(n) || rep.Counters.TasksExecuted != int64(n) {
+		t.Fatalf("spawned=%d executed=%d, want %d each",
+			rep.Counters.TasksSpawned, rep.Counters.TasksExecuted, n)
+	}
+}
+
+func TestTaskStealingMovesImbalancedWork(t *testing.T) {
+	// Only the master spawns; its node cannot drain everything before the
+	// idle nodes arrive at Taskwait and steal across the fabric.
+	cfg := Config{Nodes: 4, ThreadsPerNode: 1}
+	const tasks = 64
+	execNode := make([]int, tasks)
+	rep := run(t, cfg, func(m *Thread) {
+		m.Parallel(func(tc *Thread) {
+			if tc.GID() == 0 {
+				for k := 0; k < tasks; k++ {
+					k := k
+					tc.Task(func(ex *Thread) float64 {
+						ex.Compute(50 * sim.Microsecond)
+						execNode[k] = ex.NodeID()
+						return 1
+					})
+				}
+			}
+			if got := tc.Taskwait(); got != tasks {
+				t.Errorf("Taskwait() = %v, want %d", got, tasks)
+			}
+		})
+	})
+	if rep.Counters.TasksStolen == 0 {
+		t.Fatalf("no tasks stolen under a 1-spawner/4-node imbalance: %s", rep.Counters.String())
+	}
+	if rep.Counters.StealHits+rep.Counters.StealMisses != rep.Counters.StealRequests {
+		t.Fatalf("hits %d + misses %d != requests %d", rep.Counters.StealHits,
+			rep.Counters.StealMisses, rep.Counters.StealRequests)
+	}
+	remote := 0
+	for _, n := range execNode {
+		if n != 0 {
+			remote++
+		}
+	}
+	if int64(remote) != rep.Counters.TasksStolen {
+		t.Fatalf("%d tasks ran off-node but TasksStolen = %d", remote, rep.Counters.TasksStolen)
+	}
+}
+
+func TestTaskNestedSpawnCompletesTransitively(t *testing.T) {
+	cfg := Config{Nodes: 2, ThreadsPerNode: 2}
+	rep := run(t, cfg, func(m *Thread) {
+		m.Parallel(func(tc *Thread) {
+			if tc.GID() == 0 {
+				for k := 0; k < 4; k++ {
+					tc.Task(func(ex *Thread) float64 {
+						// Each task fans out two children; children spawn a
+						// grandchild each. 4 * (1 + 2*(1+1)) = 20 tasks.
+						for c := 0; c < 2; c++ {
+							ex.Task(func(ex2 *Thread) float64 {
+								ex2.Task(func(*Thread) float64 { return 1 })
+								return 1
+							})
+						}
+						return 1
+					})
+				}
+			}
+			if got := tc.Taskwait(); got != 20 {
+				t.Errorf("Taskwait() = %v, want 20", got)
+			}
+		})
+	})
+	if rep.Counters.TasksExecuted != 20 {
+		t.Fatalf("executed %d tasks, want 20", rep.Counters.TasksExecuted)
+	}
+}
+
+func TestTaskloopCoversAllIterations(t *testing.T) {
+	cfg := Config{Nodes: 3, ThreadsPerNode: 2}
+	counts := make([]int, 300)
+	run(t, cfg, func(m *Thread) {
+		m.Parallel(func(tc *Thread) {
+			got := tc.Taskloop(0, 300, func(ex *Thread, i int) float64 {
+				counts[i]++
+				return float64(i)
+			}, WithGrainsize(16))
+			if want := float64(300*299) / 2; got != want {
+				t.Errorf("Taskloop() = %v, want %v", got, want)
+			}
+		})
+	})
+	for i, n := range counts {
+		if n != 1 {
+			t.Fatalf("iteration %d executed %d times", i, n)
+		}
+	}
+}
+
+func TestTaskSingleNode(t *testing.T) {
+	cfg := Config{Nodes: 1, ThreadsPerNode: 4}
+	rep := run(t, cfg, func(m *Thread) {
+		m.Parallel(func(tc *Thread) {
+			tc.Task(func(*Thread) float64 { return float64(tc.GID() + 1) })
+			if got := tc.Taskwait(); got != 10 {
+				t.Errorf("Taskwait() = %v, want 10", got)
+			}
+		})
+	})
+	if rep.Counters.StealRequests != 0 {
+		t.Fatalf("single-node run issued %d steal requests", rep.Counters.StealRequests)
+	}
+}
+
+func TestTaskwaitWithoutTasks(t *testing.T) {
+	cfg := Config{Nodes: 2, ThreadsPerNode: 2}
+	run(t, cfg, func(m *Thread) {
+		m.Parallel(func(tc *Thread) {
+			if got := tc.Taskwait(); got != 0 {
+				t.Errorf("empty Taskwait() = %v, want 0", got)
+			}
+		})
+	})
+}
+
+func TestTasksCompleteAtBarrier(t *testing.T) {
+	// A plain barrier is a task scheduling point: tasks spawned before it
+	// finish before any thread passes, even without an explicit Taskwait.
+	cfg := Config{Nodes: 2, ThreadsPerNode: 2}
+	done := 0
+	run(t, cfg, func(m *Thread) {
+		m.Parallel(func(tc *Thread) {
+			if tc.GID() == 0 {
+				for k := 0; k < 6; k++ {
+					tc.Task(func(*Thread) float64 { done++; return 0 })
+				}
+			}
+			tc.Barrier()
+			if done != 6 {
+				t.Errorf("thread %d passed the barrier with %d/6 tasks done", tc.GID(), done)
+			}
+		})
+	})
+}
+
+// TestTaskwaitDeterministicAcrossSeeds is the steal-order perturbation
+// test: the seed rotates victim selection, so different seeds interleave
+// steals differently, yet the canonical id-ordered merge must return a
+// bit-identical sum. The task values are magnitude-spread so a different
+// float addition order would actually change the bits.
+func TestTaskwaitDeterministicAcrossSeeds(t *testing.T) {
+	sumFor := func(seed int64) float64 {
+		cfg := Config{Nodes: 4, ThreadsPerNode: 1, Seed: seed}
+		var out float64
+		run(t, cfg, func(m *Thread) {
+			m.Parallel(func(tc *Thread) {
+				if tc.GID() == 0 {
+					for k := 0; k < 48; k++ {
+						k := k
+						tc.Task(func(ex *Thread) float64 {
+							ex.Compute(20 * sim.Microsecond)
+							return 1e-13 * float64(k+1) * float64(int64(1)<<uint(k%40))
+						})
+					}
+				}
+				v := tc.Taskwait()
+				tc.Master(func() { out = v })
+			})
+		})
+		return out
+	}
+	base := sumFor(1)
+	for seed := int64(2); seed <= 5; seed++ {
+		if got := sumFor(seed); got != base {
+			t.Fatalf("seed %d: Taskwait() = %x, want %x (seed 1)", seed, got, base)
+		}
+	}
+}

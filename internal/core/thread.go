@@ -20,6 +20,13 @@ type Thread struct {
 	// Per-thread use counts of single/critical sites, used to agree on
 	// rounds without global coordination.
 	siteRound map[string]int
+
+	// Tasking runtime (task.go): the task this thread is currently
+	// executing (nil outside task bodies — spawns from here are roots) and
+	// the thread's root-spawn ordinal, which together derive canonical
+	// task ids.
+	curTask *task
+	rootSeq int
 }
 
 // GID returns the global thread id (0 .. TotalThreads-1).
@@ -108,6 +115,13 @@ func (t *Thread) Parallel(fn func(tc *Thread)) {
 // migration, invalidations).
 func (t *Thread) Barrier() {
 	c, n, p := t.c, t.node, t.p
+	if c.tasksLive > 0 {
+		// Barriers are task scheduling points: all outstanding tasks
+		// complete before any thread passes (OpenMP §task scheduling).
+		// One integer compare when no tasks exist, so task-free programs
+		// keep their exact timing.
+		t.drainTasks()
+	}
 	t.Compute(localPthreadOp)
 	n.barMu.Lock(p)
 	gen := n.barGen
@@ -142,19 +156,39 @@ func (t *Thread) StaticRange(lo, hi int) (int, int) {
 	return myLo, myHi
 }
 
-// For executes a statically scheduled work-sharing loop followed by the
-// implicit barrier of the for directive.
-func (t *Thread) For(lo, hi int, body func(i int)) {
-	t.ForNowait(lo, hi, body)
-	t.Barrier()
+// For executes a work-sharing loop (the for directive): body runs for
+// every i in [lo, hi), distributed across the team per the schedule
+// option, followed by the directive's implicit barrier unless Nowait is
+// given. With no options it is the paper's static schedule:
+//
+//	tc.For(0, n, body)                                         // static
+//	tc.For(0, n, body, core.WithIterCost(50*sim.Nanosecond))   // costed
+//	tc.For(0, n, body, core.WithSchedule(core.Dynamic, 8))     // chunked
+//	tc.For(0, n, body, core.WithSchedule(core.Guided, 4), core.Nowait())
+func (t *Thread) For(lo, hi int, body func(i int), opts ...ForOption) {
+	cfg := forConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	switch cfg.kind {
+	case Static:
+		t.forStatic(lo, hi, cfg.perIter, body)
+	case Dynamic, Guided:
+		t.forServed(&cfg, lo, hi, body)
+	default:
+		panic(fmt.Sprintf("core: unknown schedule kind %d", cfg.kind))
+	}
+	if !cfg.nowait {
+		t.Barrier()
+	}
 }
 
-// ForNowait is For without the trailing barrier (the nowait clause).
+// ForNowait executes a static work-sharing loop without the trailing
+// barrier.
+//
+// Deprecated: use For with the Nowait option.
 func (t *Thread) ForNowait(lo, hi int, body func(i int)) {
-	myLo, myHi := t.StaticRange(lo, hi)
-	for i := myLo; i < myHi; i++ {
-		body(i)
-	}
+	t.forStatic(lo, hi, 0, body)
 }
 
 // computeBatch is the target size of one virtual-time charge inside a
@@ -162,17 +196,28 @@ func (t *Thread) ForNowait(lo, hi int, body func(i int)) {
 // computing thread at a realistic OS granularity.
 const computeBatch = 200 * sim.Microsecond
 
-// ForCost is For with a per-iteration compute cost: the body's real
-// computation is charged to the node's processors in batches, so loops
-// contend with the communication thread for CPU time exactly as the
-// paper's three thread/CPU configurations describe.
+// ForCost executes a static work-sharing loop with a per-iteration
+// compute cost, followed by the implicit barrier.
+//
+// Deprecated: use For with the WithIterCost option.
 func (t *Thread) ForCost(lo, hi int, perIter sim.Duration, body func(i int)) {
-	t.ForCostNowait(lo, hi, perIter, body)
+	t.forStatic(lo, hi, perIter, body)
 	t.Barrier()
 }
 
-// ForCostNowait is ForCost without the trailing barrier.
+// ForCostNowait executes a costed static work-sharing loop without the
+// trailing barrier.
+//
+// Deprecated: use For with the WithIterCost and Nowait options.
 func (t *Thread) ForCostNowait(lo, hi int, perIter sim.Duration, body func(i int)) {
+	t.forStatic(lo, hi, perIter, body)
+}
+
+// forStatic runs this thread's static slice of [lo, hi). A positive
+// perIter charges the body's virtual compute cost in batches, so loops
+// contend with the communication thread for CPU time exactly as the
+// paper's three thread/CPU configurations describe.
+func (t *Thread) forStatic(lo, hi int, perIter sim.Duration, body func(i int)) {
 	myLo, myHi := t.StaticRange(lo, hi)
 	if perIter <= 0 {
 		for i := myLo; i < myHi; i++ {

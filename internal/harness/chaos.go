@@ -57,6 +57,13 @@ var chaosApps = []chaosApp{
 		r, err := apps.RunMD(cfg, apps.MDTest())
 		return fpBits(r.E0, r.EFinal, r.MaxDrift), r.KernelTime, r.Report, err
 	}},
+	{"quad", func(cfg core.Config) (string, sim.Duration, core.Report, error) {
+		// The irregular tasking kernel: adaptive-quadrature tasks with
+		// cross-node stealing, so steal traffic degrades gracefully under
+		// injected faults like every other protocol.
+		r, err := apps.RunQuad(cfg, apps.QuadTest())
+		return fpBits(r.Integral, r.TableSum), r.KernelTime, r.Report, err
+	}},
 	{"lockmix", func(cfg core.Config) (string, sim.Duration, core.Report, error) {
 		// The lock-protocol stress kernel runs with lazy-release tokens
 		// so the cached lock path (lockcache.go) degrades gracefully
@@ -111,7 +118,7 @@ func (r ChaosReport) OK() bool { return len(r.Failures) == 0 }
 type ChaosOptions struct {
 	Nodes    int      // cluster size (default 4)
 	Seed     int64    // fault-plane seed (default 1)
-	Apps     []string // subset of helmholtz, ep, cg, md (nil = all)
+	Apps     []string // subset of helmholtz, ep, cg, md, quad, lockmix (nil = all)
 	Profiles []string // subset of the built-in profiles (nil = all)
 }
 

@@ -49,6 +49,10 @@ var crashApps = []crashApp{
 		r, err := apps.RunMD(cfg, apps.MDTest())
 		return fpBits(r.E0, r.EFinal, r.MaxDrift), r.KernelTime, r.Report, err
 	}},
+	{"quad", false, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
+		r, err := apps.RunQuad(cfg, apps.QuadTest())
+		return fpBits(r.Integral, r.TableSum), r.KernelTime, r.Report, err
+	}},
 	{"lockmix", true, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
 		r, err := apps.RunLockmix(cfg, apps.LockmixTest())
 		return fpBits(r.Sum, r.Expected), 0, r.Report, err

@@ -56,6 +56,10 @@ const (
 	// Recorder.TraceMessages). Arg=destination node, Arg2=payload bytes,
 	// Arg3=netsim kind.
 	KindMsgSend
+	// KindSteal: one cross-node steal round trip, request sent to reply
+	// received. Span; Arg=victim node, Arg2=1 for a hit (a task came
+	// back), 0 for a miss.
+	KindSteal
 
 	numKinds
 )
@@ -77,6 +81,7 @@ var kindNames = [numKinds]string{
 	KindRegionEnd:   "region",
 	KindDirective:   "directive",
 	KindMsgSend:     "msg_send",
+	KindSteal:       "steal",
 }
 
 // String returns the event kind's stable name.

@@ -20,6 +20,7 @@ const (
 	HistDiffBytes              // wire size of each created diff
 	HistRetryLatency           // first send -> ack, frames that needed a retransmit
 	HistRecoveryLatency        // crash detected -> recovery complete, per execution
+	HistStealLatency           // steal request sent -> reply received (hit or miss)
 	NumHists
 )
 
@@ -35,6 +36,7 @@ var histDefs = [NumHists]struct{ Name, Unit string }{
 	HistDiffBytes:       {"diff_size", "bytes"},
 	HistRetryLatency:    {"retry_latency", "ns"},
 	HistRecoveryLatency: {"recovery_latency", "ns"},
+	HistStealLatency:    {"steal_latency", "ns"},
 }
 
 // HistName returns the stable name of histogram id (as used in the
@@ -74,6 +76,12 @@ type NodeCounters struct {
 	Retransmits    int64 `json:"rel_retransmits,omitempty"`
 	DupsSuppressed int64 `json:"rel_dups_suppressed,omitempty"`
 	AcksSent       int64 `json:"rel_acks_sent,omitempty"`
+
+	// Tasking runtime (nonzero only when the program spawns tasks).
+	TasksSpawned  int64 `json:"task_spawned,omitempty"`
+	TasksExecuted int64 `json:"task_executed,omitempty"`
+	TasksStolen   int64 `json:"task_stolen,omitempty"`
+	StealRequests int64 `json:"steal_requests,omitempty"`
 
 	// Crash faults and recovery (nonzero only with a crash plan).
 	Crashes   int64 `json:"crash_injected,omitempty"`

@@ -526,6 +526,54 @@ func (r *Recorder) Directive(start, end sim.Time, node int, cat, site string) {
 	}
 }
 
+// --- core: tasking runtime ---
+
+// TaskSpawned counts a task pushed onto node's deque.
+func (r *Recorder) TaskSpawned(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).TasksSpawned++
+}
+
+// TaskExecuted counts a task run to completion by a thread of node.
+func (r *Recorder) TaskExecuted(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).TasksExecuted++
+}
+
+// StealRequest counts a steal round trip initiated by thief.
+func (r *Recorder) StealRequest(thief int) {
+	if r == nil {
+		return
+	}
+	r.m.node(thief).StealRequests++
+}
+
+// StealDone records one completed steal round trip (request sent to
+// reply received); hit says whether a task came back. Hits also count
+// toward the thief's stolen-task tally.
+func (r *Recorder) StealDone(start, end sim.Time, thief, victim int, hit bool) {
+	if r == nil {
+		return
+	}
+	d := int64(end - start)
+	if hit {
+		r.m.node(thief).TasksStolen++
+	}
+	r.m.hist[HistStealLatency].Observe(d)
+	if len(r.sinks) > 0 {
+		h := 0
+		if hit {
+			h = 1
+		}
+		r.ev = Event{Kind: KindSteal, Time: end, Dur: sim.Duration(d), Node: thief, Page: -1, Arg: victim, Arg2: h}
+		r.emit()
+	}
+}
+
 // --- sim ---
 
 // CPUWait records time a runnable process spent queued for a busy CPU

@@ -51,6 +51,14 @@ type Counters struct {
 	HybridReductions int64 // reduction clauses served by allreduce
 	HybridAtomics    int64
 
+	// Tasking runtime and its work-stealing scheduler.
+	TasksSpawned  int64 // tasks pushed onto a node deque
+	TasksExecuted int64 // tasks run to completion
+	TasksStolen   int64 // tasks that moved nodes through a steal
+	StealRequests int64 // steal round trips initiated
+	StealHits     int64 // steal requests that returned a task
+	StealMisses   int64 // steal requests that found the victim empty
+
 	// Reliability sublayer (nonzero only with a fault plane attached).
 	AcksSent       int64 // cumulative acks put on the control channel
 	Timeouts       int64 // retransmit timers that fired on unacked frames
@@ -108,6 +116,12 @@ func (c *Counters) Map() map[string]int64 {
 		"hybrid_singles":    c.HybridSingles,
 		"hybrid_reductions": c.HybridReductions,
 		"hybrid_atomics":    c.HybridAtomics,
+		"task_spawned":      c.TasksSpawned,
+		"task_executed":     c.TasksExecuted,
+		"task_stolen":       c.TasksStolen,
+		"steal_requests":    c.StealRequests,
+		"steal_hits":        c.StealHits,
+		"steal_misses":      c.StealMisses,
 		"rel_acks":          c.AcksSent,
 		"rel_timeouts":      c.Timeouts,
 		"rel_retransmits":   c.Retransmits,

@@ -151,6 +151,8 @@ const (
 	DirSingle
 	DirMaster
 	DirBarrier
+	DirTask
+	DirTaskwait
 )
 
 func (d DirKind) String() string {
@@ -171,6 +173,10 @@ func (d DirKind) String() string {
 		return "master"
 	case DirBarrier:
 		return "barrier"
+	case DirTask:
+		return "task"
+	case DirTaskwait:
+		return "taskwait"
 	default:
 		return "?"
 	}

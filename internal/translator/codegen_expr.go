@@ -32,6 +32,11 @@ func (g *generator) exprType(e Expr) Type {
 	case *Ident:
 		name := x.Name
 		if r := g.renames[name]; r != "" {
+			// Renames cover reduction accumulators (always double) and
+			// firstprivate task captures (typed like their source).
+			if t, ok := g.types[r]; ok {
+				return t
+			}
 			return TypeDouble
 		}
 		return g.identType(name)

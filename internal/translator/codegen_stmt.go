@@ -223,6 +223,12 @@ func (g *generator) genSerialFor(st *ForStmt) error {
 
 // genOmp lowers one directive (§4's translation rules).
 func (g *generator) genOmp(st *OmpStmt) error {
+	if g.ctx == "tt" && st.Dir.Kind != DirTask {
+		// A task body runs on whichever thread pops it, outside team
+		// lockstep, so team collectives would deadlock there. Nested
+		// task spawns are the one directive that composes.
+		return fmt.Errorf("line %d: %v directive inside a task body is not supported", st.Line, st.Dir.Kind)
+	}
 	switch st.Dir.Kind {
 	case DirParallel:
 		return g.genParallel(st.Dir, st.Body.(*Block), nil)
@@ -249,6 +255,14 @@ func (g *generator) genOmp(st *OmpStmt) error {
 		return err
 	case DirBarrier:
 		g.p("%s.Barrier()", g.ctx)
+		return nil
+	case DirTask:
+		return g.genTask(st)
+	case DirTaskwait:
+		if g.ctx != "tc" {
+			return fmt.Errorf("line %d: omp taskwait outside a parallel region", st.Line)
+		}
+		g.p("tc.Taskwait()")
 		return nil
 	default:
 		return fmt.Errorf("line %d: unsupported directive %v", st.Line, st.Dir.Kind)
@@ -393,24 +407,32 @@ func (g *generator) genOmpFor(dir Directive, loop *ForStmt) error {
 	if loop.LessEq {
 		hi = "(" + hi + ")+1"
 	}
+	// Clauses become functional options on the one For entry point.
+	var opts []string
 	if dir.Dynamic {
+		kind := "Dynamic"
+		if dir.Guided {
+			kind = "Guided"
+		}
 		chunk := dir.ChunkSize
 		if chunk == 0 {
 			chunk = 1
 		}
-		fn := "ForDynamic"
-		if dir.Guided {
-			fn = "ForGuided"
+		// Chunk-server instances are keyed by site name; number the site
+		// so distinct loops never share a server.
+		opts = append(opts,
+			fmt.Sprintf("parade.WithName(%q)", fmt.Sprintf("dyn_%d", seq)),
+			fmt.Sprintf("parade.WithSchedule(parade.%s, %d)", kind, chunk))
+		if dir.NoWait {
+			opts = append(opts, "parade.Nowait()")
 		}
-		g.p("tc.%s(%q, %s, %s, %d, 0, func(%s int) {",
-			fn, fmt.Sprintf("dyn_%d", seq), g.expr(loop.Lo, TypeInt), hi, chunk, loop.Var)
-	} else {
-		forFn := "For"
-		if dir.NoWait || (len(redVars) > 0 && !g.writesSharedArray(loop.Body)) {
-			forFn = "ForNowait"
-		}
-		g.p("tc.%s(%s, %s, func(%s int) {", forFn, g.expr(loop.Lo, TypeInt), hi, loop.Var)
+	} else if dir.NoWait || (len(redVars) > 0 && !g.writesSharedArray(loop.Body)) {
+		// nowait, explicit or from the barrier-saving rule: a loop whose
+		// only shared writes are reduction variables needs no flush — the
+		// reduction collective below synchronizes the team.
+		opts = append(opts, "parade.Nowait()")
 	}
+	g.p("tc.For(%s, %s, func(%s int) {", g.expr(loop.Lo, TypeInt), hi, loop.Var)
 	g.depth++
 	savedType, had := g.types[loop.Var]
 	g.types[loop.Var] = TypeInt
@@ -421,7 +443,11 @@ func (g *generator) genOmpFor(dir Directive, loop *ForStmt) error {
 		delete(g.types, loop.Var)
 	}
 	g.depth--
-	g.p("})")
+	if len(opts) > 0 {
+		g.p("}, %s)", strings.Join(opts, ", "))
+	} else {
+		g.p("})")
+	}
 	if err != nil {
 		return err
 	}
@@ -445,6 +471,59 @@ func (g *generator) genOmpFor(dir Directive, loop *ForStmt) error {
 		}
 	}
 	return nil
+}
+
+// genTask lowers `#pragma omp task` onto the deferred-task runtime: the
+// body becomes a closure pushed on the spawning node's deque, executed
+// later by whichever thread (local or stealing remote) pops it, and
+// joined by the next taskwait or barrier. C task semantics capture
+// firstprivate variables by value at the spawn point; Go closures
+// capture by reference, so each firstprivate gets an explicit site-
+// numbered copy that the closure body is renamed to use.
+func (g *generator) genTask(st *OmpStmt) error {
+	if g.ctx != "tc" && g.ctx != "tt" {
+		return fmt.Errorf("line %d: omp task outside a parallel region", st.Line)
+	}
+	body := st.Body.(*Block)
+	g.siteSeq++
+	seq := g.siteSeq
+	saved := map[string]string{}
+	for _, name := range st.Dir.FirstPrivate {
+		if g.scalars[name] {
+			return fmt.Errorf("line %d: firstprivate on hybrid scalar %s is not supported", st.Line, name)
+		}
+		src := name
+		if r := g.renames[name]; r != "" {
+			src = r
+		}
+		cp := fmt.Sprintf("__task%d_%s", seq, name)
+		g.p("%s := %s // firstprivate capture at spawn", cp, src)
+		saved[name] = g.renames[name]
+		g.renames[name] = cp
+		g.types[cp] = g.identType(name)
+	}
+	g.p("%s.Task(func(tt *parade.Thread) float64 {", g.ctx)
+	g.depth++
+	prevCtx := g.ctx
+	g.ctx = "tt"
+	for _, name := range st.Dir.Private {
+		g.p("var %s %s // private", name, g.identType(name).GoType())
+		g.p("_ = %s", name)
+	}
+	err := g.genBlockInner(body)
+	g.ctx = prevCtx
+	g.p("return 0")
+	g.depth--
+	g.p("})")
+	for name, prev := range saved {
+		delete(g.types, fmt.Sprintf("__task%d_%s", seq, name))
+		if prev == "" {
+			delete(g.renames, name)
+		} else {
+			g.renames[name] = prev
+		}
+	}
+	return err
 }
 
 func identityFor(op string, g *generator) string {

@@ -240,7 +240,7 @@ int main() {
 		}
 	}
 }`)
-	if !strings.Contains(out, "tc.ForNowait(") {
+	if !strings.Contains(out, "parade.Nowait()") {
 		t.Fatalf("nowait ignored:\n%s", out)
 	}
 }

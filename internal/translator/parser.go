@@ -401,7 +401,7 @@ func (p *Parser) ompStmt() (Stmt, error) {
 	}
 	o := &OmpStmt{Dir: dir, Line: tok.Line}
 	switch dir.Kind {
-	case DirBarrier:
+	case DirBarrier, DirTaskwait:
 		return o, nil
 	case DirFor, DirParallelFor:
 		body, err := p.stmt()
@@ -469,6 +469,11 @@ func parseDirective(text string, line int) (Directive, error) {
 		return d, nil
 	case "barrier":
 		d.Kind = DirBarrier
+		return d, nil
+	case "task":
+		d.Kind = DirTask
+	case "taskwait":
+		d.Kind = DirTaskwait
 		return d, nil
 	default:
 		return d, fmt.Errorf("line %d: unsupported omp directive %q", line, w)

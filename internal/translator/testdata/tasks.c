@@ -1,0 +1,38 @@
+/*
+ * Task showcase: the master thread spawns one task per block of a
+ * shared array; idle nodes steal and fill blocks over the fabric, the
+ * taskwait joins them, and a dynamically scheduled reduction loop
+ * checks the result.
+ */
+#include <stdio.h>
+
+double a[64];
+
+int main() {
+    int i, j, k;
+    double sum;
+
+    #pragma omp parallel
+    {
+        #pragma omp master
+        {
+            for (k = 0; k < 8; k++) {
+                #pragma omp task firstprivate(k) private(j)
+                {
+                    for (j = 0; j < 8; j++) {
+                        a[k * 8 + j] = k + j * 0.5;
+                    }
+                }
+            }
+        }
+        #pragma omp taskwait
+
+        #pragma omp for reduction(+:sum) schedule(dynamic, 8)
+        for (i = 0; i < 64; i++) {
+            sum += a[i];
+        }
+    }
+
+    printf("sum = %f\n", sum);
+    return 0;
+}

@@ -145,6 +145,8 @@ func TestParseDirectives(t *testing.T) {
 		{"omp single", DirSingle},
 		{"omp master", DirMaster},
 		{"omp barrier", DirBarrier},
+		{"omp task", DirTask},
+		{"omp taskwait", DirTaskwait},
 	}
 	for _, c := range cases {
 		d, err := parseDirective(c.text, 1)
@@ -323,7 +325,7 @@ int main() {
 		sum += a[i];
 	}
 }`)
-	if !strings.Contains(out, "tc.ForNowait(") {
+	if !strings.Contains(out, "parade.Nowait()") {
 		t.Fatalf("pure reduction loop should elide the barrier:\n%s", out)
 	}
 	if !strings.Contains(out, "parade.OpSum") {
@@ -343,7 +345,7 @@ int main() {
 		sum += a[i];
 	}
 }`)
-	if !strings.Contains(out, "tc.For(") || strings.Contains(out, "tc.ForNowait(") {
+	if !strings.Contains(out, "tc.For(") || strings.Contains(out, "parade.Nowait()") {
 		t.Fatalf("array-writing reduction loop must keep its barrier:\n%s", out)
 	}
 }
@@ -459,7 +461,8 @@ int main() {
 		a[i] = i;
 	}
 }`)
-	if !strings.Contains(out, "tc.ForDynamic(") || !strings.Contains(out, ", 4, 0, func(i int)") {
+	if !strings.Contains(out, "parade.WithSchedule(parade.Dynamic, 4)") ||
+		!strings.Contains(out, `parade.WithName("dyn_`) {
 		t.Fatalf("dynamic schedule not lowered:\n%s", out)
 	}
 }
@@ -474,7 +477,7 @@ int main() {
 		a[i] = i;
 	}
 }`)
-	if !strings.Contains(out, "tc.ForGuided(") {
+	if !strings.Contains(out, "parade.WithSchedule(parade.Guided, 2)") {
 		t.Fatalf("guided schedule not lowered:\n%s", out)
 	}
 }
@@ -482,5 +485,86 @@ int main() {
 func TestTranslateRejectsRuntimeSchedule(t *testing.T) {
 	if _, err := parseDirective("omp for schedule(runtime)", 1); err == nil {
 		t.Fatal("schedule(runtime) should be rejected")
+	}
+}
+
+func TestTranslateTaskLowering(t *testing.T) {
+	out := translate(t, `
+double a[32];
+int main() {
+	int k;
+#pragma omp parallel
+	{
+#pragma omp master
+		{
+			for (k = 0; k < 4; k++) {
+#pragma omp task firstprivate(k)
+				{
+					a[k] = k * 2.0;
+				}
+			}
+		}
+#pragma omp taskwait
+	}
+}`)
+	for _, want := range []string{
+		"tc.Task(func(tt *parade.Thread) float64 {",
+		":= k // firstprivate capture at spawn",
+		"return 0",
+		"tc.Taskwait()",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("task lowering missing %q:\n%s", want, out)
+		}
+	}
+	// The body must address shared memory through the executing thread's
+	// context, not the spawner's.
+	if !strings.Contains(out, "a.Set(tt, ") {
+		t.Fatalf("task body should use the task context:\n%s", out)
+	}
+}
+
+func TestTranslateTaskOutsideParallelRejected(t *testing.T) {
+	_, err := Translate(`
+int main() {
+#pragma omp task
+	{ }
+}`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "task outside a parallel region") {
+		t.Fatalf("task outside parallel should be rejected, got %v", err)
+	}
+}
+
+func TestTranslateCollectiveInsideTaskRejected(t *testing.T) {
+	_, err := Translate(`
+double sum;
+int main() {
+#pragma omp parallel
+	{
+#pragma omp task
+		{
+#pragma omp atomic
+			sum += 1.0;
+		}
+	}
+}`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "inside a task body") {
+		t.Fatalf("collective inside task should be rejected, got %v", err)
+	}
+}
+
+func TestTranslateGoldenTasks(t *testing.T) {
+	src, err := os.ReadFile("testdata/tasks.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := translate(t, string(src))
+	golden, err := os.ReadFile("../../examples/translated-tasks/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatal("examples/translated-tasks/main.go is stale: regenerate with " +
+			"`go run ./cmd/parade-translate -o examples/translated-tasks/main.go internal/translator/testdata/tasks.c`")
 	}
 }

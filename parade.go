@@ -27,6 +27,17 @@
 // The same program runs under the conventional SDSM baseline (KDSM) by
 // setting Mode: parade.SDSM and HomeMigration: false, which is how the
 // paper's microbenchmark comparisons are produced.
+//
+// Loop schedules are functional options on Thread.For — WithSchedule
+// selects static, dynamic, or guided distribution; Nowait elides the
+// implicit barrier; WithIterCost attaches a per-iteration virtual
+// compute cost. Irregular workloads use the tasking runtime:
+// Thread.Task spawns deferred work onto the spawner's node deque,
+// Thread.Taskloop turns a loop into stealable chunks, and
+// Thread.Taskwait joins the team and returns the merged task results.
+// Idle nodes steal queued tasks over the simulated fabric, and results
+// merge in a canonical order, so the answer is bit-identical across
+// steal schedules, fault profiles, and crash recoveries.
 package parade
 
 import (
@@ -56,6 +67,11 @@ type (
 	F64Array = core.F64Array
 	// I64Array is a shared int64 array in distributed shared memory.
 	I64Array = core.I64Array
+	// ScheduleKind selects a work-sharing loop's schedule clause.
+	ScheduleKind = core.ScheduleKind
+	// ForOption configures Thread.For and Thread.Taskloop (see
+	// WithSchedule, Nowait, WithIterCost, WithName, WithGrainsize).
+	ForOption = core.ForOption
 	// Fabric holds interconnect performance parameters.
 	Fabric = netsim.Fabric
 	// Duration is virtual time in nanoseconds.
@@ -77,6 +93,38 @@ const (
 	OpMin  = core.OpMin
 	OpProd = core.OpProd
 )
+
+// Loop schedules (the schedule clause of Thread.For).
+const (
+	// Static is the paper's §4.3 schedule: contiguous per-thread blocks.
+	Static = core.Static
+	// Dynamic serves fixed-size chunks first-come-first-served from a
+	// chunk server on the master node.
+	Dynamic = core.Dynamic
+	// Guided serves exponentially shrinking chunks floored at the
+	// configured minimum.
+	Guided = core.Guided
+)
+
+// WithSchedule selects a loop's schedule: the fixed chunk size under
+// Dynamic, the minimum chunk under Guided; ignored under Static.
+func WithSchedule(kind ScheduleKind, chunk int) ForOption {
+	return core.WithSchedule(kind, chunk)
+}
+
+// Nowait elides a loop's implicit trailing barrier (the nowait clause).
+func Nowait() ForOption { return core.Nowait() }
+
+// WithIterCost charges d of virtual processor time per loop iteration.
+func WithIterCost(d Duration) ForOption { return core.WithIterCost(d) }
+
+// WithName names a loop site; dynamic and guided loops key their chunk
+// server by it, and Taskloop uses it for tracing.
+func WithName(name string) ForOption { return core.WithName(name) }
+
+// WithGrainsize sets Taskloop's chunk length (iterations per spawned
+// task); under Dynamic/Guided schedules it is an alias for the chunk.
+func WithGrainsize(g int) ForOption { return core.WithGrainsize(g) }
 
 // Run builds a simulated cluster from cfg and executes program on the
 // master thread, returning the run report.

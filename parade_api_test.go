@@ -1,0 +1,127 @@
+package parade_test
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"parade"
+)
+
+// The golden API-surface test: the exported surface of the parade
+// package — package-level symbols plus the methods of every re-exported
+// runtime type — is diffed against testdata/api_surface.golden. A
+// deliberate API change regenerates the golden with
+//
+//	go test -run TestPublicAPISurface -update-api .
+//
+// and the diff lands in review; an accidental change fails CI.
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api_surface.golden")
+
+const apiGolden = "testdata/api_surface.golden"
+
+// surfaceTypes are the re-exported types whose method sets are part of
+// the public contract (aliases resolve to internal types, so the AST of
+// this package alone would miss their methods).
+func surfaceTypes() map[string]reflect.Type {
+	return map[string]reflect.Type{
+		"*Thread":      reflect.TypeOf(&parade.Thread{}),
+		"*Cluster":     reflect.TypeOf(&parade.Cluster{}),
+		"*Scalar":      reflect.TypeOf(&parade.Scalar{}),
+		"Report":       reflect.TypeOf(parade.Report{}),
+		"Config":       reflect.TypeOf(parade.Config{}),
+		"F64Array":     reflect.TypeOf(parade.F64Array{}),
+		"I64Array":     reflect.TypeOf(parade.I64Array{}),
+		"Op":           reflect.TypeOf(parade.OpSum),
+		"Mode":         reflect.TypeOf(parade.Hybrid),
+		"ScheduleKind": reflect.TypeOf(parade.Static),
+	}
+}
+
+func currentSurface(t *testing.T) string {
+	t.Helper()
+	var lines []string
+
+	// Package-level exported declarations, from the source.
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv == nil && d.Name.IsExported() {
+						lines = append(lines, "func "+d.Name.Name)
+					}
+				case *ast.GenDecl:
+					kind := map[token.Token]string{
+						token.CONST: "const", token.VAR: "var", token.TYPE: "type",
+					}[d.Tok]
+					if kind == "" {
+						continue
+					}
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() {
+								lines = append(lines, "type "+s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							for _, name := range s.Names {
+								if name.IsExported() {
+									lines = append(lines, kind+" "+name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Method sets of the re-exported types, with full signatures.
+	for label, typ := range surfaceTypes() {
+		for i := 0; i < typ.NumMethod(); i++ {
+			m := typ.Method(i)
+			sig := strings.ReplaceAll(m.Func.Type().String(), "core.", "")
+			lines = append(lines, fmt.Sprintf("method %s.%s %s", label, m.Name, sig))
+		}
+	}
+
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	got := currentSurface(t)
+	if *updateAPI {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", apiGolden)
+		return
+	}
+	want, err := os.ReadFile(apiGolden)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test -run TestPublicAPISurface -update-api .`): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("public API surface changed.\nIf deliberate, regenerate with `go test -run TestPublicAPISurface -update-api .` and include the golden diff in review.\n--- want\n%s\n--- got\n%s", want, got)
+	}
+}
