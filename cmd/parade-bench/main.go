@@ -70,7 +70,9 @@ func splitList(s string) []string {
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 6..11 or 'all'")
 	nodesFlag := flag.String("nodes", "1,2,4,8", "comma-separated node counts")
-	scale := flag.String("scale", "bench", "workload scale: bench or paper")
+	scale := flag.String("scale", "bench", "workload scale for figures: bench or paper; 'weak' runs the weak-scaling lane sweep instead")
+	scaleLanes := flag.Int("scale-lanes", 0, "weak-scaling: lane worker count for the parallel series (0 = GOMAXPROCS)")
+	scaleRounds := flag.Int("scale-rounds", 40, "weak-scaling: compute+barrier rounds per node")
 	regress := flag.Bool("regress", false, "run benchmark suites and emit a JSON report instead of figures")
 	out := flag.String("out", "-", "regress: report output path ('-' for stdout)")
 	baseline := flag.String("baseline", "", "regress: prior report (JSON) or raw 'go test -bench' output to compare against")
@@ -80,15 +82,17 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the fault-injection matrix (app kernels under every fault profile) instead of figures")
 	chaosNodes := flag.Int("chaos-nodes", 4, "chaos: cluster size")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault-plane seed")
+	chaosLanes := flag.Int("chaos-lanes", 0, "chaos: event-lane workers (0 = legacy kernel)")
 	chaosApps := flag.String("chaos-apps", "", "chaos: comma-separated subset of helmholtz,ep,cg,md,quad,lockmix (empty = all)")
 	chaosProfiles := flag.String("chaos-profiles", "", "chaos: comma-separated subset of drop,dup,reorder,straggler,chaos (empty = all)")
 	crash := flag.Bool("crash", false, "run the crash-stop acceptance matrix (checkpoint/restart recovery) instead of figures")
 	crashNodes := flag.Int("crash-nodes", 4, "crash: cluster size")
+	crashLanes := flag.Int("crash-lanes", 0, "crash: event-lane workers (0 = legacy kernel)")
 	crashApps := flag.String("crash-apps", "", "crash: comma-separated subset of helmholtz,ep,cg,md,quad,lockmix (empty = all)")
 	flag.Parse()
 
 	if *crash {
-		opt := harness.CrashOptions{Nodes: *crashNodes}
+		opt := harness.CrashOptions{Nodes: *crashNodes, Lanes: *crashLanes}
 		if *crashApps != "" {
 			opt.Apps = splitList(*crashApps)
 		}
@@ -105,7 +109,7 @@ func main() {
 	}
 
 	if *chaos {
-		opt := harness.ChaosOptions{Nodes: *chaosNodes, Seed: *chaosSeed}
+		opt := harness.ChaosOptions{Nodes: *chaosNodes, Seed: *chaosSeed, Lanes: *chaosLanes}
 		if *chaosApps != "" {
 			opt.Apps = splitList(*chaosApps)
 		}
@@ -132,6 +136,28 @@ func main() {
 		}
 		if n > 0 {
 			fmt.Fprintf(os.Stderr, "parade-bench: %d benchmark(s) regressed\n", n)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *scale == "weak" {
+		// The sweep's default node list is the 8->1024 weak-scaling ladder;
+		// an explicit -nodes overrides it (the figure default would not
+		// exercise lane parallelism).
+		list := "8,16,32,64,128,256,512,1024"
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "nodes" {
+				list = *nodesFlag
+			}
+		})
+		nodes, err := parseNodes(list)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parade-bench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runScaleSweep(nodes, *scaleLanes, *scaleRounds, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "parade-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return

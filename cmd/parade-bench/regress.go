@@ -39,6 +39,11 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 
+	// Status is "new" when a baseline was given but carries no entry for
+	// this benchmark (it anchors the next baseline rather than being
+	// gated), empty otherwise.
+	Status string `json:"status,omitempty"`
+
 	// Filled in when a baseline is given and has a matching benchmark.
 	BaselineNsPerOp     *float64 `json:"baseline_ns_per_op,omitempty"`
 	BaselineBytesPerOp  *int64   `json:"baseline_b_per_op,omitempty"`
@@ -168,9 +173,16 @@ func runRegress(outPath, baselinePath, benchtime string, maxRegress float64) (in
 	regressions := 0
 	matched := 0
 	if base != nil {
+		var fresh []string
 		for i := range rep.Results {
 			b, ok := base[rep.Results[i].Name]
 			if !ok || b.NsPerOp <= 0 {
+				// A benchmark the baseline has never seen is expected when a
+				// PR adds suites: mark it "new" so the report (and the next
+				// baseline regeneration) anchors it, rather than silently
+				// skipping it or failing the gate.
+				rep.Results[i].Status = "new"
+				fresh = append(fresh, rep.Results[i].Name)
 				continue
 			}
 			matched++
@@ -184,6 +196,10 @@ func runRegress(outPath, baselinePath, benchtime string, maxRegress float64) (in
 				fmt.Fprintf(os.Stderr, "regress: %s slowed %.2fx (%.1f -> %.1f ns/op)\n",
 					r.Name, r.NsPerOp/ns, ns, r.NsPerOp)
 			}
+		}
+		if len(fresh) > 0 {
+			fmt.Fprintf(os.Stderr, "regress: %d benchmark(s) new (no baseline entry): %s\n",
+				len(fresh), strings.Join(fresh, ", "))
 		}
 		// A baseline whose names match nothing (renamed benchmarks, wrong
 		// file) would also make the gate vacuous.

@@ -1,0 +1,173 @@
+package main
+
+// Weak-scaling sweep (-scale weak): fixed work per simulated node,
+// growing node counts, the same program run twice per point — once with
+// a single lane worker (lanes=1, the serialized windowed schedule) and
+// once with the requested worker count (default GOMAXPROCS). Both runs
+// execute the identical event schedule, so the sweep asserts
+// bit-identity and reports wall-clock speedup plus the kernel's
+// per-lane utilization and sync-latency numbers; see BENCH_PR6.json
+// and EXPERIMENTS.md.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"parade/internal/core"
+	"parade/internal/obs"
+	"parade/internal/sim"
+)
+
+type scalePoint struct {
+	Nodes     int     `json:"nodes"`
+	SimTimeMs float64 `json:"sim_time_ms"`
+	Windows   uint64  `json:"windows"`
+	Events    uint64  `json:"events"`
+	// Wall-clock for the two series and their ratio.
+	WallLanes1Ms float64 `json:"wall_lanes1_ms"`
+	WallLanesNMs float64 `json:"wall_lanesN_ms"`
+	Speedup      float64 `json:"speedup"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Per-lane utilization (BusyNs/(BusyNs+StallNs)) of the parallel
+	// series, and the mean lane_sync_latency.
+	UtilMedian float64 `json:"util_median"`
+	UtilMin    float64 `json:"util_min"`
+	UtilMax    float64 `json:"util_max"`
+	SyncMeanNs float64 `json:"lane_sync_mean_ns"`
+	// Identical is the bit-identity check between the two series (virtual
+	// time, state fingerprint, full counter set).
+	Identical bool `json:"identical"`
+}
+
+type scaleReport struct {
+	Schema     string       `json:"schema"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Lanes      int          `json:"lanes"`
+	Rounds     int          `json:"rounds"`
+	Points     []scalePoint `json:"points"`
+}
+
+// parseNodes parses a comma-separated list of positive node counts.
+func parseNodes(s string) ([]int, error) {
+	var nodes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad node count %q", part)
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}
+
+// scaleProgram is the weak-scaling workload: every node's thread does a
+// fixed number of compute+barrier rounds, so total work grows linearly
+// with the cluster while per-lane work stays constant. Compute keeps the
+// lanes busy inside windows; the barrier forces cross-lane merge traffic
+// every round.
+func scaleProgram(rounds int) func(*core.Thread) {
+	return func(m *core.Thread) {
+		m.Parallel(func(tc *core.Thread) {
+			for r := 0; r < rounds; r++ {
+				tc.Compute(150 * sim.Microsecond)
+				tc.Barrier()
+			}
+		})
+	}
+}
+
+// runScalePoint runs one series and returns the report plus wall-clock.
+func runScalePoint(nodes, lanes, rounds int) (core.Report, time.Duration, error) {
+	cfg := core.Config{
+		Nodes: nodes, ThreadsPerNode: 1, CPUsPerNode: 2,
+		HomeMigration: true, Lanes: lanes, Seed: 11,
+		Obs: obs.New(nodes),
+	}.WithDefaults()
+	start := time.Now()
+	rep, err := core.Run(cfg, scaleProgram(rounds))
+	return rep, time.Since(start), err
+}
+
+// runScaleSweep executes the weak-scaling sweep and writes the JSON
+// report to outPath ("-" for stdout). Returns an error on any run
+// failure or bit-identity violation.
+func runScaleSweep(nodesList []int, lanes, rounds int, outPath string) error {
+	if lanes <= 0 {
+		lanes = runtime.GOMAXPROCS(0)
+	}
+	rep := scaleReport{
+		Schema: "parade-bench-scale/v1", NumCPU: runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Lanes: lanes, Rounds: rounds,
+	}
+	for _, n := range nodesList {
+		fmt.Fprintf(os.Stderr, "scale: %d nodes, lanes=1 vs lanes=%d\n", n, lanes)
+		r1, w1, err := runScalePoint(n, 1, rounds)
+		if err != nil {
+			return fmt.Errorf("%d nodes, lanes=1: %v", n, err)
+		}
+		rN, wN, err := runScalePoint(n, lanes, rounds)
+		if err != nil {
+			return fmt.Errorf("%d nodes, lanes=%d: %v", n, lanes, err)
+		}
+		identical := r1.Time == rN.Time && r1.MemHash == rN.MemHash && r1.Counters == rN.Counters
+		if !identical {
+			return fmt.Errorf("%d nodes: lanes=1 and lanes=%d reports differ (time %v vs %v, fingerprint %#x vs %#x)",
+				n, lanes, r1.Time, rN.Time, r1.MemHash, rN.MemHash)
+		}
+
+		stats, windows, sync := rN.Obs.LaneReport()
+		var events uint64
+		utils := make([]float64, 0, len(stats))
+		for _, ls := range stats {
+			events += ls.Events
+			if total := ls.BusyNs + ls.StallNs; total > 0 {
+				utils = append(utils, float64(ls.BusyNs)/float64(total))
+			}
+		}
+		sort.Float64s(utils)
+		pt := scalePoint{
+			Nodes: n, SimTimeMs: float64(r1.Time) / 1e6,
+			Windows: windows, Events: events,
+			WallLanes1Ms: float64(w1.Nanoseconds()) / 1e6,
+			WallLanesNMs: float64(wN.Nanoseconds()) / 1e6,
+			Identical:    identical,
+		}
+		if wN > 0 {
+			pt.Speedup = float64(w1) / float64(wN)
+			pt.EventsPerSec = float64(events) / wN.Seconds()
+		}
+		if len(utils) > 0 {
+			pt.UtilMedian = utils[len(utils)/2]
+			pt.UtilMin = utils[0]
+			pt.UtilMax = utils[len(utils)-1]
+		}
+		if sync.Count > 0 {
+			pt.SyncMeanNs = float64(sync.Sum) / float64(sync.Count)
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(os.Stderr, "scale: %4d nodes  %8.1f ms serial  %8.1f ms parallel  %.2fx  util med %.2f\n",
+			n, pt.WallLanes1Ms, pt.WallLanesNMs, pt.Speedup, pt.UtilMedian)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "scale: wrote %d points to %s\n", len(rep.Points), outPath)
+	return nil
+}

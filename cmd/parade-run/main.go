@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -108,6 +109,7 @@ func main() {
 	traceFormat := flag.String("trace-format", "text", "trace format: text, jsonl, or chrome")
 	traceMsgs := flag.Bool("trace-msgs", false, "include per-message send events in the trace (verbose)")
 	metricsOut := flag.String("metrics", "", "write observability metrics JSON to this file ('-' for stdout)")
+	lanes := flag.String("lanes", "auto", "event-lane workers: a positive count, 'auto' (min(nodes, GOMAXPROCS)), or 'off' (legacy single-loop kernel)")
 	faults := flag.String("faults", "", "inject faults: profile name (drop, dup, reorder, straggler, chaos)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-plane seed (with -faults)")
 	crash := flag.String("crash", "", "crash-and-restart events: node@barrier[,node@barrier...], e.g. 1@2")
@@ -163,6 +165,33 @@ func main() {
 		}
 		cfg.Obs = rec
 	}
+
+	// Resolve -lanes. Trace sinks need the sequential recorder, so 'auto'
+	// falls back to the legacy kernel when tracing; an explicit count
+	// combined with -trace is a configuration error.
+	tracing := *traceOut != ""
+	switch *lanes {
+	case "off", "0":
+		cfg.Lanes = 0
+	case "auto":
+		if !tracing {
+			cfg.Lanes = cfg.Nodes
+			if g := runtime.GOMAXPROCS(0); g < cfg.Lanes {
+				cfg.Lanes = g
+			}
+		}
+	default:
+		n, err := strconv.Atoi(*lanes)
+		if err != nil || n < 1 {
+			fail(&core.LaneConfigError{Reason: fmt.Sprintf(
+				"bad -lanes %q (want a positive count, 'auto', or 'off')", *lanes)})
+		}
+		if tracing {
+			fail(&core.LaneConfigError{Lanes: n, Reason: "-trace needs the sequential recorder; use -lanes off (or auto) with tracing"})
+		}
+		cfg.Lanes = n
+	}
+
 	switch *app {
 	case "cg":
 		cl, err := apps.CGClassByName(*class)

@@ -30,7 +30,9 @@ type Cluster struct {
 	world    *mpi.World
 	engine   *hlrc.Engine
 	counters *stats.Counters
-	rec      *obs.Recorder // nil when observability is disabled
+	stats    *stats.Sharded // counter router: base set, or per-node shards under strict lanes
+	lanes    bool           // cfg.Lanes > 0: per-node event-lane kernel (lanes.go)
+	rec      *obs.Recorder  // nil when observability is disabled
 
 	nodes   []*node
 	threads []*Thread // all team threads in gid order
@@ -91,6 +93,18 @@ type node struct {
 	taskResults []taskResult
 	stealSeq    int
 	stealWaits  map[int]*stealWait
+
+	// Event-lane mode (lanes.go): per-node replicas of the directive-site
+	// registries and the shared-memory allocator (kept in lockstep by SPMD
+	// first-use order), the spawn/execute tallies behind the tasking
+	// quiescence vote, and the node's seeded steal rotation.
+	lockIDs      map[string]int
+	singles      map[string]int
+	slotArrays   map[string]F64Array
+	alloc        *dsm.Allocator
+	taskSpawned  int64
+	taskExecuted int64
+	stealRot     uint64
 }
 
 // localPthreadOp approximates the cost of an uncontended pthread
@@ -157,6 +171,20 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		scalars:  map[string]*Scalar{},
 		singles:  map[string]int{},
 	}
+	c.stats = stats.NewSharded(c.counters)
+	if cfg.Lanes > 0 {
+		// Configure lanes before any layer is built: netsim, mpi, hlrc, and
+		// the observability registry all size their per-node counter shards
+		// off the simulator's lane regime. A crash plan switches the kernel
+		// to the relaxed single-worker regime (recovery rewrites other
+		// nodes' timelines, which the strict window protocol forbids).
+		c.lanes = true
+		c.s.ConfigureLanes(cfg.Nodes, cfg.Lanes, laneLookahead(cfg.Fabric), cfg.Crash.Active())
+		c.s.SetWindowChurn(laneWindowChurn)
+		if !c.s.Relaxed() {
+			c.stats.EnableShards(cfg.Nodes)
+		}
+	}
 	cpus := make([]*sim.CPU, cfg.Nodes)
 	c.nodes = make([]*node, cfg.Nodes)
 	for i := range c.nodes {
@@ -174,6 +202,12 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		n.workCond = sim.NewCond(n.workMu)
 		n.barMu = sim.NewMutex(c.s)
 		n.barCond = sim.NewCond(n.barMu)
+		n.stealRot = splitmix64(uint64(cfg.Seed) + uint64(i)*0x9e3779b97f4a7c15)
+		if c.lanes {
+			n.lockIDs = map[string]int{}
+			n.singles = map[string]int{}
+			n.slotArrays = map[string]F64Array{}
+		}
 		c.nodes[i] = n
 	}
 	c.taskMu = sim.NewMutex(c.s)
@@ -196,6 +230,20 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		HomeMigration: cfg.HomeMigration, LockCaching: cfg.LockCaching,
 		Strategy: cfg.Strategy, Cost: cfg.Cost, Crash: cfg.Crash,
 	}, c.counters)
+	if c.lanes {
+		// Per-node allocator replicas (lanes.go): node 0's replica is the
+		// engine's allocator itself, so node 0's lane-local lazy
+		// allocations and the master's serial-context allocations both
+		// advance the real pool; the other replicas track it in SPMD
+		// lockstep.
+		for _, n := range c.nodes {
+			if n.id == 0 {
+				n.alloc = c.engine.Alloc
+			} else {
+				n.alloc = dsm.NewAllocator(cfg.ShmBytes)
+			}
+		}
+	}
 
 	if cfg.Obs != nil {
 		// One recorder observes every layer. The simulation kernel runs
@@ -206,6 +254,9 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		c.engine.SetRecorder(rec)
 		c.net.SetRecorder(rec)
 		c.world.SetRecorder(rec)
+		if c.lanes && !c.s.Relaxed() {
+			rec.ShardForLanes(cfg.Nodes)
+		}
 		for i, cpu := range cpus {
 			i := i
 			cpu.OnWait = func(d sim.Duration) { rec.CPUWait(i, d) }
@@ -217,7 +268,7 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 	// handler, and control traffic to the fork-join machinery.
 	for i := range c.nodes {
 		i := i
-		c.s.Spawn(fmt.Sprintf("comm%d", i), func(p *sim.Proc) { c.commLoop(p, i) })
+		c.s.SpawnOn(i, fmt.Sprintf("comm%d", i), func(p *sim.Proc) { c.commLoop(p, i) })
 	}
 
 	// Team threads: gid = node*ThreadsPerNode + lid. Thread 0 is the
@@ -229,11 +280,11 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		t := &Thread{c: c, gid: gid, node: c.nodes[gid/cfg.ThreadsPerNode]}
 		c.threads[gid] = t
 		name := fmt.Sprintf("n%dt%d", t.node.id, gid%cfg.ThreadsPerNode)
-		c.s.Spawn(name, func(p *sim.Proc) {
+		c.s.SpawnOn(t.node.id, name, func(p *sim.Proc) {
 			t.p = p
 			if gid == 0 {
 				program(t)
-				c.programEnd = c.s.Now()
+				c.programEnd = p.Now()
 				c.shutdown(p)
 				return
 			}
@@ -253,6 +304,16 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 	busy := make([]sim.Duration, cfg.Nodes)
 	for i, cpu := range cpus {
 		busy[i] = cpu.BusyTime
+	}
+	// Fold every layer's per-lane counter and metric shards into the
+	// shared base views before snapshotting (all no-ops in legacy mode).
+	c.net.FoldCounters()
+	c.world.FoldCounters()
+	c.engine.FoldCounters()
+	c.stats.Fold()
+	if c.rec != nil {
+		c.rec.FoldLanes()
+		laneReport(c.s, c.rec)
 	}
 	rep := Report{
 		Time:       sim.Duration(c.programEnd),
@@ -309,6 +370,13 @@ func (c *Cluster) commLoop(p *sim.Proc, nodeID int) {
 
 // startRegionLocal wakes the node's team threads for a new region.
 func (c *Cluster) startRegionLocal(p *sim.Proc, nodeID int) {
+	if c.lanes {
+		// Reading regionSeq from another node's lane is safe and exact:
+		// the ctlStartRegion message carries the happens-before edge, and
+		// the master cannot advance to the next region until this node
+		// joins the current one's barrier.
+		c.rec.RegionBeginOn(nodeID, c.regionSeq)
+	}
 	n := c.nodes[nodeID]
 	n.workMu.Lock(p)
 	n.workSeq++

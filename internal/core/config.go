@@ -59,8 +59,16 @@ type Config struct {
 	ShmBytes       int  // shared memory pool size
 	Seed           int64
 	Quantum        sim.Duration
-	Strategy       dsm.UpdateStrategy
-	Cost           hlrc.CostModel
+	// Lanes, when positive, runs the simulation kernel in per-node event
+	// lane mode: one lane per simulated node, up to Lanes lanes executing
+	// concurrently on host goroutines under conservative lookahead
+	// (internal/sim). The event schedule is identical for every positive
+	// value — Lanes only caps host parallelism — so results match at any
+	// GOMAXPROCS and any lane count. 0 (the default) is the legacy
+	// single-loop kernel with its original byte-identical timing.
+	Lanes    int
+	Strategy dsm.UpdateStrategy
+	Cost     hlrc.CostModel
 	// Obs, when non-nil, attaches an observability recorder to the run:
 	// the protocol engine, the network, the MPI library, and the runtime
 	// all record into it (counters, latency histograms, trace sinks), and
@@ -137,6 +145,13 @@ func (c Config) Validate() error {
 	}
 	if c.SmallThreshold < 8 {
 		return fmt.Errorf("core: SmallThreshold = %d", c.SmallThreshold)
+	}
+	if c.Lanes < 0 {
+		return &LaneConfigError{Lanes: c.Lanes, Reason: "Lanes must be >= 0 (0 disables event lanes)"}
+	}
+	if c.Lanes > 0 && c.Fabric.Latency <= 0 {
+		return &LaneConfigError{Lanes: c.Lanes, Reason: fmt.Sprintf(
+			"fabric %q has non-positive link latency; the conservative lookahead bound requires Fabric.Latency > 0", c.Fabric.Name)}
 	}
 	if c.Crash.Active() {
 		if err := c.Crash.Validate(c.Nodes); err != nil {

@@ -75,7 +75,7 @@ func (t *Thread) Critical(name string, scalars []*Scalar, fn func()) {
 	} else {
 		t.criticalSDSM(name, fn)
 	}
-	rec.Directive(t0, t.c.s.Now(), t.node.id, "critical", name)
+	rec.Directive(t0, t.p.Now(), t.node.id, "critical", name)
 }
 
 // directiveStart marks the start of a directive span for this thread; it
@@ -86,7 +86,7 @@ func (t *Thread) directiveStart() (*obs.Recorder, sim.Time) {
 	if t.c.rec == nil {
 		return nil, 0
 	}
-	return t.c.rec, t.c.s.Now()
+	return t.c.rec, t.p.Now()
 }
 
 // criticalHybrid is the ParADE lowering of Fig. 2 (right).
@@ -97,7 +97,7 @@ func (t *Thread) criticalHybrid(name string, scalars []*Scalar, fn func()) {
 	mu.Lock(p)
 	fn()
 	mu.Unlock(p)
-	t.c.counters.HybridCriticals++
+	t.c.cnt(n.id).HybridCriticals++
 	t.combineRound("crit:"+name, scalars)
 }
 
@@ -160,7 +160,7 @@ func (t *Thread) criticalSDSM(name string, fn func()) {
 	t.Compute(localPthreadOp)
 	mu := n.mutex("crit:" + name)
 	mu.Lock(p)
-	id := t.c.lockID("crit:" + name)
+	id := t.lockID("crit:" + name)
 	t.c.engine.AcquireLock(p, n.id, id)
 	fn()
 	t.c.engine.ReleaseLock(p, n.id, id)
@@ -172,12 +172,12 @@ func (t *Thread) criticalSDSM(name string, fn func()) {
 func (t *Thread) Atomic(s *Scalar, delta float64) {
 	rec, t0 := t.directiveStart()
 	if t.c.cfg.Mode == Hybrid && s.SizeBytes() <= t.c.cfg.SmallThreshold {
-		t.c.counters.HybridAtomics++
+		t.c.cnt(t.node.id).HybridAtomics++
 		t.criticalHybrid("atomic:"+s.name, []*Scalar{s}, func() { s.Add(t, delta) })
 	} else {
 		t.criticalSDSM("atomic:"+s.name, func() { s.Add(t, delta) })
 	}
-	rec.Directive(t0, t.c.s.Now(), t.node.id, "atomic", s.name)
+	rec.Directive(t0, t.p.Now(), t.node.id, "atomic", s.name)
 }
 
 // Op is a reduction operator.
@@ -228,7 +228,7 @@ func (t *Thread) Reduce(name string, op Op, v float64) float64 {
 	} else {
 		out = t.reduceSDSM(name, op, v)
 	}
-	rec.Directive(t0, t.c.s.Now(), t.node.id, "reduction", name)
+	rec.Directive(t0, t.p.Now(), t.node.id, "reduction", name)
 	return out
 }
 
@@ -262,7 +262,7 @@ func (t *Thread) reduceHybrid(name string, op Op, v float64) float64 {
 		})
 		result = res.(float64)
 	}
-	c.counters.HybridReductions++
+	c.cnt(n.id).HybridReductions++
 
 	rv.mu.Lock(p)
 	rv.result = result
@@ -273,8 +273,7 @@ func (t *Thread) reduceHybrid(name string, op Op, v float64) float64 {
 }
 
 func (t *Thread) reduceSDSM(name string, op Op, v float64) float64 {
-	c := t.c
-	slots := c.reduceSlots(name)
+	slots := t.reduceSlots(name)
 	slots.Set(t, t.gid, v)
 	t.Barrier()
 	acc := slots.Get(t, 0)
@@ -300,7 +299,7 @@ func (t *Thread) ReduceVec(name string, op Op, v []float64) []float64 {
 	} else {
 		out = t.reduceVecSDSM(name, op, v)
 	}
-	rec.Directive(t0, t.c.s.Now(), t.node.id, "reduction", name)
+	rec.Directive(t0, t.p.Now(), t.node.id, "reduction", name)
 	return out
 }
 
@@ -341,7 +340,7 @@ func (t *Thread) reduceVecHybrid(name string, op Op, v []float64) []float64 {
 		})
 		result = res.([]float64)
 	}
-	c.counters.HybridReductions++
+	c.cnt(n.id).HybridReductions++
 
 	rv.mu.Lock(p)
 	rv.resultV = result
@@ -352,9 +351,8 @@ func (t *Thread) reduceVecHybrid(name string, op Op, v []float64) []float64 {
 }
 
 func (t *Thread) reduceVecSDSM(name string, op Op, v []float64) []float64 {
-	c := t.c
 	nt := t.NumThreads()
-	slots := c.reduceSlotsN(name, nt*len(v))
+	slots := t.reduceSlotsN(name, nt*len(v))
 	for i, x := range v {
 		slots.Set(t, t.gid*len(v)+i, x)
 	}
@@ -422,7 +420,7 @@ func (t *Thread) Single(name string, s *Scalar, fn func()) {
 	} else {
 		t.singleSDSM(name, fn)
 	}
-	rec.Directive(t0, t.c.s.Now(), t.node.id, "single", name)
+	rec.Directive(t0, t.p.Now(), t.node.id, "single", name)
 }
 
 // SingleBarrier is the general single directive for blocks that are not
@@ -432,7 +430,7 @@ func (t *Thread) Single(name string, s *Scalar, fn func()) {
 func (t *Thread) SingleBarrier(name string, fn func()) {
 	rec, t0 := t.directiveStart()
 	t.singleSDSM(name, fn)
-	rec.Directive(t0, t.c.s.Now(), t.node.id, "single", name)
+	rec.Directive(t0, t.p.Now(), t.node.id, "single", name)
 }
 
 func (t *Thread) singleHybrid(name string, s *Scalar, fn func()) {
@@ -447,7 +445,7 @@ func (t *Thread) singleHybrid(name string, s *Scalar, fn func()) {
 		// First arrival on this node performs the inter-node work.
 		if n.id == 0 {
 			fn()
-			c.counters.HybridSingles++
+			c.cnt(0).HybridSingles++
 			var payload float64
 			if s != nil {
 				payload = s.vals[0]
@@ -479,8 +477,8 @@ func (t *Thread) singleHybrid(name string, s *Scalar, fn func()) {
 func (t *Thread) singleSDSM(name string, fn func()) {
 	c, n, p := t.c, t.node, t.p
 	r := t.round("single:" + name)
-	flagAddr := c.singleFlag(name)
-	id := c.lockID("single:" + name)
+	flagAddr := t.singleFlag(name)
+	id := t.lockID("single:" + name)
 	t.Compute(localPthreadOp)
 	mu := n.mutex("single:" + name)
 	mu.Lock(p)

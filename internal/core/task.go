@@ -137,6 +137,14 @@ func (t *Thread) Task(fn func(tc *Thread) float64) {
 	}
 	t.Compute(localPthreadOp) // deque push under the node's pthread lock
 	n.taskq = append(n.taskq, &task{id: id, fn: fn})
+	if c.lanes {
+		// Lane mode (lanes.go): no cluster-wide live count or wake — the
+		// spawn tally feeds the quiescence vote instead.
+		n.taskSpawned++
+		c.cnt(n.id).TasksSpawned++
+		c.rec.TaskSpawned(n.id)
+		return
+	}
 	c.tasksLive++
 	c.counters.TasksSpawned++
 	c.rec.TaskSpawned(n.id)
@@ -154,10 +162,14 @@ func (t *Thread) Task(fn func(tc *Thread) float64) {
 // small results returned by collective, large data through HLRC.
 func (t *Thread) Taskwait() float64 {
 	rec, t0 := t.directiveStart()
-	t.drainTasks()
+	if t.c.lanes {
+		t.drainTasksLane()
+	} else {
+		t.drainTasks()
+	}
 	out := t.mergeTaskResults()
 	t.Barrier()
-	rec.Directive(t0, t.c.s.Now(), t.node.id, "taskwait", "taskwait")
+	rec.Directive(t0, t.p.Now(), t.node.id, "taskwait", "taskwait")
 	return out
 }
 
@@ -336,6 +348,12 @@ func (t *Thread) runTask(tk *task) {
 	v := tk.fn(t)
 	t.curTask = prev
 	t.node.taskResults = append(t.node.taskResults, taskResult{id: tk.id, val: v})
+	if c.lanes {
+		t.node.taskExecuted++
+		c.cnt(t.node.id).TasksExecuted++
+		c.rec.TaskExecuted(t.node.id)
+		return
+	}
 	c.counters.TasksExecuted++
 	c.rec.TaskExecuted(t.node.id)
 	c.tasksLive--

@@ -107,6 +107,7 @@ type ChaosRun struct {
 type ChaosReport struct {
 	Nodes    int
 	Seed     int64
+	Lanes    int
 	Runs     []ChaosRun
 	Failures []string
 }
@@ -118,6 +119,7 @@ func (r ChaosReport) OK() bool { return len(r.Failures) == 0 }
 type ChaosOptions struct {
 	Nodes    int      // cluster size (default 4)
 	Seed     int64    // fault-plane seed (default 1)
+	Lanes    int      // event-lane workers (0 = legacy kernel)
 	Apps     []string // subset of helmholtz, ep, cg, md, quad, lockmix (nil = all)
 	Profiles []string // subset of the built-in profiles (nil = all)
 }
@@ -174,7 +176,7 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 			}
 		}
 	}
-	rep := ChaosReport{Nodes: opt.Nodes, Seed: opt.Seed}
+	rep := ChaosReport{Nodes: opt.Nodes, Seed: opt.Seed, Lanes: opt.Lanes}
 	fail := func(format string, args ...any) {
 		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
 	}
@@ -184,7 +186,7 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 			continue
 		}
 		for _, mode := range chaosModes {
-			base, err := runChaosCell(app, mode, opt.Nodes, nil)
+			base, err := runChaosCell(app, mode, opt.Nodes, opt.Lanes, nil)
 			if err != nil {
 				return rep, fmt.Errorf("harness: %s/%s baseline: %w", app.name, mode.name, err)
 			}
@@ -196,7 +198,7 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 			}
 			for i := range profiles {
 				prof := profiles[i]
-				run, err := runChaosCell(app, mode, opt.Nodes, &prof)
+				run, err := runChaosCell(app, mode, opt.Nodes, opt.Lanes, &prof)
 				if err != nil {
 					run = ChaosRun{App: app.name, Mode: mode.name, Profile: prof.Name, Err: err.Error()}
 					rep.Runs = append(rep.Runs, run)
@@ -227,8 +229,9 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 	return rep, nil
 }
 
-func runChaosCell(app chaosApp, mode chaosMode, nodes int, prof *netsim.Profile) (ChaosRun, error) {
+func runChaosCell(app chaosApp, mode chaosMode, nodes, lanes int, prof *netsim.Profile) (ChaosRun, error) {
 	cfg := mode.cfg(nodes)
+	cfg.Lanes = lanes
 	run := ChaosRun{App: app.name, Mode: mode.name}
 	if prof != nil {
 		p := *prof
@@ -255,7 +258,11 @@ func runChaosCell(app chaosApp, mode chaosMode, nodes int, prof *netsim.Profile)
 // Render formats the sweep as an aligned text table plus the verdict.
 func (r ChaosReport) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "chaos matrix: %d nodes, fault seed %d\n", r.Nodes, r.Seed)
+	fmt.Fprintf(&b, "chaos matrix: %d nodes, fault seed %d", r.Nodes, r.Seed)
+	if r.Lanes > 0 {
+		fmt.Fprintf(&b, ", %d event lanes", r.Lanes)
+	}
+	fmt.Fprintf(&b, "\n")
 	fmt.Fprintf(&b, "%-10s %-7s %-10s %12s %9s %8s %8s %8s %8s %8s\n",
 		"app", "mode", "profile", "kernel", "slowdown", "retrans", "dupsupp", "drops", "dups", "delays")
 	for _, run := range r.Runs {

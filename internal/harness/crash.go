@@ -108,6 +108,7 @@ type CrashRun struct {
 // CrashReport is the outcome of a crash sweep.
 type CrashReport struct {
 	Nodes    int
+	Lanes    int
 	Runs     []CrashRun
 	Skipped  []string // schedules dropped because the app has too few barriers
 	Failures []string
@@ -119,6 +120,7 @@ func (r CrashReport) OK() bool { return len(r.Failures) == 0 }
 // CrashOptions selects the sweep.
 type CrashOptions struct {
 	Nodes int      // cluster size (default 4)
+	Lanes int      // event-lane workers (0 = legacy kernel)
 	Apps  []string // subset of the crash apps (nil = all)
 }
 
@@ -138,7 +140,7 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 			}
 		}
 	}
-	rep := CrashReport{Nodes: opt.Nodes}
+	rep := CrashReport{Nodes: opt.Nodes, Lanes: opt.Lanes}
 	fail := func(format string, args ...any) {
 		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
 	}
@@ -148,15 +150,36 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 			continue
 		}
 		for _, mode := range chaosModes {
-			base, barriers, err := runCrashCell(app, mode, opt.Nodes, nil)
+			base, barriers, err := runCrashCell(app, mode, opt.Nodes, opt.Lanes, nil)
 			if err != nil {
 				return rep, fmt.Errorf("harness: %s/%s baseline: %w", app.name, mode.name, err)
 			}
 			rep.Runs = append(rep.Runs, base)
 
+			// In lane mode an armed crash plan switches the kernel to the
+			// serialized relaxed regime, which is its own deterministic
+			// schedule — different from the strict parallel one. The
+			// recovery contract is "bit-identical to the crash-free run of
+			// the same schedule", so crash runs compare against a baseline
+			// armed with a never-firing plan (same regime, zero crashes).
+			// In legacy mode the kernels coincide and base is used as-is.
+			crashBase := base
+			if opt.Lanes > 0 {
+				armed := crashSchedule{name: "(armed)", events: []hlrc.CrashEvent{
+					{Node: 1, Barrier: 1 << 30, Restart: true},
+				}}
+				crashBase, _, err = runCrashCell(app, mode, opt.Nodes, opt.Lanes, &armed)
+				if err != nil {
+					return rep, fmt.Errorf("harness: %s/%s armed baseline: %w", app.name, mode.name, err)
+				}
+				if crashBase.Crashes != 0 {
+					return rep, fmt.Errorf("harness: %s/%s armed baseline crashed", app.name, mode.name)
+				}
+			}
+
 			// Inertness: an empty crash plan must not change the run at
 			// all — same bits, same final state, same virtual clock.
-			inert, _, err := runCrashCell(app, mode, opt.Nodes, &crashSchedule{name: "(empty)"})
+			inert, _, err := runCrashCell(app, mode, opt.Nodes, opt.Lanes, &crashSchedule{name: "(empty)"})
 			if err != nil {
 				return rep, fmt.Errorf("harness: %s/%s empty-plan run: %w", app.name, mode.name, err)
 			}
@@ -173,7 +196,7 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 						app.name, mode.name, sched.name, sched.maxBarrier, barriers))
 					continue
 				}
-				run, _, err := runCrashCell(app, mode, opt.Nodes, &sched)
+				run, _, err := runCrashCell(app, mode, opt.Nodes, opt.Lanes, &sched)
 				if err != nil {
 					run = CrashRun{App: app.name, Mode: mode.name, Schedule: sched.name, Err: err.Error()}
 					rep.Runs = append(rep.Runs, run)
@@ -181,11 +204,11 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 					continue
 				}
 				rep.Runs = append(rep.Runs, run)
-				if run.Result != base.Result {
+				if run.Result != crashBase.Result {
 					fail("%s/%s under %s: result bits diverged from the fault-free run",
 						app.name, mode.name, sched.name)
 				}
-				if run.MemHash != base.MemHash {
+				if run.MemHash != crashBase.MemHash {
 					fail("%s/%s under %s: final DSM state diverged from the fault-free run",
 						app.name, mode.name, sched.name)
 				}
@@ -220,8 +243,9 @@ func containsCrashApp(name string) bool {
 
 // runCrashCell executes one cell and returns the run record plus the
 // engine barrier count (used to filter schedules against the baseline).
-func runCrashCell(app crashApp, mode chaosMode, nodes int, sched *crashSchedule) (CrashRun, int64, error) {
+func runCrashCell(app crashApp, mode chaosMode, nodes, lanes int, sched *crashSchedule) (CrashRun, int64, error) {
 	cfg := mode.cfg(nodes)
+	cfg.Lanes = lanes
 	if app.lockCaching {
 		cfg.LockCaching = true
 	}
@@ -252,7 +276,11 @@ func runCrashCell(app crashApp, mode chaosMode, nodes int, sched *crashSchedule)
 // Render formats the sweep as an aligned text table plus the verdict.
 func (r CrashReport) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "crash matrix: %d nodes\n", r.Nodes)
+	fmt.Fprintf(&b, "crash matrix: %d nodes", r.Nodes)
+	if r.Lanes > 0 {
+		fmt.Fprintf(&b, ", %d event lanes", r.Lanes)
+	}
+	fmt.Fprintf(&b, "\n")
 	fmt.Fprintf(&b, "%-10s %-7s %-10s %12s %7s %7s %6s %8s %7s %7s %7s\n",
 		"app", "mode", "schedule", "time", "crashes", "recov", "ckpt", "resent", "refetch", "locks", "pages")
 	for _, run := range r.Runs {

@@ -16,7 +16,7 @@ import (
 func (e *Engine) Barrier(p *sim.Proc, node int) {
 	var t0 sim.Time
 	if e.rec != nil {
-		t0 = e.sim.Now()
+		t0 = p.Now()
 	}
 	if e.recov != nil {
 		e.recov.barrierSeq[node]++
@@ -36,7 +36,7 @@ func (e *Engine) Barrier(p *sim.Proc, node int) {
 			// the crash gate until recovery releases it.
 			e.crashNow(p, node, ev)
 			if e.rec != nil {
-				e.rec.BarrierWait(t0, e.sim.Now(), node)
+				e.rec.BarrierWait(t0, p.Now(), node)
 			}
 			return
 		}
@@ -47,7 +47,7 @@ func (e *Engine) Barrier(p *sim.Proc, node int) {
 		barrierArrive{Epoch: e.epoch, Notices: notices})
 	ns.barrierGate.Wait(p)
 	if e.rec != nil {
-		e.rec.BarrierWait(t0, e.sim.Now(), node)
+		e.rec.BarrierWait(t0, p.Now(), node)
 	}
 }
 
@@ -78,8 +78,8 @@ func (e *Engine) ApplyNotices(node int, notices []dsm.WriteNotice) {
 		if pi.State == dsm.ReadOnly {
 			ns.table.Set(wn.Page, dsm.Invalid)
 			ns.mem.SetAppPerm(wn.Page, dsm.PermNone)
-			e.counters.Invalidations++
-			e.pgInval[wn.Page]++
+			e.cnt(node).Invalidations++
+			e.bumpInval(node, wn.Page)
 			e.rec.Invalidated(node, wn.Page)
 		}
 	}
@@ -116,7 +116,7 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 	}()
 	var t0 sim.Time
 	if e.rec != nil {
-		t0 = e.sim.Now()
+		t0 = p.Now()
 	}
 	pages := ns.flushPages[:0]
 	for pg := range ns.dirty {
@@ -153,10 +153,11 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 			continue
 		}
 		e.cpus[node].Compute(p, e.cfg.Cost.DiffScan)
-		d := e.diffs.Get()
+		d := e.diffs[node].Get()
 		dsm.DiffInto(d, pg, pi.Twin, ns.mem.Frame(pg))
-		e.counters.DiffsCreated++
-		e.counters.DiffBytes += int64(d.WireBytes())
+		c := e.cnt(node)
+		c.DiffsCreated++
+		c.DiffBytes += int64(d.WireBytes())
 		if e.rec != nil {
 			e.rec.DiffCreated(node, d.WireBytes())
 		}
@@ -166,16 +167,16 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 			}
 			bundles[pi.Home] = append(bundles[pi.Home], d)
 		} else {
-			e.diffs.Put(d)
+			e.diffs[node].Put(d)
 		}
-		e.frames.Put(pi.Twin)
+		e.frames[node].Put(pi.Twin)
 		pi.Twin = nil
 		ns.table.Set(pg, dsm.ReadOnly)
 		ns.mem.SetAppPerm(pg, dsm.PermRead)
 	}
 
 	if e.rec != nil {
-		e.rec.FlushStart(e.sim.Now(), node, len(pages), len(homes))
+		e.rec.FlushStart(p.Now(), node, len(pages), len(homes))
 	}
 	if len(homes) > 0 {
 		sort.Ints(homes)
@@ -206,14 +207,14 @@ func (e *Engine) flush(p *sim.Proc, node int) []dsm.WriteNotice {
 		for _, h := range homes {
 			if e.recov != nil {
 				for _, d := range bundles[h] {
-					e.diffs.Put(d)
+					e.diffs[node].Put(d)
 				}
 			}
 			bundles[h] = bundles[h][:0]
 		}
 	}
 	if e.rec != nil {
-		e.rec.FlushDone(t0, e.sim.Now(), node, len(pages), len(homes))
+		e.rec.FlushDone(t0, p.Now(), node, len(pages), len(homes))
 	}
 	return notices
 }

@@ -206,18 +206,23 @@ type Engine struct {
 	net      *netsim.Network
 	cpus     []*sim.CPU
 	cfg      Config
-	counters *stats.Counters
+	counters *stats.Sharded
 
 	Alloc *dsm.Allocator
 
 	// frames recycles twins and fetch-reply page snapshots; diffs
-	// recycles flush diffs. Single free lists serve the whole cluster:
-	// the kernel runs one goroutine at a time, so no locking is needed.
-	frames dsm.FramePool
-	diffs  dsm.DiffPool
+	// recycles flush diffs. One free list per node: each list is touched
+	// only from its own node's (lane's) context, and pooled objects
+	// migrate between nodes strictly inside protocol messages, which
+	// carry the happens-before edge under event lanes. In legacy mode
+	// the split is behavior-neutral (a free list is a free list).
+	frames []dsm.FramePool
+	diffs  []dsm.DiffPool
 
-	nodes  []*nodeState
-	locks  map[int]*lockState
+	nodes []*nodeState
+	// locks holds the manager-side lock state, sharded by manager node
+	// (lockManager(id)) so each shard map is confined to one lane.
+	locks  []map[int]*lockState
 	master masterBarrier
 	epoch  int
 
@@ -225,6 +230,10 @@ type Engine struct {
 	pgFetches    []int
 	pgInval      []int
 	pgMigrations []int
+	// pgInvalSh shards pgInval per node under event lanes: several nodes
+	// can invalidate the same page inside one time window. Inner slices
+	// allocate lazily on a node's first invalidation (lane-confined).
+	pgInvalSh [][]int
 
 	// rec is the optional observability recorder (nil = disabled, the
 	// zero-overhead path). traceSink is the legacy-format text sink a
@@ -245,12 +254,21 @@ func New(s *sim.Simulator, net *netsim.Network, cpus []*sim.CPU, cfg Config, c *
 	}
 	npages := (cfg.ShmBytes + dsm.PageSize - 1) / dsm.PageSize
 	e := &Engine{
-		sim: s, net: net, cpus: cpus, cfg: cfg, counters: c,
+		sim: s, net: net, cpus: cpus, cfg: cfg, counters: stats.NewSharded(c),
 		Alloc:        dsm.NewAllocator(npages * dsm.PageSize),
-		locks:        map[int]*lockState{},
+		frames:       make([]dsm.FramePool, cfg.Nodes),
+		diffs:        make([]dsm.DiffPool, cfg.Nodes),
+		locks:        make([]map[int]*lockState, cfg.Nodes),
 		pgFetches:    make([]int, npages),
 		pgInval:      make([]int, npages),
 		pgMigrations: make([]int, npages),
+	}
+	for i := range e.locks {
+		e.locks[i] = map[int]*lockState{}
+	}
+	if s.Lanes() > 0 && !s.Relaxed() {
+		e.counters.EnableShards(cfg.Nodes)
+		e.pgInvalSh = make([][]int, cfg.Nodes)
 	}
 	e.nodes = make([]*nodeState, cfg.Nodes)
 	for i := range e.nodes {
@@ -276,6 +294,35 @@ func New(s *sim.Simulator, net *netsim.Network, cpus []*sim.CPU, cfg Config, c *
 		e.armRecovery(s, net)
 	}
 	return e
+}
+
+// cnt returns the counter set increments from node's context must
+// target (the shared base in legacy and relaxed modes).
+func (e *Engine) cnt(node int) *stats.Counters { return e.counters.At(node) }
+
+// bumpInval counts one invalidation of pg applied on node.
+func (e *Engine) bumpInval(node, pg int) {
+	if e.pgInvalSh != nil {
+		sh := e.pgInvalSh[node]
+		if sh == nil {
+			sh = make([]int, len(e.pgInval))
+			e.pgInvalSh[node] = sh
+		}
+		sh[pg]++
+		return
+	}
+	e.pgInval[pg]++
+}
+
+// FoldCounters merges the per-node counter and per-page shards into the
+// aggregate views. The runtime calls it once after a lane-mode run.
+func (e *Engine) FoldCounters() {
+	e.counters.Fold()
+	for _, sh := range e.pgInvalSh {
+		for pg, n := range sh {
+			e.pgInval[pg] += n
+		}
+	}
 }
 
 // Mem returns node's memory image (for typed accessors after EnsureRead/

@@ -14,7 +14,7 @@ import (
 func (e *Engine) EnsureRead(p *sim.Proc, node, addr int) {
 	ns := e.nodes[node]
 	for !ns.mem.AppReadOK(addr) {
-		e.counters.ReadFaults++
+		e.cnt(node).ReadFaults++
 		e.rec.ReadFault(node)
 		e.fault(p, node, dsm.PageOf(addr), false)
 	}
@@ -25,7 +25,7 @@ func (e *Engine) EnsureRead(p *sim.Proc, node, addr int) {
 func (e *Engine) EnsureWrite(p *sim.Proc, node, addr int) {
 	ns := e.nodes[node]
 	for !ns.mem.AppWriteOK(addr) {
-		e.counters.WriteFaults++
+		e.cnt(node).WriteFaults++
 		e.rec.WriteFault(node)
 		e.fault(p, node, dsm.PageOf(addr), true)
 	}
@@ -44,7 +44,7 @@ func (e *Engine) fault(p *sim.Proc, node, pg int, write bool) {
 		}
 		var t0 sim.Time
 		if e.rec != nil {
-			t0 = e.sim.Now()
+			t0 = p.Now()
 			e.rec.FetchStart(t0, node, pg, home, write)
 		}
 		ns.table.Set(pg, dsm.Transient)
@@ -53,7 +53,7 @@ func (e *Engine) fault(p *sim.Proc, node, pg int, write bool) {
 		e.send(p, node, home, msgPageReq, 16, pageReq{Page: pg})
 		gate.Wait(p)
 		if e.rec != nil {
-			e.rec.FetchDone(t0, e.sim.Now(), node, pg, home)
+			e.rec.FetchDone(t0, p.Now(), node, pg, home)
 		}
 
 	case dsm.Transient:
@@ -92,10 +92,10 @@ func (e *Engine) makeDirty(p *sim.Proc, node, pg int) {
 		if ns.table.Pages[pg].State == dsm.Dirty {
 			return
 		}
-		twin := e.frames.Get()
+		twin := e.frames[node].Get()
 		copy(twin, ns.mem.Frame(pg))
 		ns.table.Pages[pg].Twin = twin
-		e.counters.TwinsCreated++
+		e.cnt(node).TwinsCreated++
 		e.rec.TwinCreated(node)
 	}
 	ns.table.Set(pg, dsm.Dirty)

@@ -21,10 +21,10 @@ func (e *Engine) handlePageReq(p *sim.Proc, node int, m *netsim.Message) {
 	e.cpus[node].Compute(p, e.cfg.Cost.PageCopy)
 	var data []byte
 	if f := ns.mem.FrameIfPresent(req.Page); f != nil {
-		data = e.frames.Get() // released by handlePageReply after CopyIn
+		data = e.frames[node].Get() // released by handlePageReply after CopyIn
 		copy(data, f)
 	}
-	e.counters.PageFetches++
+	e.cnt(node).PageFetches++
 	e.pgFetches[req.Page]++
 	e.rec.FetchServed(node, req.Page)
 	e.send(p, node, m.From, msgPageReply, dsm.PageSize, pageReply{Page: req.Page, Data: data})
@@ -41,7 +41,7 @@ func (e *Engine) handlePageReply(p *sim.Proc, node int, m *netsim.Message) {
 	_ = frame
 	ns.mem.CopyIn(pg, rep.Data)
 	if rep.Data != nil {
-		e.frames.Put(rep.Data)
+		e.frames[node].Put(rep.Data)
 	}
 	ns.table.Set(pg, dsm.ReadOnly)
 	ns.mem.EndSystemUpdate(pg, dsm.PermRead)
@@ -70,12 +70,12 @@ func (e *Engine) handleDiff(p *sim.Proc, node int, m *netsim.Message) {
 		}
 		e.cpus[node].Compute(p, e.cfg.Cost.DiffApply)
 		d.ApplyInto(ns.mem.Frame(d.Page))
-		e.counters.DiffsApplied++
+		e.cnt(node).DiffsApplied++
 		e.rec.DiffApplied(node)
 		if e.recov == nil {
 			// Under a crash plan the flusher keeps (and pools) its
 			// bundle: an unacked bundle may need a resend.
-			e.diffs.Put(d)
+			e.diffs[node].Put(d)
 		}
 		e.forwardHomePage(p, node, d.Page)
 	}
@@ -116,7 +116,7 @@ func (e *Engine) handleBarrierArrive(p *sim.Proc, node int, m *netsim.Message) {
 			mb.modifiers[wn.Page] = set
 		}
 		set[wn.Modifier] = true
-		e.counters.WriteNotices++
+		e.cnt(0).WriteNotices++
 	}
 	mb.arrived++
 	if e.recov != nil {
@@ -163,10 +163,10 @@ func (e *Engine) completeBarrier(p *sim.Proc, epoch int) {
 	for i := range entries {
 		ent := &entries[i]
 		if cur := homes.Pages[ent.Page].Home; ent.NewHome != cur {
-			e.counters.HomeMigrations++
+			e.cnt(0).HomeMigrations++
 			e.pgMigrations[ent.Page]++
 			if e.rec != nil {
-				e.rec.HomeMigrate(e.sim.Now(), epoch, ent.Page, cur, ent.NewHome)
+				e.rec.HomeMigrate(p.Now(), epoch, ent.Page, cur, ent.NewHome)
 			}
 		}
 	}
@@ -178,9 +178,9 @@ func (e *Engine) completeBarrier(p *sim.Proc, epoch int) {
 		}
 		e.recov.detectArmed = false
 	}
-	e.counters.Barriers++
+	e.cnt(0).Barriers++
 	if e.rec != nil {
-		e.rec.BarrierComplete(e.sim.Now(), epoch, len(entries))
+		e.rec.BarrierComplete(p.Now(), epoch, len(entries))
 	}
 
 	// Advance the epoch BEFORE sending departures: each send charges CPU
@@ -227,7 +227,7 @@ func (e *Engine) handleBarrierDepart(p *sim.Proc, node int, m *netsim.Message) {
 				ns.table.Set(ent.Page, dsm.ReadOnly)
 			}
 			if pi.Twin != nil {
-				e.frames.Put(pi.Twin)
+				e.frames[node].Put(pi.Twin)
 				pi.Twin = nil
 			}
 			ns.mem.SetAppPerm(ent.Page, dsm.PermRead)
@@ -246,11 +246,11 @@ func (e *Engine) handleBarrierDepart(p *sim.Proc, node int, m *netsim.Message) {
 			ns.table.Set(ent.Page, dsm.Invalid)
 			ns.mem.SetAppPerm(ent.Page, dsm.PermNone)
 			if pi.Twin != nil {
-				e.frames.Put(pi.Twin)
+				e.frames[node].Put(pi.Twin)
 				pi.Twin = nil
 			}
-			e.counters.Invalidations++
-			e.pgInval[ent.Page]++
+			e.cnt(node).Invalidations++
+			e.bumpInval(node, ent.Page)
 			e.rec.Invalidated(node, ent.Page)
 		case dsm.Invalid:
 			// Nothing cached; only the directory update matters.

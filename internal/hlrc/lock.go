@@ -26,11 +26,14 @@ func (e *Engine) lockManager(id int) int {
 	return id % e.cfg.Nodes
 }
 
+// lockState returns lock id's manager-side state. The state lives in
+// the manager node's shard, so only the manager's lane touches it.
 func (e *Engine) lockState(id int) *lockState {
-	ls := e.locks[id]
+	shard := e.locks[e.lockManager(id)]
+	ls := shard[id]
 	if ls == nil {
 		ls = &lockState{notices: map[int]int{}}
-		e.locks[id] = ls
+		shard[id] = ls
 	}
 	return ls
 }
@@ -39,7 +42,7 @@ func (e *Engine) lockState(id int) *lockState {
 func (e *Engine) AcquireLock(p *sim.Proc, node, id int) {
 	var t0 sim.Time
 	if e.rec != nil {
-		t0 = e.sim.Now()
+		t0 = p.Now()
 	}
 	if e.cfg.LockCaching {
 		e.acquireCached(p, node, id)
@@ -47,7 +50,7 @@ func (e *Engine) AcquireLock(p *sim.Proc, node, id int) {
 		e.acquireCentral(p, node, id)
 	}
 	if e.rec != nil {
-		e.rec.LockAcquired(t0, e.sim.Now(), node, id)
+		e.rec.LockAcquired(t0, p.Now(), node, id)
 	}
 }
 
@@ -70,10 +73,11 @@ func (e *Engine) acquireCentral(p *sim.Proc, node, id int) {
 // a request from node `from`.
 func (e *Engine) lockRequest(p *sim.Proc, from, id int) {
 	ls := e.lockState(id)
-	e.counters.LockRequests++
+	mgr := e.lockManager(id)
+	e.cnt(mgr).LockRequests++
 	e.rec.LockRequest(from)
 	if ls.held {
-		e.counters.LockWaits++
+		e.cnt(mgr).LockWaits++
 		e.rec.LockWaited(from)
 		ls.queue = append(ls.queue, from)
 		return
@@ -145,8 +149,8 @@ func (e *Engine) applyGrantInvalidations(node int, notices []dsm.WriteNotice) {
 		if pi.State == dsm.ReadOnly {
 			ns.table.Set(wn.Page, dsm.Invalid)
 			ns.mem.SetAppPerm(wn.Page, dsm.PermNone)
-			e.counters.Invalidations++
-			e.pgInval[wn.Page]++
+			e.cnt(node).Invalidations++
+			e.bumpInval(node, wn.Page)
 			e.rec.Invalidated(node, wn.Page)
 		}
 		// Dirty pages keep local modifications (lock discipline makes a
@@ -165,7 +169,7 @@ func (e *Engine) ReleaseLock(p *sim.Proc, node, id int) {
 		e.releaseCentral(p, node, id)
 	}
 	if e.rec != nil {
-		e.rec.LockReleased(e.sim.Now(), node, id)
+		e.rec.LockReleased(p.Now(), node, id)
 	}
 }
 

@@ -40,7 +40,7 @@ func (ns *nodeState) nodeLockFor(id int) *nodeLock {
 func (e *Engine) acquireCached(p *sim.Proc, node, id int) {
 	ns := e.nodes[node]
 	nl := ns.nodeLockFor(id)
-	e.counters.LockRequests++
+	e.cnt(node).LockRequests++
 	e.rec.LockRequest(node)
 	if nl.cached && !nl.inUse {
 		// Token resident: zero-message re-acquire. Claim it BEFORE the
@@ -109,7 +109,7 @@ func (e *Engine) cachedLockReq(p *sim.Proc, from, id int) {
 		e.grantCachedToken(p, from, id, tok)
 		return
 	}
-	e.counters.LockWaits++
+	e.cnt(e.lockManager(id)).LockWaits++
 	e.rec.LockWaited(from)
 	ls.queue = append(ls.queue, from)
 	if len(ls.queue) == 1 {

@@ -288,8 +288,8 @@ func (e *Engine) armRecovery(s *sim.Simulator, net *netsim.Network) {
 
 // shipCkpt sends one checkpoint message to node's buddy and tallies it.
 func (e *Engine) shipCkpt(p *sim.Proc, node, typ, bytes int, payload any) {
-	e.counters.CkptMsgs++
-	e.counters.CkptBytes += int64(bytes)
+	e.cnt(0).CkptMsgs++
+	e.cnt(0).CkptBytes += int64(bytes)
 	e.rec.CkptShipped(node, bytes)
 	e.send(p, node, e.buddy(node), typ, bytes, payload)
 }
@@ -568,7 +568,7 @@ func (e *Engine) recoverNode(p *sim.Proc, node int, t0 sim.Time) {
 		e.recoverShrink(p, node)
 	}
 	r.wasDead[node] = true
-	e.counters.Recoveries++
+	e.cnt(0).Recoveries++
 	e.rec.RecoveryDone(t0, e.sim.Now(), 0)
 }
 
@@ -641,7 +641,7 @@ func (e *Engine) resendStuck(p *sim.Proc, node int) {
 			bytes += d.WireBytes()
 		}
 		e.send(p, y, node, msgDiff, bytes, diffMsg{Diffs: diffs})
-		e.counters.ResentBundles++
+		e.cnt(0).ResentBundles++
 	}
 	// Page fetches stalled against the restarted home.
 	for y := 0; y < e.cfg.Nodes; y++ {
@@ -658,7 +658,7 @@ func (e *Engine) resendStuck(p *sim.Proc, node int) {
 		sort.Ints(pgs)
 		for _, pg := range pgs {
 			e.send(p, y, node, msgPageReq, 16, pageReq{Page: pg})
-			e.counters.Refetches++
+			e.cnt(0).Refetches++
 		}
 	}
 	// The protected peer's own barrier log, if its ack is outstanding
@@ -671,16 +671,16 @@ func (e *Engine) resendStuck(p *sim.Proc, node int) {
 	// Token revokes the crash swallowed: queued requesters mean a
 	// recall was (or should be) outstanding against the holder.
 	if e.cfg.LockCaching {
-		ids := make([]int, 0, len(e.locks))
-		for id := range e.locks {
+		ids := make([]int, 0, len(e.locks[0]))
+		for id := range e.locks[0] {
 			ids = append(ids, id)
 		}
 		sort.Ints(ids)
 		for _, id := range ids {
-			ls := e.locks[id]
+			ls := e.locks[0][id]
 			if ls.held && ls.holder == node && len(ls.queue) > 0 {
 				e.sendRevoke(p, id, node)
-				e.counters.ReclaimedLocks++
+				e.cnt(0).ReclaimedLocks++
 			}
 		}
 	}
@@ -738,7 +738,7 @@ func (e *Engine) handleRecoverState(p *sim.Proc, node int, m *netsim.Message) {
 		nl.revokePending = false
 		nl.notices = append([]dsm.WriteNotice(nil), tk.Notices...)
 	}
-	e.counters.PagesRestored += int64(len(rs.Pages))
+	e.cnt(0).PagesRestored += int64(len(rs.Pages))
 	// Synthesize the barrier arrival the crash suppressed: the logged
 	// notices are exactly what the node would have sent.
 	e.send(p, node, 0, msgBarrierArrive, 16+8*len(rs.Notices),
@@ -784,7 +784,7 @@ func (e *Engine) recoverShrink(p *sim.Proc, node int) {
 			mb.modifiers[wn.Page] = set
 		}
 		set[wn.Modifier] = true
-		e.counters.WriteNotices++
+		e.cnt(0).WriteNotices++
 	}
 
 	// Merge the stuck flushers' bundles for the dead home into the
@@ -899,25 +899,25 @@ func (e *Engine) recoverShrink(p *sim.Proc, node int) {
 		sort.Ints(pgs)
 		for _, pg := range pgs {
 			e.send(p, y, newHome, msgPageReq, 16, pageReq{Page: pg})
-			e.counters.Refetches++
+			e.cnt(0).Refetches++
 		}
 	}
 
 	// Reclaim the dead holder's lock tokens from the buddy replica.
 	if e.cfg.LockCaching {
-		ids := make([]int, 0, len(e.locks))
-		for id := range e.locks {
+		ids := make([]int, 0, len(e.locks[0]))
+		for id := range e.locks[0] {
 			ids = append(ids, id)
 		}
 		sort.Ints(ids)
 		for _, id := range ids {
-			ls := e.locks[id]
+			ls := e.locks[0][id]
 			if !ls.held || ls.holder != node {
 				continue
 			}
 			tok := r.tokens[node][id]
 			notices := append([]dsm.WriteNotice(nil), tok.notices...)
-			e.counters.ReclaimedLocks++
+			e.cnt(0).ReclaimedLocks++
 			if len(ls.queue) > 0 {
 				e.tokenReturned(p, id, notices)
 			} else {
@@ -952,12 +952,12 @@ func (e *Engine) handleRecoverInstall(p *sim.Proc, node int, m *netsim.Message) 
 		pi.State = dsm.ReadOnly
 		pi.Home = node
 		if pi.Twin != nil {
-			e.frames.Put(pi.Twin)
+			e.frames[node].Put(pi.Twin)
 			pi.Twin = nil
 		}
 		ns.mem.CopyIn(pc.Page, pc.Data)
 		ns.mem.SetAppPerm(pc.Page, dsm.PermRead)
-		e.counters.PagesRestored++
+		e.cnt(0).PagesRestored++
 	}
 	e.recov.restoreGate.Open()
 }

@@ -87,14 +87,16 @@ func (e *Engine) StateFingerprint() uint64 {
 		}
 	}
 	// Manager-side lock state.
-	lockIDs := make([]int, 0, len(e.locks))
-	for id := range e.locks {
-		lockIDs = append(lockIDs, id)
+	lockIDs := make([]int, 0)
+	for _, shard := range e.locks {
+		for id := range shard {
+			lockIDs = append(lockIDs, id)
+		}
 	}
 	sort.Ints(lockIDs)
 	writeInt(len(lockIDs))
 	for _, id := range lockIDs {
-		ls := e.locks[id]
+		ls := e.locks[e.lockManager(id)][id]
 		holder := -1
 		if ls.held {
 			holder = ls.holder

@@ -20,7 +20,7 @@ func (e *Endpoint) Allgather(p *sim.Proc, val any, bytes int) []any {
 		return out
 	}
 	tag := e.nextCollTag()
-	rec, t0 := w.collStart()
+	rec, t0 := w.collStart(p)
 	idx := w.logicalOf(e.rank)
 	succ := w.phys((idx + 1) % n)
 	predIdx := (idx - 1 + n) % n
@@ -34,7 +34,7 @@ func (e *Endpoint) Allgather(p *sim.Proc, val any, bytes int) []any {
 		m := e.Recv(p, pred, tag+r)
 		out[recvOrigin] = m.Payload
 	}
-	rec.Collective(t0, w.s.Now(), e.rank, "allgather", bytes)
+	rec.Collective(t0, p.Now(), e.rank, "allgather", bytes)
 	return out
 }
 
@@ -45,7 +45,7 @@ func (e *Endpoint) Scatter(p *sim.Proc, root int, vals []any, bytes int) any {
 	w := e.world
 	n := w.AliveSize()
 	tag := e.nextCollTag()
-	rec, t0 := w.collStart()
+	rec, t0 := w.collStart(p)
 	if e.rank == root {
 		for i := 0; i < n; i++ {
 			r := w.phys(i)
@@ -54,11 +54,11 @@ func (e *Endpoint) Scatter(p *sim.Proc, root int, vals []any, bytes int) any {
 			}
 			e.send(p, r, tag, vals[r], bytes)
 		}
-		rec.Collective(t0, w.s.Now(), e.rank, "scatter", bytes)
+		rec.Collective(t0, p.Now(), e.rank, "scatter", bytes)
 		return vals[root]
 	}
 	v := e.Recv(p, root, tag).Payload
-	rec.Collective(t0, w.s.Now(), e.rank, "scatter", bytes)
+	rec.Collective(t0, p.Now(), e.rank, "scatter", bytes)
 	return v
 }
 
@@ -75,7 +75,7 @@ func (e *Endpoint) Alltoall(p *sim.Proc, vals []any, bytes int) []any {
 		return out
 	}
 	tag := e.nextCollTag()
-	rec, t0 := w.collStart()
+	rec, t0 := w.collStart(p)
 	idx := w.logicalOf(e.rank)
 	pow2 := n&(n-1) == 0
 	for r := 1; r < n; r++ {
@@ -97,6 +97,6 @@ func (e *Endpoint) Alltoall(p *sim.Proc, vals []any, bytes int) []any {
 		m := e.Recv(p, from, tag+r)
 		out[from] = m.Payload
 	}
-	rec.Collective(t0, w.s.Now(), e.rank, "alltoall", bytes)
+	rec.Collective(t0, p.Now(), e.rank, "alltoall", bytes)
 	return out
 }

@@ -38,7 +38,7 @@ type World struct {
 	s        *sim.Simulator
 	net      *netsim.Network
 	eps      []*Endpoint
-	counters *stats.Counters
+	counters *stats.Sharded
 	rec      *obs.Recorder
 
 	// Crash-stop membership: removed marks shrunk ranks, alive lists the
@@ -54,17 +54,29 @@ type World struct {
 func (w *World) SetRecorder(r *obs.Recorder) { w.rec = r }
 
 // collStart marks the start of a collective span for one rank; it
-// returns the recorder (nil when disabled) and the start time.
-func (w *World) collStart() (*obs.Recorder, sim.Time) {
+// returns the recorder (nil when disabled) and the start time on the
+// calling process's own clock (its lane's under event lanes).
+func (w *World) collStart(p *sim.Proc) (*obs.Recorder, sim.Time) {
 	if w.rec == nil {
 		return nil, 0
 	}
-	return w.rec, w.s.Now()
+	return w.rec, p.Now()
 }
+
+// cnt returns the counter set rank's context must target (the shared
+// base set in legacy and relaxed modes, rank's shard under lanes).
+func (w *World) cnt(rank int) *stats.Counters { return w.counters.At(rank) }
+
+// FoldCounters merges per-rank counter shards into the aggregate view.
+// The runtime calls it once after a lane-mode run.
+func (w *World) FoldCounters() { w.counters.Fold() }
 
 // NewWorld creates a communicator over net with one endpoint per node.
 func NewWorld(s *sim.Simulator, net *netsim.Network, c *stats.Counters) *World {
-	w := &World{s: s, net: net, counters: c}
+	w := &World{s: s, net: net, counters: stats.NewSharded(c)}
+	if s.Lanes() > 0 && !s.Relaxed() {
+		w.counters.EnableShards(net.Nodes())
+	}
 	w.eps = make([]*Endpoint, net.Nodes())
 	for i := range w.eps {
 		w.eps[i] = &Endpoint{world: w, rank: i}
@@ -171,7 +183,7 @@ func (w *World) logicalOf(rank int) int {
 func (w *World) Serve() {
 	for r := range w.eps {
 		r := r
-		w.s.SpawnDaemon(fmt.Sprintf("mpi-comm%d", r), func(p *sim.Proc) {
+		w.s.SpawnDaemonOn(r, fmt.Sprintf("mpi-comm%d", r), func(p *sim.Proc) {
 			for {
 				m := w.net.Inbox(r).Pop(p)
 				w.net.RecvCost(p, r)
@@ -226,7 +238,7 @@ func (e *Endpoint) Send(p *sim.Proc, to, tag int, payload any, bytes int) {
 }
 
 func (e *Endpoint) send(p *sim.Proc, to, tag int, payload any, bytes int) {
-	e.world.counters.Sends++
+	e.world.cnt(e.rank).Sends++
 	e.world.net.Send(p, &netsim.Message{
 		From: e.rank, To: to, Kind: netsim.KindMPI,
 		Tag: tag, Payload: payload, Bytes: bytes,
@@ -267,8 +279,8 @@ func (e *Endpoint) Bcast(p *sim.Proc, root int, payload any, bytes int) any {
 	if n == 1 {
 		return payload
 	}
-	w.counters.Bcasts++
-	rec, t0 := w.collStart()
+	w.cnt(e.rank).Bcasts++
+	rec, t0 := w.collStart(p)
 	rel := (w.logicalOf(e.rank) - w.logicalOf(root) + n) % n
 	// Walk up the tree to find our parent: the first set bit of rel
 	// names the round in which we receive.
@@ -290,7 +302,7 @@ func (e *Endpoint) Bcast(p *sim.Proc, root int, payload any, bytes int) any {
 			e.send(p, child, tag, payload, bytes)
 		}
 	}
-	rec.Collective(t0, w.s.Now(), e.rank, "bcast", bytes)
+	rec.Collective(t0, p.Now(), e.rank, "bcast", bytes)
 	return payload
 }
 
@@ -309,8 +321,8 @@ func (e *Endpoint) Allreduce(p *sim.Proc, val any, bytes int, combine CombineFun
 	if n == 1 {
 		return val
 	}
-	w.counters.Allreduces++
-	rec, t0 := w.collStart()
+	w.cnt(e.rank).Allreduces++
+	rec, t0 := w.collStart(p)
 	if n&(n-1) == 0 {
 		tag := e.nextCollTag()
 		idx := w.logicalOf(e.rank)
@@ -327,7 +339,7 @@ func (e *Endpoint) Allreduce(p *sim.Proc, val any, bytes int, combine CombineFun
 		val = e.reduceToRoot(p, root, val, bytes, combine)
 		val = e.Bcast(p, root, val, bytes)
 	}
-	rec.Collective(t0, w.s.Now(), e.rank, "allreduce", bytes)
+	rec.Collective(t0, p.Now(), e.rank, "allreduce", bytes)
 	return val
 }
 
@@ -337,9 +349,9 @@ func (e *Endpoint) Reduce(p *sim.Proc, root int, val any, bytes int, combine Com
 	if n == 1 {
 		return val
 	}
-	rec, t0 := e.world.collStart()
+	rec, t0 := e.world.collStart(p)
 	v := e.reduceToRoot(p, root, val, bytes, combine)
-	rec.Collective(t0, e.world.s.Now(), e.rank, "reduce", bytes)
+	rec.Collective(t0, p.Now(), e.rank, "reduce", bytes)
 	if e.rank == root {
 		return v
 	}
@@ -375,8 +387,8 @@ func (e *Endpoint) Barrier(p *sim.Proc) {
 	if n == 1 {
 		return
 	}
-	w.counters.MPIBarrier++
-	rec, t0 := w.collStart()
+	w.cnt(e.rank).MPIBarrier++
+	rec, t0 := w.collStart(p)
 	tag := e.nextCollTag()
 	idx := w.logicalOf(e.rank)
 	for round, dist := 0, 1; dist < n; round, dist = round+1, dist<<1 {
@@ -385,7 +397,7 @@ func (e *Endpoint) Barrier(p *sim.Proc) {
 		e.send(p, to, tag+round, nil, 0)
 		e.Recv(p, from, tag+round)
 	}
-	rec.Collective(t0, w.s.Now(), e.rank, "mpi_barrier", 0)
+	rec.Collective(t0, p.Now(), e.rank, "mpi_barrier", 0)
 }
 
 // Gather collects every rank's contribution at root, returned as a slice
@@ -394,10 +406,10 @@ func (e *Endpoint) Gather(p *sim.Proc, root int, val any, bytes int) []any {
 	w := e.world
 	n := w.AliveSize()
 	tag := e.nextCollTag()
-	rec, t0 := w.collStart()
+	rec, t0 := w.collStart(p)
 	if e.rank != root {
 		e.send(p, root, tag, val, bytes)
-		rec.Collective(t0, w.s.Now(), e.rank, "gather", bytes)
+		rec.Collective(t0, p.Now(), e.rank, "gather", bytes)
 		return nil
 	}
 	// Output stays indexed by physical rank; removed ranks read nil.
@@ -407,6 +419,6 @@ func (e *Endpoint) Gather(p *sim.Proc, root int, val any, bytes int) []any {
 		m := e.Recv(p, AnySource, tag)
 		out[m.From] = m.Payload
 	}
-	rec.Collective(t0, w.s.Now(), e.rank, "gather", bytes)
+	rec.Collective(t0, p.Now(), e.rank, "gather", bytes)
 	return out
 }

@@ -65,7 +65,7 @@ func (n *Network) CrashNode(node int) []*Message {
 		}
 		dropped = append(dropped, m)
 	}
-	n.counters.Crashes++
+	n.counters.At(node).Crashes++
 	n.rec.CrashInjected(node)
 	return dropped
 }
@@ -83,7 +83,7 @@ func (n *Network) RestartNode(node int) {
 	n.down[node] = false
 	n.ResetPeerLinks(node)
 	n.nicFree[node] = n.sim.Now()
-	n.counters.NodeRestarts++
+	n.counters.At(node).NodeRestarts++
 	n.rec.NodeRestarted(node)
 }
 
@@ -144,11 +144,11 @@ func (n *Network) PeerDownErr() error {
 // declared dead. Its pending frames are dropped (the recovery layer
 // resends at protocol granularity, not frame granularity).
 func (n *Network) peerDown(from, to, attempts int) {
-	lk := n.rel.link(from, to)
+	lk := n.rel.sendSide(from, to)
 	for seq := range lk.pending {
 		delete(lk.pending, seq)
 	}
-	n.counters.PeerDowns++
+	n.counters.At(from).PeerDowns++
 	n.rec.PeerDown(from)
 	if n.onPeerDown != nil {
 		n.onPeerDown(from, to)

@@ -159,11 +159,30 @@ func ProfileByName(name string, seed int64) (Profile, error) {
 }
 
 // FaultPlane is the attached injection state of one Network.
+//
+// Injection draws come from per-node random streams, each seeded from
+// the profile seed by a splitmix64 step. A node's draws therefore depend
+// only on its own deterministic event sequence — never on how lanes
+// interleave on the host — so a chaos run injects the identical fault
+// schedule at lanes=1 and lanes=N.
 type FaultPlane struct {
 	prof  Profile
-	rng   *rand.Rand
+	rngs  []*rand.Rand          // per-node injection streams
 	links map[[2]int]LinkFaults // per-link overrides
 }
+
+// mixSeed derives node's private stream seed from the profile seed
+// (one splitmix64 step over seed+node: decorrelates adjacent nodes).
+func mixSeed(seed int64, node int) int64 {
+	z := uint64(seed) + uint64(node+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// rngAt returns node's injection stream. Lane-confined: call only from
+// node's own context.
+func (fp *FaultPlane) rngAt(node int) *rand.Rand { return fp.rngs[node] }
 
 // EnableFaults attaches a fault plane (and with it the reliability
 // sublayer) to the network. It must be called before any Send.
@@ -171,7 +190,10 @@ func (n *Network) EnableFaults(prof Profile) *FaultPlane {
 	prof = prof.WithDefaults()
 	fp := &FaultPlane{
 		prof: prof,
-		rng:  rand.New(rand.NewSource(prof.Seed)),
+		rngs: make([]*rand.Rand, len(n.inbox)),
+	}
+	for i := range fp.rngs {
+		fp.rngs[i] = rand.New(rand.NewSource(mixSeed(prof.Seed, i)))
 	}
 	n.fault = fp
 	n.rel = newRelState(len(n.inbox))

@@ -95,8 +95,8 @@ type Network struct {
 	cpus     []*sim.CPU
 	inbox    []*sim.Queue[*Message]
 	nicFree  []sim.Time // next instant each node's send NIC is idle
-	counters *stats.Counters
-	freeDel  []*delivery // pooled arrival events
+	counters *stats.Sharded
+	freeDel  [][]*delivery // pooled arrival events, one free list per node
 	rec      *obs.Recorder
 	fault    *FaultPlane // nil: ideal fabric, original Send path
 	rel      *relState   // reliability sublayer state (set with fault)
@@ -113,36 +113,43 @@ func (n *Network) SetRecorder(r *obs.Recorder) { n.rec = r }
 
 // delivery is a pooled message-arrival event: the closure is created
 // once per pooled object (bound to the delivery itself), so the
-// steady-state Send path schedules arrivals without allocating. The
-// kernel runs one goroutine at a time, so the free list needs no lock.
+// steady-state Send path schedules arrivals without allocating. Free
+// lists are per node: a delivery is acquired from the sender's list and
+// recycled into the destination's, so each list is only ever touched by
+// its own lane and objects migrate between lanes strictly through the
+// window-barrier merge (which establishes the happens-before edge).
 type delivery struct {
 	net *Network
 	dst *sim.Queue[*Message]
 	m   *Message
+	to  int // recycle target: the node (lane) the arrival fires on
 	fn  func()
 }
 
 // deliverAt schedules m to be pushed onto dst after d of virtual time.
-func (n *Network) deliverAt(d sim.Duration, dst *sim.Queue[*Message], m *Message) {
+// from and to are the sending and firing nodes, routing the event
+// through the lane kernel's cross-lane staging when lanes are active.
+func (n *Network) deliverAt(from, to int, d sim.Duration, dst *sim.Queue[*Message], m *Message) {
 	var del *delivery
-	if k := len(n.freeDel) - 1; k >= 0 {
-		del = n.freeDel[k]
-		n.freeDel[k] = nil
-		n.freeDel = n.freeDel[:k]
+	pool := n.freeDel[from]
+	if k := len(pool) - 1; k >= 0 {
+		del = pool[k]
+		pool[k] = nil
+		n.freeDel[from] = pool[:k]
 	} else {
 		del = &delivery{net: n}
 		del.fn = del.fire
 	}
-	del.dst, del.m = dst, m
-	n.sim.At(d, del.fn)
+	del.dst, del.m, del.to = dst, m, to
+	n.sim.AtFrom(from, to, d, del.fn)
 }
 
 // fire runs as the arrival event: recycle first, then push (a Push may
 // wake a consumer whose next Send wants a delivery from the pool).
 func (del *delivery) fire() {
-	dst, m := del.dst, del.m
+	dst, m, to := del.dst, del.m, del.to
 	del.dst, del.m = nil, nil
-	del.net.freeDel = append(del.net.freeDel, del)
+	del.net.freeDel[to] = append(del.net.freeDel[to], del)
 	dst.Push(m)
 }
 
@@ -159,13 +166,21 @@ func New(s *sim.Simulator, nodes int, fabric Fabric, cpus []*sim.CPU, c *stats.C
 		cpus:     cpus,
 		inbox:    make([]*sim.Queue[*Message], nodes),
 		nicFree:  make([]sim.Time, nodes),
-		counters: c,
+		counters: stats.NewSharded(c),
+		freeDel:  make([][]*delivery, nodes),
 	}
 	for i := range n.inbox {
 		n.inbox[i] = sim.NewQueue[*Message](s)
 	}
+	if s.Lanes() > 0 && !s.Relaxed() {
+		n.counters.EnableShards(nodes)
+	}
 	return n
 }
+
+// FoldCounters folds the per-node counter shards (if any) into the
+// shared aggregate. The runtime calls it once after the simulation.
+func (n *Network) FoldCounters() { n.counters.Fold() }
 
 // Nodes returns the number of attached nodes.
 func (n *Network) Nodes() int { return len(n.inbox) }
@@ -187,9 +202,9 @@ func (n *Network) Send(p *sim.Proc, m *Message) {
 	}
 	dst := n.inbox[m.To]
 	if m.From == m.To {
-		n.counters.LocalDeliver++
+		n.counters.At(m.From).LocalDeliver++
 		n.rec.LocalDelivered(m.From)
-		n.deliverAt(n.fabric.LocalLatency, dst, m)
+		n.deliverAt(m.From, m.To, n.fabric.LocalLatency, dst, m)
 		return
 	}
 	if n.fault != nil {
@@ -197,9 +212,10 @@ func (n *Network) Send(p *sim.Proc, m *Message) {
 		return
 	}
 	n.cpus[m.From].Compute(p, n.fabric.SendOverhead)
-	n.counters.Messages++
-	n.counters.Bytes += int64(m.Bytes + n.fabric.HeaderBytes)
-	now := n.sim.Now()
+	c := n.counters.At(m.From)
+	c.Messages++
+	c.Bytes += int64(m.Bytes + n.fabric.HeaderBytes)
+	now := p.Now()
 	if n.rec != nil {
 		n.rec.MsgSent(now, m.From, m.To, m.Bytes+n.fabric.HeaderBytes, int(m.Kind))
 	}
@@ -214,7 +230,7 @@ func (n *Network) Send(p *sim.Proc, m *Message) {
 		// Rendezvous: an RTS/CTS handshake precedes the payload.
 		arrive += sim.Time(2 * n.fabric.Latency)
 	}
-	n.deliverAt(sim.Duration(arrive-now), dst, m)
+	n.deliverAt(m.From, m.To, sim.Duration(arrive-now), dst, m)
 }
 
 // RecvCost charges the per-message receive overhead to node's CPU from

@@ -60,10 +60,37 @@ func newRelState(nodes int) *relState {
 	return &relState{nodes: nodes, links: make([]relLink, nodes*nodes)}
 }
 
+// link initializes both sides of a directed link. Only safe where the
+// kernel is serialized (setup, serial crash/restart events, tests):
+// under event lanes the sender and receiver sides of one link belong to
+// different lanes, so the running paths use sendSide / recvSide, each of
+// which lazily initializes only the map its own lane owns.
 func (r *relState) link(from, to int) *relLink {
 	lk := &r.links[from*r.nodes+to]
 	if lk.pending == nil {
 		lk.pending = map[int64]*pendingFrame{}
+	}
+	if lk.buffer == nil {
+		lk.buffer = map[int64]*Message{}
+	}
+	return lk
+}
+
+// sendSide returns the link with its sender-side state initialized.
+// Call only from node from's context.
+func (r *relState) sendSide(from, to int) *relLink {
+	lk := &r.links[from*r.nodes+to]
+	if lk.pending == nil {
+		lk.pending = map[int64]*pendingFrame{}
+	}
+	return lk
+}
+
+// recvSide returns the link with its receiver-side state initialized.
+// Call only from node to's context.
+func (r *relState) recvSide(from, to int) *relLink {
+	lk := &r.links[from*r.nodes+to]
+	if lk.buffer == nil {
 		lk.buffer = map[int64]*Message{}
 	}
 	return lk
@@ -75,13 +102,14 @@ func (r *relState) link(from, to int) *relLink {
 // counters, observability) matches the fault-free path.
 func (n *Network) sendReliable(p *sim.Proc, m *Message) {
 	n.cpus[m.From].Compute(p, n.fault.scale(m.From, n.fabric.SendOverhead))
-	n.counters.Messages++
-	n.counters.Bytes += int64(m.Bytes + n.fabric.HeaderBytes)
+	c := n.counters.At(m.From)
+	c.Messages++
+	c.Bytes += int64(m.Bytes + n.fabric.HeaderBytes)
 	if n.rec != nil {
-		n.rec.MsgSent(n.sim.Now(), m.From, m.To, m.Bytes+n.fabric.HeaderBytes, int(m.Kind))
+		n.rec.MsgSent(p.Now(), m.From, m.To, m.Bytes+n.fabric.HeaderBytes, int(m.Kind))
 	}
-	lk := n.rel.link(m.From, m.To)
-	pf := &pendingFrame{m: m, seq: lk.nextSeq, firstSent: n.sim.Now(), epoch: lk.epoch}
+	lk := n.rel.sendSide(m.From, m.To)
+	pf := &pendingFrame{m: m, seq: lk.nextSeq, firstSent: p.Now(), epoch: lk.epoch}
 	lk.nextSeq++
 	lk.pending[pf.seq] = pf
 	n.transmitFrame(pf)
@@ -100,11 +128,12 @@ func (n *Network) transmitFrame(pf *pendingFrame) {
 		return // a dead node puts nothing on the wire
 	}
 	fp := n.fault
-	now := n.sim.Now()
+	now := n.sim.NowOn(from)
+	c := n.counters.At(from)
 	if pf.attempts > 0 {
 		// Retransmitted frames are real wire traffic.
-		n.counters.Messages++
-		n.counters.Bytes += int64(m.Bytes + n.fabric.HeaderBytes)
+		c.Messages++
+		c.Bytes += int64(m.Bytes + n.fabric.HeaderBytes)
 	}
 	start := now
 	if n.nicFree[from] > start {
@@ -123,19 +152,20 @@ func (n *Network) transmitFrame(pf *pendingFrame) {
 	frameTime := xfer + n.fabric.Latency
 	maxHold := sim.Duration(lf.ReorderWindow) * frameTime
 	seq, ep := pf.seq, pf.epoch
-	dropped := lf.DropProb > 0 && fp.rng.Float64() < lf.DropProb
+	rng := fp.rngAt(from)
+	dropped := lf.DropProb > 0 && rng.Float64() < lf.DropProb
 	if dropped {
-		n.counters.InjectedDrops++
+		c.InjectedDrops++
 	} else {
 		var hold sim.Duration
-		if lf.ReorderProb > 0 && maxHold > 0 && fp.rng.Float64() < lf.ReorderProb {
-			hold = sim.Duration(fp.rng.Int63n(int64(maxHold) + 1))
-			n.counters.InjectedDelays++
+		if lf.ReorderProb > 0 && maxHold > 0 && rng.Float64() < lf.ReorderProb {
+			hold = sim.Duration(rng.Int63n(int64(maxHold) + 1))
+			c.InjectedDelays++
 		}
-		n.sim.At(sim.Duration(arrive-now)+hold, func() { n.arriveData(from, to, seq, ep, m) })
-		if lf.DupProb > 0 && fp.rng.Float64() < lf.DupProb {
-			n.counters.InjectedDups++
-			n.sim.At(sim.Duration(arrive-now)+hold+frameTime, func() { n.arriveData(from, to, seq, ep, m) })
+		n.sim.AtFrom(from, to, sim.Duration(arrive-now)+hold, func() { n.arriveData(from, to, seq, ep, m) })
+		if lf.DupProb > 0 && rng.Float64() < lf.DupProb {
+			c.InjectedDups++
+			n.sim.AtFrom(from, to, sim.Duration(arrive-now)+hold+frameTime, func() { n.arriveData(from, to, seq, ep, m) })
 		}
 	}
 
@@ -154,7 +184,7 @@ func (n *Network) transmitFrame(pf *pendingFrame) {
 		slack = fp.prof.RTOCap
 	}
 	timeout := sim.Duration(arrive-now) + maxHold + n.ackReturnTime() + slack
-	n.sim.At(timeout, func() { n.frameTimeout(from, to, seq, ep) })
+	n.sim.AtFrom(from, from, timeout, func() { n.frameTimeout(from, to, seq, ep) })
 }
 
 // ackReturnTime is the modeled latency of an ack control frame.
@@ -167,7 +197,7 @@ func (n *Network) ackReturnTime() sim.Duration {
 // is a timer from before a link reset (epoch mismatch). A crashed
 // sender's timers freeze: a dead node does not retransmit.
 func (n *Network) frameTimeout(from, to int, seq int64, ep int) {
-	lk := n.rel.link(from, to)
+	lk := n.rel.sendSide(from, to)
 	if lk.epoch != ep {
 		return
 	}
@@ -179,7 +209,7 @@ func (n *Network) frameTimeout(from, to int, seq int64, ep int) {
 		return
 	}
 	pf.attempts++
-	n.counters.Timeouts++
+	n.counters.At(from).Timeouts++
 	n.rec.Timeout(from)
 	if pf.attempts > n.fault.prof.MaxAttempts {
 		// Retry budget exhausted: declare the peer dead instead of
@@ -187,7 +217,7 @@ func (n *Network) frameTimeout(from, to int, seq int64, ep int) {
 		n.peerDown(from, to, pf.attempts)
 		return
 	}
-	n.counters.Retransmits++
+	n.counters.At(from).Retransmits++
 	n.rec.Retransmit(from)
 	n.transmitFrame(pf)
 }
@@ -197,7 +227,7 @@ func (n *Network) frameTimeout(from, to int, seq int64, ep int) {
 // to the inbox, and acknowledge cumulatively. Frames addressed to a
 // crashed node, or arriving from before a link reset, evaporate.
 func (n *Network) arriveData(from, to int, seq int64, ep int, m *Message) {
-	lk := n.rel.link(from, to)
+	lk := n.rel.recvSide(from, to)
 	if lk.epoch != ep {
 		return
 	}
@@ -207,7 +237,7 @@ func (n *Network) arriveData(from, to int, seq int64, ep int, m *Message) {
 	if seq < lk.expected || lk.buffer[seq] != nil {
 		// A late original after a retransmit already delivered, or an
 		// injected duplicate. Re-ack so the sender stops resending.
-		n.counters.DupsSuppressed++
+		n.counters.At(to).DupsSuppressed++
 		n.rec.DupSuppressed(to)
 		n.sendAck(from, to)
 		return
@@ -231,28 +261,28 @@ func (n *Network) arriveData(from, to int, seq int64, ep int, m *Message) {
 // themselves subject to loss on the reverse link — a lost ack is
 // recovered by the data-frame timeout and the receiver's re-ack.
 func (n *Network) sendAck(from, to int) {
-	lk := n.rel.link(from, to)
+	lk := n.rel.recvSide(from, to)
 	acked := lk.expected - 1
-	n.counters.AcksSent++
+	n.counters.At(to).AcksSent++
 	n.rec.AckSent(to)
 	rev := n.fault.faultsFor(to, from)
-	if rev.DropProb > 0 && n.fault.rng.Float64() < rev.DropProb {
-		n.counters.InjectedDrops++
+	if rev.DropProb > 0 && n.fault.rngAt(to).Float64() < rev.DropProb {
+		n.counters.At(to).InjectedDrops++
 		return
 	}
 	ep := lk.epoch
-	n.sim.At(n.ackReturnTime(), func() { n.arriveAck(from, to, acked, ep) })
+	n.sim.AtFrom(to, from, n.ackReturnTime(), func() { n.arriveAck(from, to, acked, ep) })
 }
 
 // arriveAck clears every pending frame the cumulative ack covers and
 // records the first-send-to-ack latency of frames that needed a
 // retransmission. Acks from before a link reset are stale.
 func (n *Network) arriveAck(from, to int, acked int64, ep int) {
-	lk := n.rel.link(from, to)
+	lk := n.rel.sendSide(from, to)
 	if lk.epoch != ep {
 		return
 	}
-	now := n.sim.Now()
+	now := n.sim.NowOn(from)
 	for seq, pf := range lk.pending {
 		if seq > acked {
 			continue

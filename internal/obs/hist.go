@@ -34,6 +34,26 @@ func (h *Histogram) Observe(v int64) {
 	h.Buckets[bits.Len64(uint64(v))]++
 }
 
+// Merge folds o into h bucket-wise. Histogram contents are sums and
+// extrema, so a merge of per-lane shards equals the histogram a single
+// loop would have recorded, whatever order the shards are folded in.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
 // BucketUpper returns the inclusive upper bound of bucket i.
 func BucketUpper(i int) int64 {
 	if i <= 0 {

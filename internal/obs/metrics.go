@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"reflect"
 
 	"parade/internal/sim"
 )
@@ -135,6 +136,14 @@ const maxPhases = 512
 // latency/size histograms, and per-parallel-region phase attribution.
 // Like the Recorder it is written with plain stores — the simulation
 // kernel's one-runnable-goroutine invariant is the synchronization.
+//
+// Under per-node event lanes (internal/sim lane mode) that invariant is
+// per lane, not global, so ShardForLanes switches the registry to
+// per-node shards: histograms and phase counters accumulate into the
+// recording node's private shard and FoldLanes merges them after the
+// run. Merging is pure summation (and min/max), so the folded registry
+// is identical whatever the lane count or host interleaving — including
+// lanes=1 — and matches what the single-loop kernel records.
 type Metrics struct {
 	perNode []NodeCounters
 	hist    [NumHists]Histogram
@@ -144,12 +153,37 @@ type Metrics struct {
 	serial       PhaseCounters
 	total        PhaseCounters
 	foldedPhases int
+
+	// Lane-mode shards (nil in legacy mode).
+	histSh [][NumHists]Histogram
+	phSh   []phaseShard
+
+	// Lane engine report (set post-run via SetLaneReport).
+	laneStats   []LaneStat
+	laneWindows uint64
+	laneSync    Histogram
+}
+
+// phaseShard is one node's private phase-attribution state in lane mode.
+// cur is the region sequence number the node is currently inside (0 =
+// serial); slots is indexed by capped sequence number and grown lazily
+// by the owning lane only.
+type phaseShard struct {
+	cur    int
+	slots  []PhaseCounters
+	serial PhaseCounters
+	total  PhaseCounters
 }
 
 // node returns the counters for node n, growing the slice if a recorder
-// built for fewer nodes sees a larger id.
+// built for fewer nodes sees a larger id. In lane mode the slice is
+// preallocated for every node and never grows (a grow would reallocate
+// the backing array under concurrent lanes).
 func (m *Metrics) node(n int) *NodeCounters {
 	if n >= len(m.perNode) {
+		if m.histSh != nil {
+			panic("obs: node id out of range in lane mode")
+		}
 		grown := make([]NodeCounters, n+1)
 		copy(grown, m.perNode)
 		m.perNode = grown
@@ -157,13 +191,47 @@ func (m *Metrics) node(n int) *NodeCounters {
 	return &m.perNode[n]
 }
 
-// ph returns the phase-counter set activity should currently charge to:
-// the open parallel region, or the serial accumulator between regions.
-func (m *Metrics) ph() *PhaseCounters {
+// ph returns the phase-counter set node's activity should currently
+// charge to: the open parallel region (node-local in lane mode), or the
+// serial accumulator between regions.
+func (m *Metrics) ph(node int) *PhaseCounters {
+	if m.histSh != nil {
+		sh := &m.phSh[node]
+		if sh.cur == 0 {
+			return &sh.serial
+		}
+		slot := sh.cur
+		if slot > maxPhases {
+			slot = maxPhases // mirror the legacy folding cap
+		}
+		if slot >= len(sh.slots) {
+			grown := make([]PhaseCounters, slot+1)
+			copy(grown, sh.slots)
+			sh.slots = grown
+		}
+		return &sh.slots[slot]
+	}
 	if m.cur != nil {
 		return &m.cur.C
 	}
 	return &m.serial
+}
+
+// tot returns the whole-run accumulator for node's activity (the
+// node's shard in lane mode, the global total otherwise).
+func (m *Metrics) tot(node int) *PhaseCounters {
+	if m.histSh != nil {
+		return &m.phSh[node].total
+	}
+	return &m.total
+}
+
+// h returns histogram id for recording from node's context.
+func (m *Metrics) h(node, id int) *Histogram {
+	if m.histSh != nil {
+		return &m.histSh[node][id]
+	}
+	return &m.hist[id]
 }
 
 // Nodes returns the number of nodes with recorded counters.
@@ -215,6 +283,102 @@ func (m *Metrics) endPhase(now sim.Time) {
 	}
 }
 
+// shardForLanes switches the registry to per-node accumulation for a
+// lane-mode run over `nodes` nodes. Call before the simulation starts.
+func (m *Metrics) shardForLanes(nodes int) {
+	if len(m.perNode) < nodes {
+		grown := make([]NodeCounters, nodes)
+		copy(grown, m.perNode)
+		m.perNode = grown
+	}
+	m.histSh = make([][NumHists]Histogram, nodes)
+	m.phSh = make([]phaseShard, nodes)
+}
+
+// regionOn marks node as inside parallel region seq; its subsequent
+// activity charges to that region's shard slot. Lane-confined to node.
+func (m *Metrics) regionOn(node, seq int) {
+	if m.histSh != nil {
+		m.phSh[node].cur = seq
+	}
+}
+
+// regionOff reverts node to the serial accumulator.
+func (m *Metrics) regionOff(node int) {
+	if m.histSh != nil {
+		m.phSh[node].cur = 0
+	}
+}
+
+// FoldLanes merges every node shard into the aggregate views (global
+// histograms, the phase list, serial, total). Call once after Run with
+// the kernel quiesced; safe to call in legacy mode (no-op).
+func (m *Metrics) FoldLanes() {
+	if m.histSh == nil {
+		return
+	}
+	for n := range m.histSh {
+		for id := 0; id < NumHists; id++ {
+			m.hist[id].Merge(&m.histSh[n][id])
+		}
+	}
+	for n := range m.phSh {
+		sh := &m.phSh[n]
+		m.serial.Add(&sh.serial)
+		m.total.Add(&sh.total)
+		for seq := 1; seq < len(sh.slots); seq++ {
+			// Region sequence numbers are 1-based and sequential, so the
+			// phase recorded for seq sits at index seq-1 (activity past the
+			// fold cap lands in the last slot, matching beginPhase).
+			idx := seq - 1
+			if idx >= len(m.phases) {
+				idx = len(m.phases) - 1
+			}
+			if idx < 0 {
+				m.serial.Add(&sh.slots[seq])
+				continue
+			}
+			m.phases[idx].C.Add(&sh.slots[seq])
+		}
+	}
+	m.histSh = nil
+	m.phSh = nil
+}
+
+// Add accumulates o into p field-wise (every field is an int64 tally).
+func (p *PhaseCounters) Add(o *PhaseCounters) {
+	pv := reflect.ValueOf(p).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	for i := 0; i < pv.NumField(); i++ {
+		pv.Field(i).SetInt(pv.Field(i).Int() + ov.Field(i).Int())
+	}
+}
+
+// LaneStat mirrors sim.LaneStat for the metrics dump: host-time
+// utilization of one event lane.
+type LaneStat struct {
+	Lane    int    `json:"lane"`
+	Windows uint64 `json:"windows"`
+	Events  uint64 `json:"events"`
+	BusyNs  int64  `json:"busy_ns"`
+	StallNs int64  `json:"stall_ns"`
+}
+
+// SetLaneReport attaches the lane engine's post-run report: per-lane
+// utilization/stall counters, the total window count, and the
+// lane_sync_latency histogram (host nanoseconds each lane spent waiting
+// between finishing a window and being dispatched into the next).
+func (m *Metrics) SetLaneReport(stats []LaneStat, windows uint64, sync Histogram) {
+	m.laneStats = stats
+	m.laneWindows = windows
+	m.laneSync = sync
+}
+
+// LaneReport returns the attached lane report (nil stats in legacy mode).
+func (m *Metrics) LaneReport() ([]LaneStat, uint64, Histogram) {
+	return m.laneStats, m.laneWindows, m.laneSync
+}
+
 // JSON schema for the metrics dump.
 
 type histJSON struct {
@@ -236,6 +400,21 @@ type bucketJSON struct {
 	N  int64 `json:"n"`
 }
 
+func histToJSON(h *Histogram, name, unit string) histJSON {
+	hj := histJSON{
+		Name: name, Unit: unit,
+		Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+		Mean: h.Mean(),
+		P50:  h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+	}
+	for i, n := range h.Buckets {
+		if n != 0 {
+			hj.Buckets = append(hj.Buckets, bucketJSON{Le: BucketUpper(i), N: n})
+		}
+	}
+	return hj
+}
+
 type metricsJSON struct {
 	Schema       string         `json:"schema"`
 	Nodes        int            `json:"nodes"`
@@ -245,6 +424,10 @@ type metricsJSON struct {
 	FoldedPhases int            `json:"folded_phases,omitempty"`
 	Serial       PhaseCounters  `json:"serial"`
 	Total        PhaseCounters  `json:"total"`
+
+	// Lane engine section (present only for lane-mode runs).
+	Lanes       []LaneStat `json:"lanes,omitempty"`
+	LaneWindows uint64     `json:"lane_windows,omitempty"`
 }
 
 // WriteJSON writes the full metrics dump (schema "parade-metrics/v1").
@@ -259,6 +442,8 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 		FoldedPhases: m.foldedPhases,
 		Serial:       m.serial,
 		Total:        m.total,
+		Lanes:        m.laneStats,
+		LaneWindows:  m.laneWindows,
 	}
 	if out.PerNode == nil {
 		out.PerNode = []NodeCounters{}
@@ -267,20 +452,12 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 		out.Phases = []Phase{}
 	}
 	for id := 0; id < NumHists; id++ {
-		h := &m.hist[id]
-		hj := histJSON{
-			Name:  histDefs[id].Name,
-			Unit:  histDefs[id].Unit,
-			Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
-			Mean: h.Mean(),
-			P50:  h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
-		}
-		for i, n := range h.Buckets {
-			if n != 0 {
-				hj.Buckets = append(hj.Buckets, bucketJSON{Le: BucketUpper(i), N: n})
-			}
-		}
-		out.Histograms = append(out.Histograms, hj)
+		out.Histograms = append(out.Histograms, histToJSON(&m.hist[id], histDefs[id].Name, histDefs[id].Unit))
+	}
+	if m.laneStats != nil {
+		// Lane sync latency is host time, not virtual time: it measures the
+		// engine's own barrier cost, so it rides along only for lane runs.
+		out.Histograms = append(out.Histograms, histToJSON(&m.laneSync, "lane_sync_latency", "host_ns"))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -65,10 +65,52 @@ func (r *Recorder) Metrics() *Metrics {
 	return &r.m
 }
 
+// ShardForLanes switches the recorder to per-node metric shards for a
+// lane-mode run (see Metrics). Trace sinks are incompatible with lanes:
+// the scratch-event/synchronous-emit design leans on the global
+// one-runnable-goroutine invariant, and deterministic traces are a
+// legacy-mode artifact — lane runs keep the full metrics registry only.
+func (r *Recorder) ShardForLanes(nodes int) {
+	if r == nil {
+		return
+	}
+	if len(r.sinks) > 0 {
+		panic("obs: trace sinks are not supported with event lanes (use lanes=0 for tracing)")
+	}
+	r.m.shardForLanes(nodes)
+}
+
+// FoldLanes merges the per-node shards after a lane-mode run (no-op
+// otherwise).
+func (r *Recorder) FoldLanes() {
+	if r != nil {
+		r.m.FoldLanes()
+	}
+}
+
+// RegionBeginOn marks node as entering parallel region seq: the node's
+// subsequent activity is attributed to that region. Only meaningful in
+// lane mode (legacy attribution follows the master's RegionBegin/End).
+func (r *Recorder) RegionBeginOn(node, seq int) {
+	if r != nil {
+		r.m.regionOn(node, seq)
+	}
+}
+
+// RegionEndOn reverts node to serial attribution.
+func (r *Recorder) RegionEndOn(node int) {
+	if r != nil {
+		r.m.regionOff(node)
+	}
+}
+
 // AddSink attaches a trace sink. No-op on a nil recorder.
 func (r *Recorder) AddSink(s Sink) {
 	if r == nil || s == nil {
 		return
+	}
+	if r.m.histSh != nil {
+		panic("obs: trace sinks are not supported with event lanes (use lanes=0 for tracing)")
 	}
 	r.sinks = append(r.sinks, s)
 }
@@ -162,12 +204,13 @@ func (r *Recorder) FetchDone(start, end sim.Time, node, page, home int) {
 	}
 	d := int64(end - start)
 	r.m.node(node).FetchesIssued++
-	r.m.hist[HistPageFetch].Observe(d)
-	p := r.m.ph()
+	r.m.h(node, HistPageFetch).Observe(d)
+	p := r.m.ph(node)
 	p.Fetches++
 	p.FetchWaitNs += d
-	r.m.total.Fetches++
-	r.m.total.FetchWaitNs += d
+	t := r.m.tot(node)
+	t.Fetches++
+	t.FetchWaitNs += d
 	if len(r.sinks) > 0 {
 		r.ev = Event{Kind: KindFetch, Time: end, Dur: sim.Duration(d), Node: node, Page: page, Arg: home}
 		r.emit()
@@ -188,9 +231,9 @@ func (r *Recorder) Invalidated(node, page int) {
 		return
 	}
 	r.m.node(node).Invalidations++
-	p := r.m.ph()
+	p := r.m.ph(node)
 	p.Invalidations++
-	r.m.total.Invalidations++
+	r.m.tot(node).Invalidations++
 }
 
 // --- hlrc: diff flush ---
@@ -204,12 +247,13 @@ func (r *Recorder) DiffCreated(node, bytes int) {
 	nc := r.m.node(node)
 	nc.DiffsCreated++
 	nc.DiffBytes += int64(bytes)
-	r.m.hist[HistDiffBytes].Observe(int64(bytes))
-	p := r.m.ph()
+	r.m.h(node, HistDiffBytes).Observe(int64(bytes))
+	p := r.m.ph(node)
 	p.DiffsCreated++
 	p.DiffBytes += int64(bytes)
-	r.m.total.DiffsCreated++
-	r.m.total.DiffBytes += int64(bytes)
+	t := r.m.tot(node)
+	t.DiffsCreated++
+	t.DiffBytes += int64(bytes)
 }
 
 // DiffApplied counts one diff applied at its home node.
@@ -236,12 +280,13 @@ func (r *Recorder) FlushDone(start, end sim.Time, node, pages, bundles int) {
 		return
 	}
 	d := int64(end - start)
-	r.m.hist[HistDiffFlush].Observe(d)
-	p := r.m.ph()
+	r.m.h(node, HistDiffFlush).Observe(d)
+	p := r.m.ph(node)
 	p.Flushes++
 	p.FlushWaitNs += d
-	r.m.total.Flushes++
-	r.m.total.FlushWaitNs += d
+	t := r.m.tot(node)
+	t.Flushes++
+	t.FlushWaitNs += d
 	if len(r.sinks) > 0 {
 		r.ev = Event{Kind: KindFlush, Time: end, Dur: sim.Duration(d), Node: node, Page: -1, Arg: pages, Arg2: bundles}
 		r.emit()
@@ -278,12 +323,13 @@ func (r *Recorder) BarrierWait(start, end sim.Time, node int) {
 	}
 	d := int64(end - start)
 	r.m.node(node).Barriers++
-	r.m.hist[HistBarrierWait].Observe(d)
-	p := r.m.ph()
+	r.m.h(node, HistBarrierWait).Observe(d)
+	p := r.m.ph(node)
 	p.Barriers++
 	p.BarrierWaitNs += d
-	r.m.total.Barriers++
-	r.m.total.BarrierWaitNs += d
+	t := r.m.tot(node)
+	t.Barriers++
+	t.BarrierWaitNs += d
 	if len(r.sinks) > 0 {
 		r.ev = Event{Kind: KindBarrier, Time: end, Dur: sim.Duration(d), Node: node, Page: -1}
 		r.emit()
@@ -316,12 +362,13 @@ func (r *Recorder) LockAcquired(start, end sim.Time, node, lock int) {
 		return
 	}
 	d := int64(end - start)
-	r.m.hist[HistLockAcquire].Observe(d)
-	p := r.m.ph()
+	r.m.h(node, HistLockAcquire).Observe(d)
+	p := r.m.ph(node)
 	p.Locks++
 	p.LockWaitNs += d
-	r.m.total.Locks++
-	r.m.total.LockWaitNs += d
+	t := r.m.tot(node)
+	t.Locks++
+	t.LockWaitNs += d
 	if len(r.sinks) > 0 {
 		r.ev = Event{Kind: KindLock, Time: end, Dur: sim.Duration(d), Node: node, Page: -1, Arg: lock}
 		r.emit()
@@ -348,11 +395,12 @@ func (r *Recorder) MsgSent(now sim.Time, from, to, bytes int, kind int) {
 	nc := r.m.node(from)
 	nc.MsgsSent++
 	nc.BytesSent += int64(bytes)
-	p := r.m.ph()
+	p := r.m.ph(from)
 	p.Msgs++
 	p.Bytes += int64(bytes)
-	r.m.total.Msgs++
-	r.m.total.Bytes += int64(bytes)
+	t := r.m.tot(from)
+	t.Msgs++
+	t.Bytes += int64(bytes)
 	if r.traceMessages && len(r.sinks) > 0 {
 		r.ev = Event{Kind: KindMsgSend, Time: now, Node: from, Page: -1, Arg: to, Arg2: bytes, Arg3: kind}
 		r.emit()
@@ -407,7 +455,7 @@ func (r *Recorder) RetrySettled(firstSent, acked sim.Time, node int) {
 	if r == nil {
 		return
 	}
-	r.m.hist[HistRetryLatency].Observe(int64(acked - firstSent))
+	r.m.h(node, HistRetryLatency).Observe(int64(acked - firstSent))
 }
 
 // --- netsim + hlrc: crash faults and recovery ---
@@ -453,7 +501,7 @@ func (r *Recorder) RecoveryDone(start, end sim.Time, node int) {
 		return
 	}
 	r.m.node(node).Recovered++
-	r.m.hist[HistRecoveryLatency].Observe(int64(end - start))
+	r.m.h(node, HistRecoveryLatency).Observe(int64(end - start))
 }
 
 // --- mpi ---
@@ -465,12 +513,13 @@ func (r *Recorder) Collective(start, end sim.Time, node int, op string, bytes in
 	}
 	d := int64(end - start)
 	r.m.node(node).Collectives++
-	r.m.hist[HistCollective].Observe(d)
-	p := r.m.ph()
+	r.m.h(node, HistCollective).Observe(d)
+	p := r.m.ph(node)
 	p.Collectives++
 	p.CollectiveNs += d
-	r.m.total.Collectives++
-	r.m.total.CollectiveNs += d
+	t := r.m.tot(node)
+	t.Collectives++
+	t.CollectiveNs += d
 	if len(r.sinks) > 0 {
 		r.ev = Event{Kind: KindCollective, Time: end, Dur: sim.Duration(d), Node: node, Page: -1, Arg: bytes, Cat: op}
 		r.emit()
@@ -514,12 +563,13 @@ func (r *Recorder) Directive(start, end sim.Time, node int, cat, site string) {
 	}
 	d := int64(end - start)
 	r.m.node(node).Directives++
-	r.m.hist[HistDirective].Observe(d)
-	p := r.m.ph()
+	r.m.h(node, HistDirective).Observe(d)
+	p := r.m.ph(node)
 	p.Directives++
 	p.DirectiveNs += d
-	r.m.total.Directives++
-	r.m.total.DirectiveNs += d
+	t := r.m.tot(node)
+	t.Directives++
+	t.DirectiveNs += d
 	if len(r.sinks) > 0 {
 		r.ev = Event{Kind: KindDirective, Time: end, Dur: sim.Duration(d), Node: node, Page: -1, Cat: cat, Label: site}
 		r.emit()
@@ -563,7 +613,7 @@ func (r *Recorder) StealDone(start, end sim.Time, thief, victim int, hit bool) {
 	if hit {
 		r.m.node(thief).TasksStolen++
 	}
-	r.m.hist[HistStealLatency].Observe(d)
+	r.m.h(thief, HistStealLatency).Observe(d)
 	if len(r.sinks) > 0 {
 		h := 0
 		if hit {
@@ -583,8 +633,8 @@ func (r *Recorder) CPUWait(node int, d sim.Duration) {
 		return
 	}
 	r.m.node(node).CPUWaitNs += int64(d)
-	r.m.hist[HistCPUWait].Observe(int64(d))
-	p := r.m.ph()
+	r.m.h(node, HistCPUWait).Observe(int64(d))
+	p := r.m.ph(node)
 	p.CPUWaitNs += int64(d)
-	r.m.total.CPUWaitNs += int64(d)
+	r.m.tot(node).CPUWaitNs += int64(d)
 }

@@ -52,9 +52,9 @@ func (c *CPU) acquire(p *Proc) {
 	}
 	c.queue = append(c.queue, p)
 	if c.OnWait != nil {
-		t0 := c.sim.Now()
+		t0 := p.Now()
 		p.park("cpu")
-		c.OnWait(Duration(c.sim.Now() - t0))
+		c.OnWait(Duration(p.Now() - t0))
 		return
 	}
 	p.park("cpu")

@@ -1,0 +1,588 @@
+// Lane mode: a conservatively synchronized parallel extension of the
+// sequential kernel in sim.go.
+//
+// In lane mode the simulation is partitioned into per-node event lanes.
+// Each lane is a complete miniature of the legacy kernel — its own event
+// heap, clock, FIFO sequence counter, parked set, and deterministic
+// random stream — and the lanes execute in bounded time windows under a
+// conservative lookahead rule:
+//
+//	window k executes every event with t in [T_k, H_k), where T_k is
+//	the minimum pending event time across all lanes and
+//	H_k = min(T_k + lookahead, next serial event time).
+//
+// The lookahead bound is the minimum cross-lane interaction delay (the
+// fabric's one-way wire latency): an event executing at t < H can only
+// schedule work on another lane at t' >= t + lookahead >= H, so events
+// inside one window are causally independent across lanes and may run
+// concurrently. Cross-lane insertions made during a window are staged in
+// per-source outboxes and merged at the window barrier in the canonical
+// order (virtual time, then source lane id, then source insertion
+// order); destination sequence numbers are assigned in that merge order,
+// so the resulting schedule is a pure function of the simulation inputs
+// — independent of GOMAXPROCS, the number of worker slots, and host
+// scheduling. lanes=1 (one worker slot) executes the identical windowed
+// schedule serially and is the degenerate case of the same algorithm,
+// which is what makes "lanes=1 vs lanes=N bit-identical" hold by
+// construction.
+//
+// Within a window at most `workers` lanes execute concurrently (a
+// counting semaphore); within one lane the legacy baton discipline is
+// preserved — exactly one goroutine of that lane runs at a time, with
+// control handed through unbuffered channels. Those channel operations,
+// plus the window barrier channels, establish every happens-before edge
+// the Go memory model needs: state is either lane-confined or crosses
+// lanes through the staged merge.
+//
+// Relaxed regime: crash-stop recovery intentionally reaches across nodes
+// (inbox drains, link resets, buddy restores), which cannot satisfy the
+// lookahead rule. When a run arms a crash plan the kernel switches to
+// the relaxed regime: the same per-lane structure and windowed clock,
+// but a single worker slot and clamped (rather than rejected) cross-lane
+// insertions. Serial execution makes the schedule deterministic for any
+// requested lane count, so the bit-identity guarantee still holds —
+// crash runs are simply not parallelized.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// churnYield is the host-scheduling perturbation used by SetWindowChurn.
+func churnYield() { runtime.Gosched() }
+
+// LookaheadError reports a cross-lane event insertion that violates the
+// conservative lookahead bound in the strict (parallel) regime.
+type LookaheadError struct {
+	Src, Dst int
+	T        Time // requested event time
+	Horizon  Time // current window horizon
+}
+
+func (e *LookaheadError) Error() string {
+	return fmt.Sprintf("sim: cross-lane event %d->%d at t=%v violates lookahead (window horizon %v)",
+		e.Src, e.Dst, e.T, e.Horizon)
+}
+
+// xev is a cross-lane event staged in a source lane's outbox during a
+// window. Outbox append order is the source-local tie-break: the merge
+// sorts by (t, srcLane, append index).
+type xev struct {
+	t   Time
+	dst int
+	p   *Proc
+	fn  func()
+}
+
+// SyncHist is a log2-bucketed histogram of host-time lane synchronization
+// latencies (the wait between a lane finishing one window and starting
+// its next), using the same bucket scheme as internal/obs: bucket i holds
+// values v with bits.Len64(v) == i. sim cannot import obs, so the bucket
+// counts are merged into an obs histogram by the caller.
+type SyncHist struct {
+	Count, Sum, Min, Max int64
+	Buckets              [65]int64
+}
+
+func (h *SyncHist) observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[bits.Len64(uint64(v))]++
+}
+
+func (h *SyncHist) merge(o *SyncHist) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i, n := range o.Buckets {
+		h.Buckets[i] += n
+	}
+}
+
+// LaneStat is one lane's utilization record: host time spent executing
+// windows (busy) vs waiting between windows (stall), with window and
+// event tallies. Utilization is BusyNs/(BusyNs+StallNs).
+type LaneStat struct {
+	Lane    int
+	Windows uint64
+	Events  uint64
+	BusyNs  int64
+	StallNs int64
+}
+
+// lane is one per-node event lane: a self-contained sequential kernel
+// plus the window-execution plumbing.
+type lane struct {
+	sim    *Simulator
+	id     int
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	parked map[*Proc]string
+	rng    *rand.Rand
+	outbox []xev
+
+	start chan struct{} // window go-signal to the pump
+
+	// Host-time accounting (observability only; never simulation-visible).
+	winStart time.Time
+	lastDone time.Time
+	ran      bool
+	stat     LaneStat
+	sync     SyncHist
+}
+
+// push enqueues e into this lane at absolute time t (clamped to the
+// lane's clock), assigning the lane-local FIFO sequence number.
+func (ln *lane) push(t Time, e event) {
+	if t < ln.now {
+		t = ln.now
+	}
+	ln.seq++
+	e.t = t
+	e.seq = ln.seq
+	ln.queue.push(e)
+}
+
+// splitmix64 expands one root seed into independent per-lane seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d4b33b24dc74d9
+	return x ^ (x >> 31)
+}
+
+// ConfigureLanes switches s into lane mode with n per-node lanes,
+// executing at most workers lanes concurrently per window, under the
+// given conservative lookahead bound (the minimum cross-lane event
+// delay; typically the fabric's one-way latency). relaxed selects the
+// serialized regime used under crash plans: cross-lane insertions are
+// clamped instead of rejected and workers is forced to 1.
+//
+// Must be called before any process is spawned and before Run. Lane ids
+// are 0..n-1; the runtime wires lane i to simulated node i.
+func (s *Simulator) ConfigureLanes(n, workers int, lookahead Duration, relaxed bool) {
+	if s.ran || s.running {
+		panic("sim: ConfigureLanes after Run")
+	}
+	if s.nextID != 0 || s.queue.len() > 0 {
+		panic("sim: ConfigureLanes after events or processes exist")
+	}
+	if n < 1 {
+		panic("sim: ConfigureLanes needs at least one lane")
+	}
+	if lookahead <= 0 {
+		panic("sim: ConfigureLanes needs a positive lookahead")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if relaxed {
+		workers = 1
+	}
+	seed := s.rng.Int63()
+	s.lanes = make([]*lane, n)
+	for i := range s.lanes {
+		s.lanes[i] = &lane{
+			sim:    s,
+			id:     i,
+			parked: make(map[*Proc]string),
+			rng:    rand.New(rand.NewSource(int64(splitmix64(uint64(seed) + uint64(i))))),
+			start:  make(chan struct{}, 1),
+		}
+		s.lanes[i].stat.Lane = i
+	}
+	s.workers = workers
+	s.lookahead = lookahead
+	s.relaxed = relaxed
+	s.laneSem = make(chan struct{}, workers)
+	s.winDone = make(chan struct{}, n)
+}
+
+// Lanes returns the number of configured lanes (0 in legacy mode).
+func (s *Simulator) Lanes() int { return len(s.lanes) }
+
+// LaneWorkers returns the configured worker-slot count (0 in legacy mode).
+func (s *Simulator) LaneWorkers() int { return s.workers }
+
+// Lookahead returns the configured lookahead bound (0 in legacy mode).
+func (s *Simulator) Lookahead() Duration { return s.lookahead }
+
+// Relaxed reports whether lane mode runs in the serialized relaxed regime.
+func (s *Simulator) Relaxed() bool { return s.relaxed }
+
+// LaneWindows returns the number of executed time windows.
+func (s *Simulator) LaneWindows() uint64 { return s.windows }
+
+// LaneStats returns per-lane utilization records (nil in legacy mode).
+// Call after Run.
+func (s *Simulator) LaneStats() []LaneStat {
+	if s.lanes == nil {
+		return nil
+	}
+	out := make([]LaneStat, len(s.lanes))
+	for i, ln := range s.lanes {
+		out[i] = ln.stat
+	}
+	return out
+}
+
+// LaneSyncHist returns the merged lane synchronization-latency histogram
+// (host nanoseconds a lane waited between finishing one window and
+// starting the next). Call after Run.
+func (s *Simulator) LaneSyncHist() SyncHist {
+	var h SyncHist
+	for _, ln := range s.lanes {
+		h.merge(&ln.sync)
+	}
+	return h
+}
+
+// SetWindowChurn enables host-scheduling churn at window starts (a burst
+// of runtime.Gosched calls in every lane pump). Test hook: it perturbs
+// the host interleaving of lanes without touching virtual time, so a
+// determinism test can assert that results are interleaving-independent.
+func (s *Simulator) SetWindowChurn(on bool) { s.churn = on }
+
+// NowOn returns lane ln's clock. It is only safe to call for the lane
+// the caller is executing on (lane-confined state, like the clock, must
+// not be read across lanes); in legacy mode it returns the global clock.
+func (s *Simulator) NowOn(ln int) Time {
+	if s.lanes == nil {
+		return s.now
+	}
+	return s.lanes[ln].now
+}
+
+// RandOn returns lane ln's deterministic random stream (the global
+// stream in legacy mode). Like NowOn it is lane-confined.
+func (s *Simulator) RandOn(ln int) *rand.Rand {
+	if s.lanes == nil {
+		return s.rng
+	}
+	return s.lanes[ln].rng
+}
+
+// Lane returns the lane id p is bound to (-1 in legacy mode).
+func (p *Proc) Lane() int {
+	if p.lane == nil {
+		return -1
+	}
+	return p.lane.id
+}
+
+// Rand returns the deterministic random stream of p's lane (the global
+// stream in legacy mode).
+func (p *Proc) Rand() *rand.Rand {
+	if p.lane == nil {
+		return p.sim.rng
+	}
+	return p.lane.rng
+}
+
+// SpawnOn creates a process bound to lane ln. Processes may only be
+// spawned onto a lane before Run or from that lane's own context.
+func (s *Simulator) SpawnOn(ln int, name string, fn func(p *Proc)) *Proc {
+	return s.spawnOn(ln, name, fn, false)
+}
+
+// SpawnDaemonOn is SpawnOn for daemons (see SpawnDaemon).
+func (s *Simulator) SpawnDaemonOn(ln int, name string, fn func(p *Proc)) *Proc {
+	return s.spawnOn(ln, name, fn, true)
+}
+
+// AtFrom schedules fn to run d after lane src's current time, on lane
+// dst. Same-lane calls are ordinary lane-local events. Cross-lane calls
+// during a window are staged in src's outbox and merged canonically at
+// the window barrier; in the strict regime they must respect the
+// lookahead bound (t >= window horizon) or the kernel panics with a
+// *LookaheadError. In legacy mode it is equivalent to At.
+func (s *Simulator) AtFrom(src, dst int, d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	if s.lanes == nil {
+		s.schedule(s.now+Time(d), fn)
+		return
+	}
+	from := s.lanes[src]
+	t := from.now + Time(d)
+	s.laneInsert(from, dst, t, event{fn: fn})
+}
+
+// laneInsert routes an event to lane dst with origin lane src.
+func (s *Simulator) laneInsert(src *lane, dst int, t Time, e event) {
+	if src.id == dst {
+		src.push(t, e)
+		return
+	}
+	if !s.running {
+		// Single-threaded setup: insert directly.
+		s.lanes[dst].push(t, e)
+		return
+	}
+	if s.relaxed {
+		// Serialized regime: one lane executes at a time, so a direct
+		// clamped insertion is race-free and deterministic.
+		s.lanes[dst].push(t, e)
+		return
+	}
+	if t < s.horizon {
+		panic(&LookaheadError{Src: src.id, Dst: dst, T: t, Horizon: s.horizon})
+	}
+	src.outbox = append(src.outbox, xev{t: t, dst: dst, p: e.p, fn: e.fn})
+}
+
+// AtSerial schedules fn to run as a serial event d after the serial
+// clock (simulation start, or the current serial event's time when
+// called from one). Serial events execute at a window boundary with
+// every lane quiesced — the one context that may touch any lane's state
+// (crash injection, node restart, link resets). In legacy mode it is
+// equivalent to At.
+func (s *Simulator) AtSerial(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	if s.lanes == nil {
+		s.schedule(s.now+Time(d), fn)
+		return
+	}
+	t := s.serialNow + Time(d)
+	if t < s.serialNow {
+		t = s.serialNow
+	}
+	s.serialSeq++
+	s.serialQ.push(event{t: t, seq: s.serialSeq, fn: fn})
+}
+
+// laneOutcome reports why a lane schedLoop stopped.
+type laneOutcome int
+
+const (
+	laneResumed laneOutcome = iota
+	laneHandedOff
+	laneWindowDone
+)
+
+// schedLoop drains lane events with t < the current window horizon on
+// the calling goroutine, with the same baton discipline as the legacy
+// schedLoop. When the lane's window is exhausted, a nil self returns
+// laneWindowDone (the pump signals the barrier); a process self signals
+// the barrier itself and blocks until a later window resumes it.
+func (ln *lane) schedLoop(self *Proc) laneOutcome {
+	s := ln.sim
+	for ln.queue.len() > 0 && ln.queue.ev[0].t < s.horizon {
+		ev := ln.queue.pop()
+		ln.now = ev.t
+		ln.stat.Events++
+		if ev.p == nil {
+			ev.fn()
+			continue
+		}
+		q := ev.p
+		delete(ln.parked, q)
+		if q == self {
+			return laneResumed
+		}
+		q.resume <- struct{}{}
+		if self == nil {
+			return laneHandedOff
+		}
+		<-self.resume
+		return laneResumed
+	}
+	if self == nil {
+		return laneWindowDone
+	}
+	s.laneDone(ln)
+	<-self.resume
+	return laneResumed
+}
+
+// pump is the per-lane window driver: it waits for the coordinator's
+// go-signal and executes the lane's share of the window. If the baton
+// hands off to one of the lane's processes mid-window, that process (not
+// the pump) reaches the window barrier.
+func (ln *lane) pump() {
+	for range ln.start {
+		now := time.Now()
+		if ln.ran {
+			stall := now.Sub(ln.lastDone).Nanoseconds()
+			ln.stat.StallNs += stall
+			ln.sync.observe(stall)
+		}
+		ln.ran = true
+		ln.winStart = now
+		ln.stat.Windows++
+		if ln.sim.relaxed {
+			// One lane executes at a time in the relaxed regime, so the
+			// "current lane" is well-defined and legacy At/Now keep
+			// working for the crash-recovery paths that rely on them.
+			ln.sim.cur = ln
+		}
+		if ln.sim.churn {
+			for i := 0; i <= ln.id&3; i++ {
+				churnYield()
+			}
+		}
+		if ln.schedLoop(nil) == laneWindowDone {
+			ln.sim.laneDone(ln)
+		}
+	}
+}
+
+// laneDone marks ln's window complete: accounts busy time, releases the
+// worker slot, and signals the coordinator's barrier. Called by
+// whichever goroutine of the lane exhausted the window.
+func (s *Simulator) laneDone(ln *lane) {
+	now := time.Now()
+	ln.stat.BusyNs += now.Sub(ln.winStart).Nanoseconds()
+	ln.lastDone = now
+	<-s.laneSem
+	s.winDone <- struct{}{}
+}
+
+const maxTime = Time(int64(^uint64(0) >> 1))
+
+// runLanes is Run's body in lane mode: the window coordinator.
+func (s *Simulator) runLanes() error {
+	for i := range s.lanes {
+		go s.lanes[i].pump()
+	}
+	for {
+		// Next window start: the minimum pending virtual time anywhere.
+		T, st := maxTime, maxTime
+		for _, ln := range s.lanes {
+			if ln.queue.len() > 0 && ln.queue.ev[0].t < T {
+				T = ln.queue.ev[0].t
+			}
+		}
+		if s.serialQ.len() > 0 {
+			st = s.serialQ.ev[0].t
+		}
+		if T == maxTime && st == maxTime {
+			break // drained
+		}
+		if st <= T {
+			// Serial event: runs alone, with every lane quiesced and
+			// advanced to the serial instant.
+			ev := s.serialQ.pop()
+			s.serialNow = ev.t
+			for _, ln := range s.lanes {
+				if ln.now < ev.t {
+					ln.now = ev.t
+				}
+			}
+			s.cur = nil
+			s.serialCtx = true
+			ev.fn()
+			s.serialCtx = false
+			continue
+		}
+		H := T + Time(s.lookahead)
+		if H < T {
+			H = maxTime // overflow guard
+		}
+		if st < H {
+			H = st
+		}
+		s.horizon = H
+		active := 0
+		if s.relaxed {
+			// A running lane may push directly into an undispatched
+			// lane's heap, so take the (single) worker token before
+			// inspecting each lane: holding it means no lane runs.
+			for _, ln := range s.lanes {
+				s.laneSem <- struct{}{}
+				if ln.queue.len() > 0 && ln.queue.ev[0].t < H {
+					active++
+					ln.start <- struct{}{}
+				} else {
+					<-s.laneSem
+				}
+			}
+		} else {
+			// Strict regime: windows only mutate foreign heaps through
+			// the staged outboxes, so the scan is race-free.
+			for _, ln := range s.lanes {
+				if ln.queue.len() > 0 && ln.queue.ev[0].t < H {
+					active++
+					s.laneSem <- struct{}{} // bounds concurrent lanes to workers
+					ln.start <- struct{}{}
+				}
+			}
+		}
+		for i := 0; i < active; i++ {
+			<-s.winDone
+		}
+		s.windows++
+		s.mergeOutboxes()
+	}
+	s.finished = true
+	if s.live > 0 {
+		var parked []string
+		for _, ln := range s.lanes {
+			for p, reason := range ln.parked {
+				if p.daemon {
+					continue
+				}
+				parked = append(parked, p.name+": "+reason)
+			}
+		}
+		sort.Strings(parked)
+		return &DeadlockError{Parked: parked}
+	}
+	return nil
+}
+
+// mergeOutboxes applies every cross-lane event staged during the window
+// in the canonical order: virtual time, then source lane id, then source
+// insertion order. Destination sequence numbers are assigned in exactly
+// this order, making the merged schedule independent of how the window's
+// lanes interleaved on the host.
+func (s *Simulator) mergeOutboxes() {
+	buf := s.mergeBuf[:0]
+	for _, ln := range s.lanes {
+		if len(ln.outbox) > 0 {
+			buf = append(buf, ln.outbox...)
+			for i := range ln.outbox {
+				ln.outbox[i] = xev{}
+			}
+			ln.outbox = ln.outbox[:0]
+		}
+	}
+	// Stable sort on t alone: entries were appended in (srcLane,
+	// insertion-order) sequence, which stability preserves within ties.
+	sort.SliceStable(buf, func(i, j int) bool { return buf[i].t < buf[j].t })
+	for i := range buf {
+		x := &buf[i]
+		s.lanes[x.dst].push(x.t, event{p: x.p, fn: x.fn})
+		buf[i] = xev{}
+	}
+	s.mergeBuf = buf[:0]
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Lane-kernel benchmarks: host-time throughput of the windowed parallel
+// kernel. LaneLocal measures lane-confined event execution (the common
+// case), LaneCross forces every chain hop through the staged outbox
+// merge, and LaneSerial is the single-worker degenerate schedule — the
+// number the lanes=1 regression gate watches.
+
+// benchLaneChains drives ~b.N events through an n-lane kernel. Each of
+// the `lanes` chains self-posts fine-grained local events and, every
+// localPerHop events, hops to the next lane at exactly the lookahead
+// bound — so cross-lane traffic exercises the outbox staging and the
+// canonical window merge.
+func benchLaneChains(b *testing.B, lanes, workers, localPerHop int) {
+	const lookahead = 4 * Microsecond
+	s := New(1)
+	s.ConfigureLanes(lanes, workers, lookahead, false)
+	per := b.N / lanes
+	if per < 1 {
+		per = 1
+	}
+	type chain struct {
+		ln, left int
+		step     func()
+	}
+	for i := 0; i < lanes; i++ {
+		c := &chain{ln: i, left: per}
+		c.step = func() {
+			c.left--
+			if c.left <= 0 {
+				return
+			}
+			if localPerHop == 0 || c.left%(localPerHop+1) == 0 {
+				src := c.ln
+				c.ln = (c.ln + 1) % lanes
+				s.AtFrom(src, c.ln, lookahead, c.step)
+				return
+			}
+			s.AtFrom(c.ln, c.ln, Microsecond, c.step)
+		}
+		s.AtFrom(i, i, 0, c.step)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkLaneLocalThroughput(b *testing.B) {
+	benchLaneChains(b, 8, runtime.GOMAXPROCS(0), 1<<30)
+}
+
+func BenchmarkLaneCrossTraffic(b *testing.B) {
+	benchLaneChains(b, 8, runtime.GOMAXPROCS(0), 0)
+}
+
+func BenchmarkLaneSerialDegenerate(b *testing.B) {
+	benchLaneChains(b, 8, 1, 3)
+}

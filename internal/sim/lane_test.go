@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// laneRing builds a ring of n lanes, each with one process that computes
+// (sleeps) and forwards a token to the next lane with delay hop (which
+// must respect the lookahead in strict mode). It returns a per-lane
+// trace of (virtual time, token value) pairs — the determinism witness.
+func laneRing(t *testing.T, n, workers int, lookahead Duration, relaxed, churn bool, rounds int) [][]string {
+	t.Helper()
+	s := New(42)
+	s.ConfigureLanes(n, workers, lookahead, relaxed)
+	s.SetWindowChurn(churn)
+	traces := make([][]string, n)
+	queues := make([]*Queue[int], n)
+	for i := 0; i < n; i++ {
+		queues[i] = NewQueue[int](s)
+	}
+	hop := lookahead
+	if relaxed {
+		hop = lookahead / 2 // deliberately violates lookahead; legal relaxed
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		s.SpawnOn(i, fmt.Sprintf("node%d", i), func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				v := queues[i].Pop(p)
+				// Lane-local work with a deterministic pseudo-random span.
+				p.Sleep(Duration(1+p.Rand().Intn(3)) * Microsecond)
+				traces[i] = append(traces[i], fmt.Sprintf("%d@%d", v, p.Now()))
+				next := (i + 1) % n
+				nv := v + 1
+				s.AtFrom(i, next, hop, func() { queues[next].Push(nv) })
+			}
+		})
+	}
+	// Seed one token per lane so every lane is busy each window.
+	for i := 0; i < n; i++ {
+		queues[i].Push(i * 1000)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run (workers=%d relaxed=%v): %v", workers, relaxed, err)
+	}
+	return traces
+}
+
+func flatten(tr [][]string) string {
+	out := ""
+	for i, lane := range tr {
+		out += fmt.Sprintf("lane%d:", i)
+		for _, e := range lane {
+			out += e + ";"
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// TestLaneDeterminism is the core tentpole property: the canonical
+// windowed schedule is identical for one worker slot, many worker
+// slots, and many worker slots under host-scheduling churn.
+func TestLaneDeterminism(t *testing.T) {
+	const n, rounds = 8, 50
+	la := 5 * Microsecond
+	base := flatten(laneRing(t, n, 1, la, false, false, rounds))
+	for _, cfg := range []struct {
+		workers int
+		churn   bool
+	}{{4, false}, {8, false}, {8, true}, {3, true}} {
+		got := flatten(laneRing(t, n, cfg.workers, la, false, cfg.churn, rounds))
+		if got != base {
+			t.Fatalf("workers=%d churn=%v diverged from workers=1:\n--- base ---\n%s--- got ---\n%s",
+				cfg.workers, cfg.churn, base, got)
+		}
+	}
+}
+
+// TestLaneRelaxedDeterminism: the relaxed (serialized) regime is
+// deterministic for any requested worker count, because workers is
+// forced to 1.
+func TestLaneRelaxedDeterminism(t *testing.T) {
+	const n, rounds = 6, 30
+	la := 4 * Microsecond
+	base := flatten(laneRing(t, n, 1, la, true, false, rounds))
+	got := flatten(laneRing(t, n, 7, la, true, true, rounds))
+	if got != base {
+		t.Fatalf("relaxed run diverged across requested worker counts:\n%s\nvs\n%s", base, got)
+	}
+}
+
+// TestLaneSingleLaneDegenerate: one lane with any worker count behaves
+// like a plain sequential simulation.
+func TestLaneSingleLaneDegenerate(t *testing.T) {
+	s := New(1)
+	s.ConfigureLanes(1, 4, Microsecond, false)
+	var ticks []Time
+	s.SpawnOn(0, "p", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(3 * Microsecond)
+			ticks = append(ticks, p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 10 || ticks[9] != Time(30*Microsecond) {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	if s.Now() != Time(30*Microsecond) {
+		t.Fatalf("final Now = %v", s.Now())
+	}
+}
+
+// TestLaneLookaheadViolation: a cross-lane insertion below the lookahead
+// bound panics with a *LookaheadError in the strict regime.
+func TestLaneLookaheadViolation(t *testing.T) {
+	s := New(3)
+	s.ConfigureLanes(2, 2, 10*Microsecond, false)
+	var caught error
+	s.SpawnOn(0, "violator", func(p *Proc) {
+		p.Sleep(Microsecond) // enter a running window
+		defer func() {
+			if r := recover(); r != nil {
+				if le, ok := r.(*LookaheadError); ok {
+					caught = le
+				}
+				// Re-park forever so the kernel sees a clean exit path.
+			}
+		}()
+		s.AtFrom(0, 1, Microsecond, func() {})
+	})
+	s.SpawnOn(1, "peer", func(p *Proc) { p.Sleep(2 * Microsecond) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if caught == nil {
+		t.Fatal("expected a *LookaheadError from a sub-lookahead cross-lane insert")
+	}
+}
+
+// TestLaneDeadlock: lane mode still reports a global deadlock with the
+// parked processes of every lane.
+func TestLaneDeadlock(t *testing.T) {
+	s := New(9)
+	s.ConfigureLanes(3, 3, Microsecond, false)
+	g := NewGate(s)
+	s.SpawnOn(1, "stuck1", func(p *Proc) { g.Wait(p) })
+	s.SpawnOn(2, "stuck2", func(p *Proc) { p.Sleep(Microsecond); g.Wait(p) })
+	err := s.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(de.Parked) != 2 {
+		t.Fatalf("parked = %v", de.Parked)
+	}
+}
+
+// TestLaneSerialEvent: AtSerial runs between windows with every lane
+// quiesced and advanced to the serial instant.
+func TestLaneSerialEvent(t *testing.T) {
+	s := New(5)
+	s.ConfigureLanes(4, 4, 2*Microsecond, false)
+	var at Time
+	var lanesNow []Time
+	s.AtSerial(50*Microsecond, func() {
+		at = s.Now() // serial context: global clock is defined
+		for i := 0; i < 4; i++ {
+			lanesNow = append(lanesNow, s.NowOn(i))
+		}
+	})
+	for i := 0; i < 4; i++ {
+		i := i
+		s.SpawnOn(i, fmt.Sprintf("w%d", i), func(p *Proc) {
+			for k := 0; k < 30; k++ {
+				p.Sleep(3 * Microsecond)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != Time(50*Microsecond) {
+		t.Fatalf("serial event ran at %v", at)
+	}
+	for i, ln := range lanesNow {
+		if ln != at {
+			t.Fatalf("lane %d clock %v at serial event (want %v)", i, ln, at)
+		}
+	}
+}
+
+// TestLaneStats: executing windows populates utilization counters and
+// the sync-latency histogram.
+func TestLaneStats(t *testing.T) {
+	tr := laneRing(t, 4, 2, 5*Microsecond, false, false, 20)
+	_ = tr
+}
+
+func TestLaneStatsCounters(t *testing.T) {
+	s := New(7)
+	s.ConfigureLanes(2, 2, 5*Microsecond, false)
+	for i := 0; i < 2; i++ {
+		i := i
+		s.SpawnOn(i, fmt.Sprintf("w%d", i), func(p *Proc) {
+			for k := 0; k < 40; k++ {
+				p.Sleep(2 * Microsecond)
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.LaneStats()
+	if len(stats) != 2 {
+		t.Fatalf("lane stats: %v", stats)
+	}
+	for _, st := range stats {
+		if st.Windows == 0 || st.Events == 0 {
+			t.Fatalf("empty stats for lane %d: %+v", st.Lane, st)
+		}
+	}
+	if s.LaneWindows() == 0 {
+		t.Fatal("no windows recorded")
+	}
+	h := s.LaneSyncHist()
+	if h.Count == 0 {
+		t.Fatal("no sync-latency samples")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Time is an absolute instant in virtual nanoseconds since simulation start.
@@ -164,6 +165,31 @@ type Simulator struct {
 	parked map[*Proc]string
 	rng    *rand.Rand
 	ran    bool
+
+	// Lane mode (see lane.go). lanes == nil selects the legacy
+	// single-queue kernel above; every field below is inert then.
+	lanes     []*lane
+	workers   int
+	lookahead Duration
+	relaxed   bool
+	running   bool // Run has started (lane insertions must stage)
+	finished  bool // Run has returned
+	horizon   Time // current window horizon [written only between windows]
+	serialQ   eventHeap
+	serialSeq uint64
+	serialNow Time
+	serialCtx bool  // a serial event is executing (all lanes quiesced)
+	cur       *lane // relaxed regime only: the single executing lane
+	laneSem   chan struct{}
+	winDone   chan struct{}
+	windows   uint64
+	mergeBuf  []xev
+	churn     bool
+
+	// liveMu guards live for lane mode, where processes of different
+	// lanes may exit concurrently. Legacy mode is single-threaded but
+	// takes the (uncontended) lock too, keeping one code path.
+	liveMu sync.Mutex
 }
 
 // New creates a simulator whose random source is seeded with seed.
@@ -175,12 +201,57 @@ func New(seed int64) *Simulator {
 	}
 }
 
-// Now returns the current virtual time.
-func (s *Simulator) Now() Time { return s.now }
+// Now returns the current virtual time. In lane mode the global clock
+// only exists while no lanes run concurrently: before Run, during a
+// serial event, in the relaxed (serialized) regime, and after Run (the
+// maximum lane clock). In the strict parallel regime a running lane must
+// use Proc.Now or NowOn instead; calling Now there panics.
+func (s *Simulator) Now() Time {
+	if s.lanes == nil {
+		return s.now
+	}
+	if s.serialCtx {
+		return s.serialNow
+	}
+	if !s.running {
+		return 0
+	}
+	if s.finished {
+		var t Time
+		for _, ln := range s.lanes {
+			if ln.now > t {
+				t = ln.now
+			}
+		}
+		if s.serialNow > t {
+			t = s.serialNow
+		}
+		return t
+	}
+	if s.relaxed {
+		return s.curNow()
+	}
+	panic("sim: Now is ambiguous while lanes run in parallel; use Proc.Now or NowOn")
+}
+
+// curNow is the clock of the single currently-executing lane in the
+// relaxed regime (the serialized execution makes it well-defined).
+func (s *Simulator) curNow() Time {
+	if s.cur != nil {
+		return s.cur.now
+	}
+	return s.serialNow
+}
 
 // Rand returns the simulator's deterministic random source. It must only
 // be used from simulation context (a running Proc or an event callback).
-func (s *Simulator) Rand() *rand.Rand { return s.rng }
+// In the strict lane regime use Proc.Rand or RandOn (per-lane streams).
+func (s *Simulator) Rand() *rand.Rand {
+	if s.lanes != nil && s.running && !s.finished && !s.relaxed && !s.serialCtx {
+		panic("sim: Rand is lane-ambiguous in the parallel regime; use Proc.Rand or RandOn")
+	}
+	return s.rng
+}
 
 // push enqueues e at absolute time t (clamped to now), assigning the
 // FIFO tie-break sequence number.
@@ -201,9 +272,29 @@ func (s *Simulator) schedule(t Time, fn func()) {
 
 // At schedules fn to run d from now on the baton holder's goroutine.
 // fn must not block; use Spawn for blocking activities.
+//
+// In lane mode the "current time" needs a context: before Run, At is
+// equivalent to AtSerial (the natural meaning for pre-run schedules like
+// crash plans); during a serial event or in the relaxed regime it
+// schedules onto the current execution context; in the strict parallel
+// regime it panics — use AtFrom with an explicit lane.
 func (s *Simulator) At(d Duration, fn func()) {
 	if d < 0 {
 		d = 0
+	}
+	if s.lanes != nil {
+		if !s.running || s.serialCtx {
+			s.AtSerial(d, fn)
+			return
+		}
+		if s.relaxed && s.cur != nil {
+			s.cur.push(s.cur.now+Time(d), event{fn: fn})
+			return
+		}
+		if s.finished {
+			panic("sim: At after Run")
+		}
+		panic("sim: At is lane-ambiguous in the parallel regime; use AtFrom")
 	}
 	s.schedule(s.now+Time(d), fn)
 }
@@ -217,6 +308,7 @@ type Proc struct {
 	resume chan struct{}
 	exited bool
 	daemon bool
+	lane   *lane // nil in legacy mode
 }
 
 // Name returns the process name given at Spawn time.
@@ -228,8 +320,13 @@ func (p *Proc) ID() int { return p.id }
 // Sim returns the owning simulator.
 func (p *Proc) Sim() *Simulator { return p.sim }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.sim.now }
+// Now returns the current virtual time (p's lane clock in lane mode).
+func (p *Proc) Now() Time {
+	if p.lane != nil {
+		return p.lane.now
+	}
+	return p.sim.now
+}
 
 // Spawn creates a process and schedules it to start at the current
 // virtual time. It may be called before Run or from simulation context.
@@ -246,6 +343,10 @@ func (s *Simulator) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 }
 
 func (s *Simulator) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	if s.lanes != nil {
+		// Lane mode: an unqualified spawn binds to lane 0.
+		return s.spawnOn(0, name, fn, daemon)
+	}
 	s.nextID++
 	p := &Proc{sim: s, name: name, id: s.nextID, resume: make(chan struct{}), daemon: daemon}
 	if !daemon {
@@ -265,6 +366,42 @@ func (s *Simulator) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		}
 	}()
 	s.push(s.now, event{p: p})
+	return p
+}
+
+// spawnOn is spawn's lane-mode body: the process is bound to lane ln and
+// its start event, exit drain, and window-barrier participation all
+// happen within that lane.
+func (s *Simulator) spawnOn(ln int, name string, fn func(p *Proc), daemon bool) *Proc {
+	if s.lanes == nil {
+		return s.spawn(name, fn, daemon) // legacy: lane hint ignored
+	}
+	lane := s.lanes[ln]
+	s.liveMu.Lock()
+	s.nextID++
+	id := s.nextID
+	if !daemon {
+		s.live++
+	}
+	s.liveMu.Unlock()
+	p := &Proc{sim: s, name: name, id: id, resume: make(chan struct{}), daemon: daemon, lane: lane}
+	go func() {
+		<-p.resume
+		fn(p)
+		p.exited = true
+		if !p.daemon {
+			s.liveMu.Lock()
+			s.live--
+			s.liveMu.Unlock()
+		}
+		// The exiting process holds its lane's baton; keep draining the
+		// lane's window on this goroutine and reach the window barrier
+		// if the lane is finished.
+		if lane.schedLoop(nil) == laneWindowDone {
+			s.laneDone(lane)
+		}
+	}()
+	lane.push(lane.now, event{p: p})
 	return p
 }
 
@@ -312,6 +449,11 @@ func (s *Simulator) schedLoop(self *Proc) loopOutcome {
 // park blocks p until some event wakes it. reason is reported on deadlock.
 func (p *Proc) park(reason string) {
 	s := p.sim
+	if p.lane != nil {
+		p.lane.parked[p] = reason
+		p.lane.schedLoop(p) // blocks until a later event resumes p
+		return
+	}
 	s.parked[p] = reason
 	if s.schedLoop(p) == loopDrained {
 		// The queue drained while p was parked: nothing can ever wake p
@@ -323,20 +465,33 @@ func (p *Proc) park(reason string) {
 }
 
 // wakeAt schedules p to be resumed at time t. Exactly one wakeAt must be
-// issued per park.
+// issued per park. In lane mode the wake lands on p's own lane: waking a
+// process of another lane is a lane-confinement violation in the strict
+// regime (the race detector flags the heap access) and a clamped
+// same-heap insertion in the relaxed one.
 func (s *Simulator) wakeAt(t Time, p *Proc) {
+	if p.lane != nil {
+		p.lane.push(t, event{p: p})
+		return
+	}
 	s.push(t, event{p: p})
 }
 
 // wake schedules p to be resumed at the current time.
-func (s *Simulator) wake(p *Proc) { s.wakeAt(s.now, p) }
+func (s *Simulator) wake(p *Proc) {
+	if p.lane != nil {
+		p.lane.push(p.lane.now, event{p: p})
+		return
+	}
+	s.wakeAt(s.now, p)
+}
 
 // Sleep blocks p for d of virtual time.
 func (p *Proc) Sleep(d Duration) {
 	if d <= 0 {
 		return
 	}
-	p.sim.wakeAt(p.sim.now+Time(d), p)
+	p.sim.wakeAt(p.Now()+Time(d), p)
 	p.park("sleep")
 }
 
@@ -355,6 +510,10 @@ func (s *Simulator) Run() error {
 		return fmt.Errorf("sim: Run called twice")
 	}
 	s.ran = true
+	if s.lanes != nil {
+		s.running = true
+		return s.runLanes()
+	}
 	if s.schedLoop(nil) == loopHandedOff {
 		// The baton is circulating among process goroutines; whichever
 		// one drains the queue signals completion.

@@ -1,0 +1,63 @@
+package stats
+
+import "reflect"
+
+// Sharded wraps a Counters instance with optional per-node shards for the
+// lane-parallel simulation kernel. In legacy (single-loop) mode every
+// subsystem increments the shared base instance directly, which is safe
+// because exactly one simulated process runs at a time. With per-node
+// event lanes that invariant is per lane, not global, so each subsystem
+// routes every increment through At(node): without shards At returns the
+// base (byte-identical legacy behavior); with shards enabled it returns a
+// lane-private Counters that the owning lane alone touches. Fold, called
+// once after Run with the kernel quiesced, adds every shard into the base
+// so readers (reports, tests) see the same summed view either way — sums
+// commute, so the totals are independent of lane interleaving.
+type Sharded struct {
+	base   *Counters
+	shards []Counters
+}
+
+// NewSharded wraps base. Until EnableShards is called, At returns base
+// for every node.
+func NewSharded(base *Counters) *Sharded { return &Sharded{base: base} }
+
+// EnableShards switches the wrapper to per-node accumulation for a
+// lane-mode run. Call before the simulation starts.
+func (s *Sharded) EnableShards(nodes int) { s.shards = make([]Counters, nodes) }
+
+// Sharded reports whether per-node shards are active.
+func (s *Sharded) Sharded() bool { return s.shards != nil }
+
+// Base returns the wrapped aggregate instance.
+func (s *Sharded) Base() *Counters { return s.base }
+
+// At returns the Counters that node's increments must target. Lane-safe
+// only for the lane that owns node (or any context when shards are off
+// or the kernel is serialized).
+func (s *Sharded) At(node int) *Counters {
+	if s.shards == nil {
+		return s.base
+	}
+	return &s.shards[node]
+}
+
+// Fold adds every shard into the base and zeroes the shards. Call once
+// after the run, with no lanes executing.
+func (s *Sharded) Fold() {
+	for i := range s.shards {
+		s.base.Add(&s.shards[i])
+		s.shards[i] = Counters{}
+	}
+}
+
+// Add accumulates o into c field-wise. Every Counters field is an int64
+// tally, so reflection walks them without a hand-maintained list that
+// would silently go stale when a counter is added.
+func (c *Counters) Add(o *Counters) {
+	cv := reflect.ValueOf(c).Elem()
+	ov := reflect.ValueOf(o).Elem()
+	for i := 0; i < cv.NumField(); i++ {
+		cv.Field(i).SetInt(cv.Field(i).Int() + ov.Field(i).Int())
+	}
+}

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Benchmark-regression harness: runs the substrate benchmark suites
-# (event kernel, diff engine, directive microbenchmarks, Fig 6/7) with
-# -benchmem, comparing against the pre-overhaul numbers recorded in
-# bench/baseline_pr0.txt. Writes BENCH_PR1.json unless the caller picks
+# (event kernel, lane kernel, diff engine, directive microbenchmarks,
+# Fig 6/7) with -benchmem, comparing against the numbers recorded in
+# bench/baseline_pr6.json (regenerated after the lane-kernel PR so the
+# lane benchmarks are anchored; the pre-overhaul numbers remain in
+# bench/baseline_pr0.txt). Benchmarks absent from the baseline are
+# reported as "new". Writes BENCH_PR1.json unless the caller picks
 # another -out; `-out -` streams the report to stdout and creates no
 # file at all.
 #
@@ -11,7 +14,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-baseline=bench/baseline_pr0.txt
+baseline=bench/baseline_pr6.json
 if [ ! -f "$baseline" ]; then
     echo "bench.sh: baseline $baseline is missing; the regression gate would check nothing." >&2
     echo "bench.sh: restore it (git checkout -- $baseline) or record a new one with:" >&2
