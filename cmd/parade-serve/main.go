@@ -1,0 +1,188 @@
+// Command parade-serve runs the fleet sweep service: an HTTP daemon that
+// accepts JSONL batches of simulation jobs on POST /v1/jobs, executes
+// them on a bounded work-stealing pool, deduplicates by canonical config
+// fingerprint against an LRU result cache, and exports Prometheus-style
+// metrics on GET /metrics. SIGTERM/SIGINT triggers a graceful drain:
+// admission stops (new batches get 503), admitted jobs finish, then the
+// process exits. See SERVING.md for the full serving surface.
+//
+// With -replay the command instead acts as its own acceptance harness:
+// it replays the chaos and crash scenario matrices through the service
+// path and exits non-zero if any cell's HTTP result differs from an
+// in-process run, if a repeated batch misses the cache, or if a cache
+// hit re-executes (probed via /metrics). "-replay self" boots an
+// in-process server first; "-replay http://host:port" targets a running
+// one.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"parade/internal/fleet"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers  = flag.Int("workers", 2, "worker pool size")
+		queue    = flag.Int("queue", 64, "admission queue bound (jobs)")
+		cache    = flag.Int("cache", 1024, "result cache capacity (entries)")
+		maxBatch = flag.Int("max-batch", 4096, "maximum jobs per request")
+
+		replay         = flag.String("replay", "", "replay the acceptance matrices through the service path: 'self' boots an in-process server, otherwise a base URL of a running one")
+		replayApps     = flag.String("replay-apps", "", "comma-separated app subset for -replay (default: all)")
+		replayModes    = flag.String("replay-modes", "", "comma-separated mode subset for -replay (default: hybrid,sdsm)")
+		replayProfiles = flag.String("replay-profiles", "", "comma-separated fault-profile subset for -replay ('none' for ideal fabric only)")
+		replayCrashes  = flag.String("replay-crashes", "", "comma-separated crash-schedule subset for -replay ('none' for crash-free only)")
+		replayNodes    = flag.String("replay-nodes", "", "comma-separated node counts for -replay (default: 4)")
+		replayLanes    = flag.String("replay-lanes", "", "comma-separated lane counts for -replay (default: 0)")
+		replaySeed     = flag.Int64("replay-seed", 0, "fault-plane seed for -replay (default: 1)")
+	)
+	flag.Parse()
+
+	opt := fleet.ServerOptions{
+		Workers: *workers, Queue: *queue,
+		Cache: *cache, MaxBatch: *maxBatch,
+	}
+
+	if *replay != "" {
+		ropt := fleet.ReplayOptions{
+			Apps:     splitList(*replayApps),
+			Modes:    splitList(*replayModes),
+			Profiles: splitOrNone(*replayProfiles),
+			Crashes:  splitOrNone(*replayCrashes),
+			Nodes:    mustInts(*replayNodes, "-replay-nodes"),
+			Lanes:    mustInts(*replayLanes, "-replay-lanes"),
+			Seed:     *replaySeed,
+			Log:      os.Stderr,
+		}
+		os.Exit(runReplay(*replay, opt, ropt))
+	}
+
+	svc := fleet.NewService(opt)
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	done := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "parade-serve: %v: draining\n", sig)
+		svc.Drain() // stop admission, finish admitted jobs
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		server.Shutdown(ctx)
+		close(done)
+	}()
+
+	fmt.Fprintf(os.Stderr, "parade-serve: listening on %s (workers=%d queue=%d cache=%d)\n",
+		*addr, *workers, *queue, *cache)
+	if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "parade-serve: %v\n", err)
+		os.Exit(1)
+	}
+	<-done
+	fmt.Fprintln(os.Stderr, "parade-serve: drained")
+}
+
+// runReplay executes the replay harness and returns the process exit
+// code. target "self" boots an in-process server on a loopback port.
+func runReplay(target string, opt fleet.ServerOptions, ropt fleet.ReplayOptions) int {
+	baseURL := target
+	if target == "self" {
+		svc := fleet.NewService(opt)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parade-serve: replay listen: %v\n", err)
+			return 1
+		}
+		server := &http.Server{Handler: svc.Handler()}
+		go server.Serve(ln)
+		defer func() {
+			svc.Drain()
+			server.Close()
+		}()
+		baseURL = "http://" + ln.Addr().String()
+	}
+	sum, err := fleet.Replay(baseURL, ropt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parade-serve: replay FAILED: %v\n", err)
+		return 1
+	}
+	fmt.Printf("replay OK: %d cells identical via service path, %d cache hits on repeat, executions delta %d\n",
+		sum.Cells, sum.CacheHits, sum.ExecDelta)
+	return 0
+}
+
+// splitList parses a comma-separated flag value ("" yields nil).
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// splitOrNone parses a profile/crash subset flag. The sentinel "none"
+// selects only the empty value (ideal fabric / crash-free), since nil
+// means "use the replay defaults". Crash schedules contain commas, so
+// elements are separated with ';' in these flags.
+func splitOrNone(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	if s == "none" {
+		return []string{""}
+	}
+	sep := ","
+	if strings.Contains(s, ";") {
+		sep = ";"
+	}
+	var out []string
+	for _, part := range strings.Split(s, sep) {
+		part = strings.TrimSpace(part)
+		if part == "none" {
+			part = ""
+		}
+		out = append(out, part)
+	}
+	return out
+}
+
+// mustInts parses a comma-separated int list, exiting on bad input.
+func mustInts(s, flagName string) []int {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parade-serve: %s: bad value %q\n", flagName, part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

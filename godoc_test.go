@@ -1,0 +1,138 @@
+package parade_test
+
+// Godoc coverage gate: every package in the module carries a package
+// comment, and every exported symbol of the public parade facade
+// carries a doc comment. This is the in-repo enforcement behind the CI
+// lint step (staticcheck's ST1000 checks package comments too; this
+// test keeps the rule honest without network access and extends it to
+// the facade's exported symbols).
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// modulePackageDirs lists the directories whose packages the gate
+// covers: the root facade, every internal package, and every command.
+func modulePackageDirs(t *testing.T) []string {
+	t.Helper()
+	dirs := []string{"."}
+	for _, root := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if d.Name() == "testdata" {
+				return fs.SkipDir
+			}
+			if hasGoFiles(t, path) {
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", root, err)
+		}
+	}
+	return dirs
+}
+
+func hasGoFiles(t *testing.T, dir string) bool {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(matches) > 0
+}
+
+// parseDir parses every non-test .go file of dir, comments included.
+func parseDir(t *testing.T, dir string) map[string]*ast.File {
+	t.Helper()
+	fset := token.NewFileSet()
+	files := map[string]*ast.File{}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range matches {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		files[path] = f
+	}
+	return files
+}
+
+func TestEveryPackageHasAPackageComment(t *testing.T) {
+	for _, dir := range modulePackageDirs(t) {
+		files := parseDir(t, dir)
+		if len(files) == 0 {
+			continue // test-only directory
+		}
+		documented := false
+		for _, f := range files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			t.Errorf("package in %s has no package comment on any file", dir)
+		}
+	}
+}
+
+func TestFacadeExportsAreDocumented(t *testing.T) {
+	files := parseDir(t, ".")
+	var undocumented []string
+	for path, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() {
+					continue // methods surface through their type's doc
+				}
+				if d.Doc == nil {
+					undocumented = append(undocumented, path+": func "+d.Name.Name)
+				}
+			case *ast.GenDecl:
+				declDoc := d.Doc != nil
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && !declDoc && s.Doc == nil {
+							undocumented = append(undocumented, path+": type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						// A doc comment on the grouped decl covers the
+						// whole const/var block.
+						if declDoc || s.Doc != nil || s.Comment != nil {
+							continue
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								undocumented = append(undocumented, path+": "+name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, sym := range undocumented {
+		t.Errorf("exported facade symbol lacks a doc comment: %s", sym)
+	}
+}

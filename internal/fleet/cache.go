@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the LRU result cache keyed by the canonical config
+// fingerprint. A hit is provably the same result a fresh run would
+// produce: runs are pure functions of their canonical configuration, and
+// the cache stores the full canonical string alongside each entry and
+// compares it on every lookup, so even a 64-bit fingerprint collision
+// cannot alias two distinct jobs (a collision counts as a miss and is
+// tallied).
+//
+// Cache is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[uint64]*list.Element
+
+	hits       int64
+	misses     int64
+	evictions  int64
+	collisions int64
+}
+
+type cacheEntry struct {
+	key       uint64
+	canonical string
+	result    JobResult
+}
+
+// NewCache creates a cache bounded to capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[uint64]*list.Element),
+	}
+}
+
+// Get looks up the result for a spec with the given fingerprint and
+// canonical string. On a hit the entry is promoted to most recently
+// used and a copy of the stored result is returned.
+func (c *Cache) Get(fp uint64, canonical string) (JobResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fp]
+	if !ok {
+		c.misses++
+		return JobResult{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.canonical != canonical {
+		// Fingerprint collision between distinct canonical configs: the
+		// exactness guard. Treated as a miss; the colliding newcomer will
+		// overwrite on Put.
+		c.collisions++
+		c.misses++
+		return JobResult{}, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return ent.result, true
+}
+
+// Put stores a result under its spec's fingerprint, evicting the least
+// recently used entry when full. Only StatusOK results are worth
+// storing; callers enforce that.
+func (c *Cache) Put(fp uint64, canonical string, res JobResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fp]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.canonical = canonical
+		ent.result = res
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.entries[fp] = c.order.PushFront(&cacheEntry{key: fp, canonical: canonical, result: res})
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Collisions int64
+	Len        int
+	Capacity   int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses,
+		Evictions: c.evictions, Collisions: c.collisions,
+		Len: c.order.Len(), Capacity: c.capacity,
+	}
+}

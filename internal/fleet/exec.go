@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"parade/internal/harness"
+	"parade/internal/obs"
+)
+
+// Job result statuses.
+const (
+	// StatusOK marks a job that executed (or was served from cache).
+	StatusOK = "ok"
+	// StatusInvalid marks a job whose spec failed validation; the result
+	// line carries the field-level detail.
+	StatusInvalid = "invalid"
+	// StatusError marks a job whose simulation returned an error.
+	StatusError = "error"
+)
+
+// JobResult is one JSONL result line: the echo of the job's identity,
+// its status, and the run's fingerprints. MemHash is Report.MemHash —
+// the engine's StateFingerprint over the final DSM state — and
+// StateFingerprint folds the result bits, MemHash, and the virtual
+// clock into one run-identity hash: two runs agree there if and only if
+// they are bit-identical in every observable the acceptance matrices
+// compare.
+type JobResult struct {
+	ID     string `json:"id,omitempty"`
+	Index  int    `json:"index"`
+	Status string `json:"status"`
+	// Spec echo (normalized form).
+	App    string `json:"app,omitempty"`
+	Mode   string `json:"mode,omitempty"`
+	Config string `json:"config,omitempty"` // full canonical config string
+	// Fingerprint is the canonical FNV config fingerprint (the dedupe
+	// key), as fixed-width hex.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Cached reports that the result was served from the dedupe cache
+	// (or coalesced onto an identical in-flight job) without re-running.
+	Cached bool `json:"cached"`
+	// ResultBits is the exact-bits fingerprint of the application's
+	// result fields (hex of each float64's bits).
+	ResultBits string `json:"result_bits,omitempty"`
+	// MemHash is Report.MemHash, the engine StateFingerprint of the
+	// final DSM state, as fixed-width hex.
+	MemHash string `json:"mem_hash,omitempty"`
+	// StateFingerprint is the FNV-1a fold of ResultBits, MemHash, and
+	// TimeNs: the single value identity assertions compare.
+	StateFingerprint string `json:"state_fingerprint,omitempty"`
+	// TimeNs is the virtual time at which the program finished.
+	TimeNs int64 `json:"time_ns,omitempty"`
+	// KernelNs is the virtual time of the timed kernel region.
+	KernelNs int64 `json:"kernel_ns,omitempty"`
+	// HostNs is the wall-clock execution time of the run that produced
+	// this result (the original run's, when served from cache).
+	HostNs int64 `json:"host_ns,omitempty"`
+	// Error carries the run error for StatusError.
+	Error string `json:"error,omitempty"`
+	// InvalidFields carries the field-level detail for StatusInvalid.
+	InvalidFields []FieldError `json:"invalid_fields,omitempty"`
+}
+
+// foldState computes StateFingerprint from the run observables.
+func foldState(resultBits, memHash string, timeNs int64) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d", resultBits, memHash, timeNs)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Executor runs job specs in process. It always executes — deduplication
+// lives in Service — and counts executions, so tests and the replay
+// harness can prove that cache hits skip it.
+type Executor struct {
+	executions atomic.Int64
+
+	// Obs, when non-nil, is called with each run's observability metrics
+	// after the run completes (the Service folds them into /metrics).
+	Obs func(m *obs.Metrics)
+}
+
+// Executions returns the number of simulations actually run — the
+// run-count probe behind the "cache hits never re-execute" tests.
+func (e *Executor) Executions() int64 { return e.executions.Load() }
+
+// Run executes the spec's simulation and returns its result. Invalid
+// specs are reported as StatusInvalid results (never executed); run
+// errors as StatusError. The returned error is non-nil only for
+// programming errors (a spec that validated but cannot be lowered).
+func (e *Executor) Run(spec JobSpec) (JobResult, error) {
+	spec = spec.Normalize()
+	res := JobResult{
+		ID:          spec.ID,
+		App:         spec.App,
+		Mode:        spec.Mode,
+		Config:      spec.Canonical(),
+		Fingerprint: spec.FingerprintHex(),
+	}
+	if err := spec.Validate(); err != nil {
+		se := err.(*JobSpecError)
+		res.Status = StatusInvalid
+		res.InvalidFields = se.Fields
+		return res, nil
+	}
+	cfg, err := spec.BuildConfig()
+	if err != nil {
+		return res, fmt.Errorf("fleet: lowering validated spec: %w", err)
+	}
+	app, err := harness.MatrixAppByName(spec.App)
+	if err != nil {
+		return res, fmt.Errorf("fleet: lowering validated spec: %w", err)
+	}
+	var rec *obs.Recorder
+	if e.Obs != nil {
+		rec = obs.New(cfg.Nodes)
+		cfg.Obs = rec
+	}
+	e.executions.Add(1)
+	start := time.Now()
+	bits, kernel, report, err := app.Run(cfg)
+	res.HostNs = time.Since(start).Nanoseconds()
+	if err != nil {
+		res.Status = StatusError
+		res.Error = err.Error()
+		return res, nil
+	}
+	res.Status = StatusOK
+	res.ResultBits = bits
+	res.MemHash = fmt.Sprintf("%016x", report.MemHash)
+	res.TimeNs = int64(report.Time)
+	res.KernelNs = int64(kernel)
+	res.StateFingerprint = foldState(res.ResultBits, res.MemHash, res.TimeNs)
+	if e.Obs != nil {
+		e.Obs(rec.Metrics())
+	}
+	return res, nil
+}

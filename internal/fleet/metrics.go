@@ -1,0 +1,222 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"parade/internal/obs"
+)
+
+// Metrics is the service-side registry behind /metrics: job and batch
+// counters, queue gauges, cache statistics, a per-job host-latency
+// histogram, and the cumulative simulation activity of every executed
+// job — the per-run internal/obs metrics folded into service totals.
+// obs.Histogram is the histogram implementation here too, so the
+// Prometheus rendering shares the simulator's log2 bucket scheme.
+//
+// Metrics is safe for concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	jobs       map[string]int64 // by status: ok, invalid, error
+	cachedJobs int64
+	batches    int64
+	rejected   int64 // batches refused with 429
+
+	queued   int
+	inFlight int
+
+	jobLatency obs.Histogram // host ns per executed job
+
+	// Cumulative simulation activity across all executed jobs, folded
+	// from each run's obs registry.
+	simCounters map[string]int64
+	simHists    map[string]*obs.Histogram
+	simHistUnit map[string]string
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		jobs:        map[string]int64{},
+		simCounters: map[string]int64{},
+		simHists:    map[string]*obs.Histogram{},
+		simHistUnit: map[string]string{},
+	}
+}
+
+// JobDone tallies one finished job.
+func (m *Metrics) JobDone(status string, cached bool, hostNs int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[status]++
+	if cached {
+		m.cachedJobs++
+		return
+	}
+	if status == StatusOK || status == StatusError {
+		m.jobLatency.Observe(hostNs)
+	}
+}
+
+// BatchDone tallies one batch admission outcome.
+func (m *Metrics) BatchDone(rejected bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	if rejected {
+		m.rejected++
+	}
+}
+
+// SetQueue records the pool gauges.
+func (m *Metrics) SetQueue(queued, inFlight int) {
+	m.mu.Lock()
+	m.queued, m.inFlight = queued, inFlight
+	m.mu.Unlock()
+}
+
+// FoldRun folds one executed run's observability metrics into the
+// service totals: every per-node counter summed into a
+// parade_sim_<name>_total series and every non-empty latency/size
+// histogram merged into a parade_sim_<name> histogram.
+func (m *Metrics) FoldRun(run *obs.Metrics) {
+	if run == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for n := 0; n < run.Nodes(); n++ {
+		c := run.Node(n)
+		m.simCounters["read_faults"] += c.ReadFaults
+		m.simCounters["write_faults"] += c.WriteFaults
+		m.simCounters["page_fetches"] += c.FetchesIssued
+		m.simCounters["diffs_created"] += c.DiffsCreated
+		m.simCounters["diff_bytes"] += c.DiffBytes
+		m.simCounters["sdsm_barriers"] += c.Barriers
+		m.simCounters["lock_requests"] += c.LockRequests
+		m.simCounters["msgs_sent"] += c.MsgsSent
+		m.simCounters["bytes_sent"] += c.BytesSent
+		m.simCounters["collectives"] += c.Collectives
+		m.simCounters["directives"] += c.Directives
+		m.simCounters["rel_retransmits"] += c.Retransmits
+		m.simCounters["rel_timeouts"] += c.Timeouts
+		m.simCounters["task_spawned"] += c.TasksSpawned
+		m.simCounters["task_stolen"] += c.TasksStolen
+		m.simCounters["crash_injected"] += c.Crashes
+		m.simCounters["ckpt_msgs"] += c.CkptMsgs
+		m.simCounters["recovery_runs"] += c.Recovered
+	}
+	for id := 0; id < obs.NumHists; id++ {
+		h := run.Hist(id)
+		if h.Count == 0 {
+			continue
+		}
+		name := obs.HistName(id)
+		agg, ok := m.simHists[name]
+		if !ok {
+			agg = &obs.Histogram{}
+			m.simHists[name] = agg
+			unit := "ns"
+			if name == "diff_size" {
+				unit = "bytes"
+			}
+			m.simHistUnit[name] = unit
+		}
+		agg.Merge(&h)
+	}
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4). cache may be nil when the service runs
+// without a cache; executions is the Executor's run-count probe.
+func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache, executions int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("parade_fleet_queue_depth", "Jobs admitted and waiting for a worker.", float64(m.queued))
+	gauge("parade_fleet_in_flight", "Jobs currently executing.", float64(m.inFlight))
+
+	fmt.Fprintf(w, "# HELP parade_fleet_jobs_total Finished jobs by status.\n# TYPE parade_fleet_jobs_total counter\n")
+	for _, status := range []string{StatusOK, StatusInvalid, StatusError} {
+		fmt.Fprintf(w, "parade_fleet_jobs_total{status=%q} %d\n", status, m.jobs[status])
+	}
+	counter("parade_fleet_jobs_cached_total", "Jobs served from the dedupe cache without execution.", m.cachedJobs)
+	counter("parade_fleet_batches_total", "Batches received.", m.batches)
+	counter("parade_fleet_batches_rejected_total", "Batches refused with 429 (queue full).", m.rejected)
+	counter("parade_fleet_executions_total", "Simulations actually executed (the cache-skip probe).",
+		executions)
+
+	if cache != nil {
+		cs := cache.Stats()
+		counter("parade_fleet_cache_hits_total", "Dedupe cache hits.", cs.Hits)
+		counter("parade_fleet_cache_misses_total", "Dedupe cache misses.", cs.Misses)
+		counter("parade_fleet_cache_evictions_total", "LRU evictions.", cs.Evictions)
+		counter("parade_fleet_cache_collisions_total", "Fingerprint collisions caught by the canonical-string guard.", cs.Collisions)
+		gauge("parade_fleet_cache_entries", "Resident cache entries.", float64(cs.Len))
+		ratio := 0.0
+		if cs.Hits+cs.Misses > 0 {
+			ratio = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+		}
+		gauge("parade_fleet_cache_hit_ratio", "Hits over lookups since start.", ratio)
+	}
+
+	writeHist(w, "parade_fleet_job_latency_seconds", "Host execution time per job (cache hits excluded).",
+		&m.jobLatency, 1e-9)
+
+	counters := make([]string, 0, len(m.simCounters))
+	for name := range m.simCounters {
+		counters = append(counters, name)
+	}
+	sort.Strings(counters)
+	for _, name := range counters {
+		counter("parade_sim_"+name+"_total",
+			"Cumulative simulated-cluster activity across executed jobs (internal/obs).",
+			m.simCounters[name])
+	}
+
+	hists := make([]string, 0, len(m.simHists))
+	for name := range m.simHists {
+		hists = append(hists, name)
+	}
+	sort.Strings(hists)
+	for _, name := range hists {
+		scale := 1e-9
+		promName := "parade_sim_" + name + "_seconds"
+		if m.simHistUnit[name] == "bytes" {
+			scale = 1
+			promName = "parade_sim_" + name + "_bytes"
+		}
+		writeHist(w, promName,
+			"Merged per-run internal/obs histogram (virtual time for latencies).",
+			m.simHists[name], scale)
+	}
+}
+
+// writeHist renders one obs.Histogram as a Prometheus histogram: the
+// log2 bucket uppers become cumulative le bounds scaled by scale.
+func writeHist(w io.Writer, name, help string, h *obs.Histogram, scale float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, n := range h.Buckets {
+		cum += n
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatLe(float64(obs.BucketUpper(i))*scale), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.Sum)*scale)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
+func formatLe(v float64) string { return fmt.Sprintf("%g", v) }

@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+)
+
+// Pool errors.
+var (
+	// ErrQueueFull rejects an admission that would exceed the queue
+	// bound; the server maps it to 429 with a Retry-After hint.
+	ErrQueueFull = errors.New("fleet: job queue full")
+	// ErrDraining rejects admissions after a drain began; the server
+	// maps it to 503.
+	ErrDraining = errors.New("fleet: pool draining")
+)
+
+// Pool is the bounded worker pool jobs execute on. Admission is
+// work-stealing-friendly: an admitted batch is spread over the workers'
+// local FIFO queues (each job lands on the least-loaded queue), a worker
+// prefers its own queue, and an idle worker steals the oldest job from
+// the most-loaded peer — the same LIFO-local/FIFO-steal discipline the
+// distributed tasking runtime uses, minus the network. The total queued
+// count is bounded; SubmitBatch admits a batch atomically (all slots or
+// none), which is what lets the server answer a clean 429 before any
+// byte of a response stream is written.
+type Pool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	locals   [][]func() // per-worker FIFO queues
+	queued   int
+	cap      int
+	inFlight int
+	draining bool
+	stopped  bool
+	wg       sync.WaitGroup
+
+	// onChange, when non-nil, observes (queued, inFlight) after every
+	// transition (metrics gauges).
+	onChange func(queued, inFlight int)
+}
+
+// NewPool starts workers goroutines serving a queue bounded to capacity
+// jobs (minima of 1 each).
+func NewPool(workers, capacity int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	p := &Pool{
+		locals: make([][]func(), workers),
+		cap:    capacity,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+// SetObserver registers the gauge callback (call before serving).
+func (p *Pool) SetObserver(fn func(queued, inFlight int)) {
+	p.mu.Lock()
+	p.onChange = fn
+	p.mu.Unlock()
+}
+
+func (p *Pool) notifyLocked() {
+	if p.onChange != nil {
+		p.onChange(p.queued, p.inFlight)
+	}
+}
+
+// Depth returns (queued, inFlight).
+func (p *Pool) Depth() (int, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued, p.inFlight
+}
+
+// Capacity returns the queue bound.
+func (p *Pool) Capacity() int { return p.cap }
+
+// SubmitBatch atomically admits all jobs or none: ErrQueueFull when the
+// batch does not fit in the remaining queue space, ErrDraining after
+// Drain. Each job is placed on the currently least-loaded worker queue.
+func (p *Pool) SubmitBatch(jobs []func()) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining || p.stopped {
+		return ErrDraining
+	}
+	if p.queued+len(jobs) > p.cap {
+		return ErrQueueFull
+	}
+	for _, job := range jobs {
+		least := 0
+		for w := 1; w < len(p.locals); w++ {
+			if len(p.locals[w]) < len(p.locals[least]) {
+				least = w
+			}
+		}
+		p.locals[least] = append(p.locals[least], job)
+		p.queued++
+	}
+	p.notifyLocked()
+	p.cond.Broadcast()
+	return nil
+}
+
+// next pops work for worker w: its own queue first (FIFO), then a steal
+// of the oldest job from the most-loaded peer. Returns nil with ok=false
+// when the pool is stopped.
+func (p *Pool) next(w int) (func(), bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if len(p.locals[w]) > 0 {
+			job := p.locals[w][0]
+			p.locals[w] = p.locals[w][1:]
+			p.queued--
+			p.inFlight++
+			p.notifyLocked()
+			return job, true
+		}
+		victim, most := -1, 0
+		for v := range p.locals {
+			if len(p.locals[v]) > most {
+				victim, most = v, len(p.locals[v])
+			}
+		}
+		if victim >= 0 {
+			job := p.locals[victim][0]
+			p.locals[victim] = p.locals[victim][1:]
+			p.queued--
+			p.inFlight++
+			p.notifyLocked()
+			return job, true
+		}
+		if p.stopped || (p.draining && p.queued == 0) {
+			return nil, false
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *Pool) worker(w int) {
+	defer p.wg.Done()
+	for {
+		job, ok := p.next(w)
+		if !ok {
+			return
+		}
+		job()
+		p.mu.Lock()
+		p.inFlight--
+		p.notifyLocked()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// Drain stops admission and blocks until every queued and in-flight job
+// has completed, then stops the workers. Safe to call once.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	p.draining = true
+	p.cond.Broadcast()
+	for p.queued > 0 || p.inFlight > 0 {
+		p.cond.Wait()
+	}
+	p.stopped = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Draining reports whether a drain has begun.
+func (p *Pool) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}

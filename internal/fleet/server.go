@@ -1,0 +1,315 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// ServerOptions sizes a Service.
+type ServerOptions struct {
+	Workers  int // worker pool size (default 2)
+	Queue    int // admission bound across all batches (default 64)
+	Cache    int // LRU result-cache capacity (default 1024)
+	MaxBatch int // maximum job lines per request (default 4096)
+	MaxLine  int // maximum bytes per JSONL line (default 1 MiB)
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.Queue == 0 {
+		o.Queue = 64
+	}
+	if o.Cache == 0 {
+		o.Cache = 1024
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 4096
+	}
+	if o.MaxLine == 0 {
+		o.MaxLine = 1 << 20
+	}
+	return o
+}
+
+// Service is the sweep service: executor + dedupe cache + worker pool +
+// metrics behind an http.Handler. Create with NewService, expose with
+// Handler, stop with Drain.
+type Service struct {
+	exec    *Executor
+	cache   *Cache
+	pool    *Pool
+	metrics *Metrics
+	opt     ServerOptions
+
+	// flight coalesces concurrent identical jobs: the first runs, the
+	// rest wait for its result and report cached=true.
+	flightMu sync.Mutex
+	flight   map[uint64]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  JobResult
+}
+
+// NewService builds a running service (workers started).
+func NewService(opt ServerOptions) *Service {
+	opt = opt.withDefaults()
+	s := &Service{
+		exec:    &Executor{},
+		cache:   NewCache(opt.Cache),
+		pool:    NewPool(opt.Workers, opt.Queue),
+		metrics: NewMetrics(),
+		opt:     opt,
+		flight:  map[uint64]*flightCall{},
+	}
+	s.exec.Obs = s.metrics.FoldRun
+	s.pool.SetObserver(s.metrics.SetQueue)
+	return s
+}
+
+// Executor returns the service's executor (the run-count probe).
+func (s *Service) Executor() *Executor { return s.exec }
+
+// Cache returns the service's result cache.
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Metrics returns the service's metrics registry.
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Drain stops admission (new batches get 503, /healthz flips to 503),
+// waits for every admitted job to finish, and stops the workers.
+func (s *Service) Drain() { s.pool.Drain() }
+
+// Handler returns the HTTP serving surface:
+//
+//	POST /v1/jobs  — JSONL batch in, JSONL results out (stream)
+//	GET  /metrics  — Prometheus text exposition
+//	GET  /healthz  — 200 ok, 503 once draining
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.pool.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w, s.cache, s.exec.Executions())
+}
+
+// batchLine is one parsed input line: a spec or its parse error.
+type batchLine struct {
+	spec    JobSpec
+	specErr *JobSpecError
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a JSONL batch of job specs", http.StatusMethodNotAllowed)
+		return
+	}
+
+	// Parse the whole batch before writing any response byte: admission
+	// is atomic, so backpressure can be a clean 429.
+	lines, err := s.readBatch(r)
+	if err != nil {
+		he := err.(*httpError)
+		http.Error(w, he.msg, he.code)
+		return
+	}
+
+	var jobs []int // indexes of lines that passed validation
+	for i := range lines {
+		if lines[i].specErr == nil {
+			jobs = append(jobs, i)
+		}
+	}
+
+	results := make(chan JobResult, len(jobs))
+	submit := make([]func(), 0, len(jobs))
+	for _, idx := range jobs {
+		idx := idx
+		spec := lines[idx].spec
+		submit = append(submit, func() {
+			res := s.runJob(spec)
+			res.Index = idx
+			results <- res
+		})
+	}
+	if err := s.pool.SubmitBatch(submit); err != nil {
+		s.metrics.BatchDone(true)
+		switch err {
+		case ErrQueueFull:
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+			http.Error(w, fmt.Sprintf("queue full (%d jobs submitted, %d slots)",
+				len(submit), s.pool.Capacity()), http.StatusTooManyRequests)
+		case ErrDraining:
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	s.metrics.BatchDone(false)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(res JobResult) {
+		s.metrics.JobDone(res.Status, res.Cached, res.HostNs)
+		enc.Encode(res)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Invalid lines are answered immediately, then executed results
+	// stream in completion order (each line carries its batch index).
+	for i := range lines {
+		if se := lines[i].specErr; se != nil {
+			spec := lines[i].spec
+			emit(JobResult{
+				ID: spec.ID, Index: i, Status: StatusInvalid,
+				App: spec.App, Mode: spec.Mode,
+				InvalidFields: se.Fields,
+			})
+		}
+	}
+	for range jobs {
+		emit(<-results)
+	}
+}
+
+// httpError carries a status code out of readBatch.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// readBatch parses the request body as JSONL job specs. Parse and
+// validation failures are recorded per line (typed *JobSpecError), not
+// fatal; only an oversized batch/line or unreadable body aborts.
+func (s *Service) readBatch(r *http.Request) ([]batchLine, error) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), s.opt.MaxLine)
+	var lines []batchLine
+	for sc.Scan() {
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		if len(lines) >= s.opt.MaxBatch {
+			return nil, &httpError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch exceeds %d jobs", s.opt.MaxBatch)}
+		}
+		var spec JobSpec
+		if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+			lines = append(lines, batchLine{specErr: &JobSpecError{
+				Index:  len(lines),
+				Fields: []FieldError{{Field: "(line)", Reason: fmt.Sprintf("not a JSON job spec: %v", err)}},
+			}})
+			continue
+		}
+		spec = spec.Normalize()
+		line := batchLine{spec: spec}
+		if err := spec.Validate(); err != nil {
+			se := err.(*JobSpecError)
+			se.Index = len(lines)
+			line.specErr = se
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, &httpError{http.StatusBadRequest, fmt.Sprintf("reading batch: %v", err)}
+	}
+	if len(lines) == 0 {
+		return nil, &httpError{http.StatusBadRequest, "empty batch (POST one JSON job spec per line)"}
+	}
+	return lines, nil
+}
+
+// retryAfterSeconds estimates how long a client should back off when the
+// queue is full: the queue's worth of work at the mean observed job
+// latency spread over the workers, floored at one second.
+func (s *Service) retryAfterSeconds() int {
+	queued, inFlight := s.pool.Depth()
+	mean := s.meanJobSeconds()
+	est := float64(queued+inFlight) * mean / float64(s.opt.Workers)
+	if est < 1 {
+		return 1
+	}
+	return int(est + 0.5)
+}
+
+func (s *Service) meanJobSeconds() float64 {
+	s.metrics.mu.Lock()
+	defer s.metrics.mu.Unlock()
+	if s.metrics.jobLatency.Count == 0 {
+		return 0.1 // matrix cells run in the low hundreds of milliseconds
+	}
+	return s.metrics.jobLatency.Mean() * 1e-9
+}
+
+// runJob serves one validated spec: dedupe cache first, then in-flight
+// coalescing, then a real execution whose StatusOK result is cached.
+func (s *Service) runJob(spec JobSpec) JobResult {
+	fp := spec.Fingerprint()
+	canon := spec.Canonical()
+	if res, ok := s.cache.Get(fp, canon); ok {
+		// A hit is provably the stored job's exact result: the canonical
+		// strings matched, and a run is a pure function of its canonical
+		// config. Never re-run.
+		res.ID = spec.ID
+		res.Cached = true
+		return res
+	}
+
+	s.flightMu.Lock()
+	if call, ok := s.flight[fp]; ok {
+		s.flightMu.Unlock()
+		<-call.done
+		res := call.res
+		res.ID = spec.ID
+		res.Cached = true
+		return res
+	}
+	call := &flightCall{done: make(chan struct{})}
+	s.flight[fp] = call
+	s.flightMu.Unlock()
+
+	res, err := s.exec.Run(spec)
+	if err != nil {
+		res.Status = StatusError
+		res.Error = err.Error()
+	}
+	if res.Status == StatusOK {
+		s.cache.Put(fp, canon, res)
+	}
+	call.res = res
+	close(call.done)
+	s.flightMu.Lock()
+	delete(s.flight, fp)
+	s.flightMu.Unlock()
+	return res
+}

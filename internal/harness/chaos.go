@@ -2,12 +2,9 @@ package harness
 
 import (
 	"fmt"
-	"math"
 	"strings"
 
-	"parade/internal/apps"
 	"parade/internal/core"
-	"parade/internal/kdsm"
 	"parade/internal/netsim"
 	"parade/internal/sim"
 )
@@ -19,60 +16,9 @@ import (
 // change), must converge to the same final DSM state, and each profile
 // must actually exercise the recovery path (at least one retransmit
 // across the matrix).
-
-// chaosApp is one kernel of the chaos matrix. run returns the result
-// fingerprint (hex of the exact float bits of every result field) and
-// the run report.
-type chaosApp struct {
-	name string
-	run  func(cfg core.Config) (string, sim.Duration, core.Report, error)
-}
-
-// fpBits fingerprints float64 results exactly: any single-bit
-// difference in any field changes the string.
-func fpBits(vs ...float64) string {
-	var b strings.Builder
-	for _, v := range vs {
-		fmt.Fprintf(&b, "%016x", math.Float64bits(v))
-	}
-	return b.String()
-}
-
-var chaosApps = []chaosApp{
-	{"helmholtz", func(cfg core.Config) (string, sim.Duration, core.Report, error) {
-		r, err := apps.RunHelmholtz(cfg, apps.HelmholtzTest())
-		return fpBits(r.Error, float64(r.Iterations)), r.KernelTime, r.Report, err
-	}},
-	{"ep", func(cfg core.Config) (string, sim.Duration, core.Report, error) {
-		r, err := apps.RunEP(cfg, apps.EPClassT)
-		vs := []float64{r.Sx, r.Sy, r.Accepted}
-		vs = append(vs, r.Counts[:]...)
-		return fpBits(vs...), r.KernelTime, r.Report, err
-	}},
-	{"cg", func(cfg core.Config) (string, sim.Duration, core.Report, error) {
-		r, err := apps.RunCG(cfg, apps.CGClassT)
-		return fpBits(r.Zeta, r.RNorm, float64(r.NZ)), r.KernelTime, r.Report, err
-	}},
-	{"md", func(cfg core.Config) (string, sim.Duration, core.Report, error) {
-		r, err := apps.RunMD(cfg, apps.MDTest())
-		return fpBits(r.E0, r.EFinal, r.MaxDrift), r.KernelTime, r.Report, err
-	}},
-	{"quad", func(cfg core.Config) (string, sim.Duration, core.Report, error) {
-		// The irregular tasking kernel: adaptive-quadrature tasks with
-		// cross-node stealing, so steal traffic degrades gracefully under
-		// injected faults like every other protocol.
-		r, err := apps.RunQuad(cfg, apps.QuadTest())
-		return fpBits(r.Integral, r.TableSum), r.KernelTime, r.Report, err
-	}},
-	{"lockmix", func(cfg core.Config) (string, sim.Duration, core.Report, error) {
-		// The lock-protocol stress kernel runs with lazy-release tokens
-		// so the cached lock path (lockcache.go) degrades gracefully
-		// under injected faults too, not just the centralized one.
-		cfg.LockCaching = true
-		r, err := apps.RunLockmix(cfg, apps.LockmixTest())
-		return fpBits(r.Sum, r.Expected), sim.Duration(r.Report.Time), r.Report, err
-	}},
-}
+//
+// The kernel table itself is MatrixApps (apptable.go), shared with the
+// crash matrix and the fleet service's replay path.
 
 // chaosMode is one directive-execution mode of the matrix.
 type chaosMode struct {
@@ -80,12 +26,21 @@ type chaosMode struct {
 	cfg  func(nodes int) core.Config
 }
 
-var chaosModes = []chaosMode{
-	{"hybrid", func(n int) core.Config {
-		return core.Config{Nodes: n, ThreadsPerNode: 1, Mode: core.Hybrid, HomeMigration: true}.WithDefaults()
-	}},
-	{"sdsm", func(n int) core.Config { return kdsm.Config(n, 1, 2) }},
-}
+// chaosModes wraps MatrixModeConfig for the matrix drivers.
+var chaosModes = func() []chaosMode {
+	var ms []chaosMode
+	for _, name := range MatrixModes() {
+		name := name
+		ms = append(ms, chaosMode{name, func(n int) core.Config {
+			cfg, err := MatrixModeConfig(name, n, 1)
+			if err != nil {
+				panic(err) // unreachable: names come from MatrixModes
+			}
+			return cfg
+		}})
+	}
+	return ms
+}()
 
 // ChaosRun is the record of one cell of the chaos matrix.
 type ChaosRun struct {
@@ -165,14 +120,10 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 		profiles = kept
 	}
 	if opt.Apps != nil {
-		valid := make([]string, 0, len(chaosApps))
-		for _, a := range chaosApps {
-			valid = append(valid, a.name)
-		}
 		for _, want := range opt.Apps {
-			if !contains(valid, want) {
+			if !contains(MatrixAppNames(), want) {
 				return ChaosReport{}, fmt.Errorf("harness: unknown app %q (valid: %s)",
-					want, strings.Join(valid, ", "))
+					want, strings.Join(MatrixAppNames(), ", "))
 			}
 		}
 	}
@@ -181,28 +132,28 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
 	}
 	retransmitsByProfile := map[string]int64{}
-	for _, app := range chaosApps {
-		if opt.Apps != nil && !contains(opt.Apps, app.name) {
+	for _, app := range matrixApps {
+		if opt.Apps != nil && !contains(opt.Apps, app.Name) {
 			continue
 		}
 		for _, mode := range chaosModes {
 			base, err := runChaosCell(app, mode, opt.Nodes, opt.Lanes, nil)
 			if err != nil {
-				return rep, fmt.Errorf("harness: %s/%s baseline: %w", app.name, mode.name, err)
+				return rep, fmt.Errorf("harness: %s/%s baseline: %w", app.Name, mode.name, err)
 			}
 			base.Slowdown = 1
 			rep.Runs = append(rep.Runs, base)
 			if base.Retransmits != 0 || base.InjectedDrops != 0 {
 				fail("%s/%s baseline: %d retransmits, %d drops on the ideal fabric",
-					app.name, mode.name, base.Retransmits, base.InjectedDrops)
+					app.Name, mode.name, base.Retransmits, base.InjectedDrops)
 			}
 			for i := range profiles {
 				prof := profiles[i]
 				run, err := runChaosCell(app, mode, opt.Nodes, opt.Lanes, &prof)
 				if err != nil {
-					run = ChaosRun{App: app.name, Mode: mode.name, Profile: prof.Name, Err: err.Error()}
+					run = ChaosRun{App: app.Name, Mode: mode.name, Profile: prof.Name, Err: err.Error()}
 					rep.Runs = append(rep.Runs, run)
-					fail("%s/%s under %q: %v", app.name, mode.name, prof.Name, err)
+					fail("%s/%s under %q: %v", app.Name, mode.name, prof.Name, err)
 					continue
 				}
 				if base.Kernel > 0 {
@@ -212,11 +163,11 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 				retransmitsByProfile[prof.Name] += run.Retransmits
 				if run.Result != base.Result {
 					fail("%s/%s under %q: result bits diverged from the fault-free run",
-						app.name, mode.name, prof.Name)
+						app.Name, mode.name, prof.Name)
 				}
 				if run.MemHash != base.MemHash {
 					fail("%s/%s under %q: final DSM state diverged from the fault-free run",
-						app.name, mode.name, prof.Name)
+						app.Name, mode.name, prof.Name)
 				}
 			}
 		}
@@ -229,16 +180,19 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 	return rep, nil
 }
 
-func runChaosCell(app chaosApp, mode chaosMode, nodes, lanes int, prof *netsim.Profile) (ChaosRun, error) {
+func runChaosCell(app MatrixApp, mode chaosMode, nodes, lanes int, prof *netsim.Profile) (ChaosRun, error) {
 	cfg := mode.cfg(nodes)
 	cfg.Lanes = lanes
-	run := ChaosRun{App: app.name, Mode: mode.name}
+	if app.LockCaching {
+		cfg.LockCaching = true
+	}
+	run := ChaosRun{App: app.Name, Mode: mode.name}
 	if prof != nil {
 		p := *prof
 		cfg.Faults = &p
 		run.Profile = prof.Name
 	}
-	result, kernel, report, err := app.run(cfg)
+	result, kernel, report, err := app.Run(cfg)
 	if err != nil {
 		return run, err
 	}

@@ -21,7 +21,7 @@ func TestChaosMatrix(t *testing.T) {
 	if !rep.OK() {
 		t.Fatalf("chaos matrix failed:\n%s", rep.Render())
 	}
-	wantRuns := len(chaosApps) * len(chaosModes) * (1 + len(netsim.Profiles(1)))
+	wantRuns := len(matrixApps) * len(chaosModes) * (1 + len(netsim.Profiles(1)))
 	if len(rep.Runs) != wantRuns {
 		t.Fatalf("matrix ran %d cells, want %d", len(rep.Runs), wantRuns)
 	}

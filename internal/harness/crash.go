@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"parade/internal/apps"
-	"parade/internal/core"
 	"parade/internal/hlrc"
 	"parade/internal/sim"
 )
@@ -21,43 +19,9 @@ import (
 // inert: a run with an empty crash plan must be indistinguishable from
 // one with no plan at all, down to the virtual clock.
 
-// crashApp is one kernel of the crash matrix; lockCaching marks the
-// lock-protocol stress kernel, which runs with lazy-release tokens so
-// the token-replication and reclaim paths get coverage.
-type crashApp struct {
-	name        string
-	lockCaching bool
-	run         func(cfg core.Config) (string, sim.Duration, core.Report, error)
-}
-
-var crashApps = []crashApp{
-	{"helmholtz", false, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
-		r, err := apps.RunHelmholtz(cfg, apps.HelmholtzTest())
-		return fpBits(r.Error, float64(r.Iterations)), r.KernelTime, r.Report, err
-	}},
-	{"ep", false, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
-		r, err := apps.RunEP(cfg, apps.EPClassT)
-		vs := []float64{r.Sx, r.Sy, r.Accepted}
-		vs = append(vs, r.Counts[:]...)
-		return fpBits(vs...), r.KernelTime, r.Report, err
-	}},
-	{"cg", false, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
-		r, err := apps.RunCG(cfg, apps.CGClassT)
-		return fpBits(r.Zeta, r.RNorm, float64(r.NZ)), r.KernelTime, r.Report, err
-	}},
-	{"md", false, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
-		r, err := apps.RunMD(cfg, apps.MDTest())
-		return fpBits(r.E0, r.EFinal, r.MaxDrift), r.KernelTime, r.Report, err
-	}},
-	{"quad", false, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
-		r, err := apps.RunQuad(cfg, apps.QuadTest())
-		return fpBits(r.Integral, r.TableSum), r.KernelTime, r.Report, err
-	}},
-	{"lockmix", true, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
-		r, err := apps.RunLockmix(cfg, apps.LockmixTest())
-		return fpBits(r.Sum, r.Expected), 0, r.Report, err
-	}},
-}
+// The crash matrix runs the shared MatrixApps kernel table (apptable.go);
+// the lockmix entry's LockCaching flag routes it through the lazy-release
+// token path so token replication and reclaim get coverage.
 
 // crashSchedule is one deterministic failure plan of the matrix. Every
 // event restarts (the full runtime cannot shrink — see core.Validate);
@@ -134,9 +98,9 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 	}
 	if opt.Apps != nil {
 		for _, want := range opt.Apps {
-			if !containsCrashApp(want) {
+			if !contains(MatrixAppNames(), want) {
 				return CrashReport{}, fmt.Errorf("harness: unknown app %q (valid: %s)",
-					want, strings.Join(crashAppNames(), ", "))
+					want, strings.Join(MatrixAppNames(), ", "))
 			}
 		}
 	}
@@ -145,14 +109,14 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
 	}
 	schedules := candidateSchedules(opt.Nodes)
-	for _, app := range crashApps {
-		if opt.Apps != nil && !contains(opt.Apps, app.name) {
+	for _, app := range matrixApps {
+		if opt.Apps != nil && !contains(opt.Apps, app.Name) {
 			continue
 		}
 		for _, mode := range chaosModes {
 			base, barriers, err := runCrashCell(app, mode, opt.Nodes, opt.Lanes, nil)
 			if err != nil {
-				return rep, fmt.Errorf("harness: %s/%s baseline: %w", app.name, mode.name, err)
+				return rep, fmt.Errorf("harness: %s/%s baseline: %w", app.Name, mode.name, err)
 			}
 			rep.Runs = append(rep.Runs, base)
 
@@ -170,10 +134,10 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 				}}
 				crashBase, _, err = runCrashCell(app, mode, opt.Nodes, opt.Lanes, &armed)
 				if err != nil {
-					return rep, fmt.Errorf("harness: %s/%s armed baseline: %w", app.name, mode.name, err)
+					return rep, fmt.Errorf("harness: %s/%s armed baseline: %w", app.Name, mode.name, err)
 				}
 				if crashBase.Crashes != 0 {
-					return rep, fmt.Errorf("harness: %s/%s armed baseline crashed", app.name, mode.name)
+					return rep, fmt.Errorf("harness: %s/%s armed baseline crashed", app.Name, mode.name)
 				}
 			}
 
@@ -181,11 +145,11 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 			// all — same bits, same final state, same virtual clock.
 			inert, _, err := runCrashCell(app, mode, opt.Nodes, opt.Lanes, &crashSchedule{name: "(empty)"})
 			if err != nil {
-				return rep, fmt.Errorf("harness: %s/%s empty-plan run: %w", app.name, mode.name, err)
+				return rep, fmt.Errorf("harness: %s/%s empty-plan run: %w", app.Name, mode.name, err)
 			}
 			if inert.Result != base.Result || inert.MemHash != base.MemHash || inert.Time != base.Time {
 				fail("%s/%s: empty crash plan perturbed the run (time %v vs %v)",
-					app.name, mode.name, inert.Time, base.Time)
+					app.Name, mode.name, inert.Time, base.Time)
 			}
 
 			for i := range schedules {
@@ -193,35 +157,35 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 				if int64(sched.maxBarrier) > barriers {
 					rep.Skipped = append(rep.Skipped, fmt.Sprintf(
 						"%s/%s %s: needs barrier %d, app runs only %d",
-						app.name, mode.name, sched.name, sched.maxBarrier, barriers))
+						app.Name, mode.name, sched.name, sched.maxBarrier, barriers))
 					continue
 				}
 				run, _, err := runCrashCell(app, mode, opt.Nodes, opt.Lanes, &sched)
 				if err != nil {
-					run = CrashRun{App: app.name, Mode: mode.name, Schedule: sched.name, Err: err.Error()}
+					run = CrashRun{App: app.Name, Mode: mode.name, Schedule: sched.name, Err: err.Error()}
 					rep.Runs = append(rep.Runs, run)
-					fail("%s/%s under %s: %v", app.name, mode.name, sched.name, err)
+					fail("%s/%s under %s: %v", app.Name, mode.name, sched.name, err)
 					continue
 				}
 				rep.Runs = append(rep.Runs, run)
 				if run.Result != crashBase.Result {
 					fail("%s/%s under %s: result bits diverged from the fault-free run",
-						app.name, mode.name, sched.name)
+						app.Name, mode.name, sched.name)
 				}
 				if run.MemHash != crashBase.MemHash {
 					fail("%s/%s under %s: final DSM state diverged from the fault-free run",
-						app.name, mode.name, sched.name)
+						app.Name, mode.name, sched.name)
 				}
 				if want := int64(len(sched.events)); run.Crashes != want || run.Restarts != want {
 					fail("%s/%s under %s: %d crashes, %d restarts injected, want %d each",
-						app.name, mode.name, sched.name, run.Crashes, run.Restarts, want)
+						app.Name, mode.name, sched.name, run.Crashes, run.Restarts, want)
 				}
 				if run.Recoveries < int64(len(sched.events)) {
 					fail("%s/%s under %s: %d recoveries for %d crash events",
-						app.name, mode.name, sched.name, run.Recoveries, len(sched.events))
+						app.Name, mode.name, sched.name, run.Recoveries, len(sched.events))
 				}
 				if run.CkptMsgs == 0 {
-					fail("%s/%s under %s: no checkpoint traffic", app.name, mode.name, sched.name)
+					fail("%s/%s under %s: no checkpoint traffic", app.Name, mode.name, sched.name)
 				}
 			}
 		}
@@ -229,32 +193,20 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 	return rep, nil
 }
 
-func crashAppNames() []string {
-	names := make([]string, len(crashApps))
-	for i, a := range crashApps {
-		names[i] = a.name
-	}
-	return names
-}
-
-func containsCrashApp(name string) bool {
-	return contains(crashAppNames(), name)
-}
-
 // runCrashCell executes one cell and returns the run record plus the
 // engine barrier count (used to filter schedules against the baseline).
-func runCrashCell(app crashApp, mode chaosMode, nodes, lanes int, sched *crashSchedule) (CrashRun, int64, error) {
+func runCrashCell(app MatrixApp, mode chaosMode, nodes, lanes int, sched *crashSchedule) (CrashRun, int64, error) {
 	cfg := mode.cfg(nodes)
 	cfg.Lanes = lanes
-	if app.lockCaching {
+	if app.LockCaching {
 		cfg.LockCaching = true
 	}
-	run := CrashRun{App: app.name, Mode: mode.name}
+	run := CrashRun{App: app.Name, Mode: mode.name}
 	if sched != nil {
 		cfg.Crash = &hlrc.CrashPlan{Events: sched.events}
 		run.Schedule = sched.name
 	}
-	result, _, report, err := app.run(cfg)
+	result, _, report, err := app.Run(cfg)
 	if err != nil {
 		return run, 0, err
 	}

@@ -58,6 +58,19 @@ func TCP() Fabric {
 	}
 }
 
+// FabricByName resolves a fabric preset by its short name: "via" (the
+// cLAN VIA switch, the paper's primary testbed) or "tcp" (Fast Ethernet
+// through TCP/IP). The full Fabric.Name strings are accepted too.
+func FabricByName(name string) (Fabric, error) {
+	switch name {
+	case "via", VIA().Name:
+		return VIA(), nil
+	case "tcp", TCP().Name:
+		return TCP(), nil
+	}
+	return Fabric{}, fmt.Errorf("netsim: unknown fabric %q (have via, tcp)", name)
+}
+
 // xferTime is the NIC serialization time for a message of size bytes.
 func (f Fabric) xferTime(bytes int) sim.Duration {
 	total := int64(bytes + f.HeaderBytes)
