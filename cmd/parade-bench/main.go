@@ -13,6 +13,12 @@
 // With -crash it runs the crash-stop acceptance matrix instead:
 // deterministic node crash/restart schedules at barrier points, with
 // every recovered run checked bit-identical to its fault-free baseline.
+//
+// With -policy it runs the fixed-vs-adaptive protocol policy sweep: the
+// app kernels across directive modes, fabrics, and hlrc policies, with
+// per-cell result-bit identity asserted and the cells where the adaptive
+// policy beats every fixed policy reported (optionally as JSONL via
+// -policy-out).
 package main
 
 import (
@@ -89,10 +95,58 @@ func main() {
 	crashNodes := flag.Int("crash-nodes", 4, "crash: cluster size")
 	crashLanes := flag.Int("crash-lanes", 0, "crash: event-lane workers (0 = legacy kernel)")
 	crashApps := flag.String("crash-apps", "", "crash: comma-separated subset of helmholtz,ep,cg,md,quad,lockmix (empty = all)")
+	chaosPolicy := flag.String("chaos-policy", "", "chaos: hlrc protocol policy for every run (empty = legacy)")
+	crashPolicy := flag.String("crash-policy", "", "crash: hlrc protocol policy for every run (empty = legacy)")
+	policy := flag.Bool("policy", false, "run the fixed-vs-adaptive protocol policy sweep instead of figures")
+	policyNodes := flag.Int("policy-nodes", 4, "policy: cluster size")
+	policyLanes := flag.Int("policy-lanes", 0, "policy: event-lane workers for the comparison runs (0 = legacy kernel)")
+	policyApps := flag.String("policy-apps", "", "policy: comma-separated subset of helmholtz,ep,cg,md,quad,lockmix (empty = all)")
+	policyModes := flag.String("policy-modes", "", "policy: comma-separated subset of hybrid,sdsm (empty = both)")
+	policyFabrics := flag.String("policy-fabrics", "", "policy: comma-separated subset of via,tcp (empty = both)")
+	policyOut := flag.String("policy-out", "", "policy: write the sweep as JSONL to this file ('-' for stdout)")
 	flag.Parse()
 
+	if *policy {
+		opt := harness.PolicyOptions{Nodes: *policyNodes, Lanes: *policyLanes}
+		if *policyApps != "" {
+			opt.Apps = splitList(*policyApps)
+		}
+		if *policyModes != "" {
+			opt.Modes = splitList(*policyModes)
+		}
+		if *policyFabrics != "" {
+			opt.Fabrics = splitList(*policyFabrics)
+		}
+		rep, err := harness.RunPolicySweep(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parade-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if *policyOut != "" {
+			w := os.Stdout
+			if *policyOut != "-" {
+				f, err := os.Create(*policyOut)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "parade-bench: %v\n", err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := rep.WriteJSONL(w); err != nil {
+				fmt.Fprintf(os.Stderr, "parade-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *crash {
-		opt := harness.CrashOptions{Nodes: *crashNodes, Lanes: *crashLanes}
+		opt := harness.CrashOptions{Nodes: *crashNodes, Lanes: *crashLanes, Policy: *crashPolicy}
 		if *crashApps != "" {
 			opt.Apps = splitList(*crashApps)
 		}
@@ -109,7 +163,7 @@ func main() {
 	}
 
 	if *chaos {
-		opt := harness.ChaosOptions{Nodes: *chaosNodes, Seed: *chaosSeed, Lanes: *chaosLanes}
+		opt := harness.ChaosOptions{Nodes: *chaosNodes, Seed: *chaosSeed, Lanes: *chaosLanes, Policy: *chaosPolicy}
 		if *chaosApps != "" {
 			opt.Apps = splitList(*chaosApps)
 		}

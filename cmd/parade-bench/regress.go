@@ -14,6 +14,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -52,13 +53,19 @@ type benchResult struct {
 }
 
 type benchReport struct {
-	Schema    string        `json:"schema"`
-	Goos      string        `json:"goos,omitempty"`
-	Goarch    string        `json:"goarch,omitempty"`
-	CPU       string        `json:"cpu,omitempty"`
-	Benchtime string        `json:"benchtime"`
-	Baseline  string        `json:"baseline,omitempty"`
-	Results   []benchResult `json:"results"`
+	Schema string `json:"schema"`
+	// Host provenance: baseline JSONs are compared across machines and
+	// toolchains, so the report records the Go version and the
+	// parallelism the numbers were measured under.
+	GoVersion  string        `json:"go_version,omitempty"`
+	Gomaxprocs int           `json:"gomaxprocs,omitempty"`
+	NumCPU     int           `json:"num_cpu,omitempty"`
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchtime  string        `json:"benchtime"`
+	Baseline   string        `json:"baseline,omitempty"`
+	Results    []benchResult `json:"results"`
 }
 
 var cpuSuffix = regexp.MustCompile(`-\d+$`)
@@ -144,7 +151,13 @@ func loadBaseline(path string) (map[string]benchResult, error) {
 // slower than maxRegress times their baseline (0 when no baseline or
 // maxRegress <= 0).
 func runRegress(outPath, baselinePath, benchtime string, maxRegress float64) (int, error) {
-	rep := benchReport{Schema: "parade-bench-regress/v1", Benchtime: benchtime}
+	rep := benchReport{
+		Schema:     "parade-bench-regress/v1",
+		GoVersion:  runtime.Version(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Benchtime:  benchtime,
+	}
 	// A gate without a baseline would pass vacuously; refuse instead of
 	// letting CI silently stop checking for slowdowns.
 	if maxRegress > 0 && baselinePath == "" {

@@ -113,10 +113,11 @@ func main() {
 	faults := flag.String("faults", "", "inject faults: profile name (drop, dup, reorder, straggler, chaos)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-plane seed (with -faults)")
 	crash := flag.String("crash", "", "crash-and-restart events: node@barrier[,node@barrier...], e.g. 1@2")
+	policy := flag.String("policy", "", "hlrc protocol policy: invalidate, update, or adaptive (empty = legacy)")
 	flag.Parse()
 
 	cfg := core.Config{Nodes: *nodes, ThreadsPerNode: *tpn, CPUsPerNode: *cpus,
-		Mode: core.Hybrid, HomeMigration: true}
+		Mode: core.Hybrid, HomeMigration: true, Policy: *policy}
 	if *fabric == "tcp" {
 		cfg.Fabric = netsim.TCP()
 	}

@@ -229,6 +229,7 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		Nodes: cfg.Nodes, ShmBytes: cfg.ShmBytes,
 		HomeMigration: cfg.HomeMigration, LockCaching: cfg.LockCaching,
 		Strategy: cfg.Strategy, Cost: cfg.Cost, Crash: cfg.Crash,
+		Policy: cfg.Policy,
 	}, c.counters)
 	if c.lanes {
 		// Per-node allocator replicas (lanes.go): node 0's replica is the

@@ -69,6 +69,12 @@ type Config struct {
 	Lanes    int
 	Strategy dsm.UpdateStrategy
 	Cost     hlrc.CostModel
+	// Policy selects the hlrc protocol policy: "" (legacy, byte-identical
+	// to previous releases), "invalidate", "update", or "adaptive"
+	// (per-page online classification; see internal/hlrc/policy.go).
+	// Adaptive also derives SmallThreshold from the fabric and cost model
+	// (AutoThreshold) when the threshold is left zero.
+	Policy string
 	// Obs, when non-nil, attaches an observability recorder to the run:
 	// the protocol engine, the network, the MPI library, and the runtime
 	// all record into it (counters, latency histograms, trace sinks), and
@@ -111,9 +117,6 @@ func (c Config) WithDefaults() Config {
 	if c.Fabric.Name == "" {
 		c.Fabric = netsim.VIA()
 	}
-	if c.SmallThreshold == 0 {
-		c.SmallThreshold = DefaultSmallThreshold
-	}
 	if c.ShmBytes == 0 {
 		c.ShmBytes = 16 << 20
 	}
@@ -125,6 +128,17 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Cost == (hlrc.CostModel{}) {
 		c.Cost = hlrc.DefaultCosts()
+	}
+	// The threshold fill runs after the fabric and cost fills: the
+	// adaptive policy replaces the paper's lexical 256-byte constant with
+	// the value derived from this run's fabric, cost model, and node
+	// count (§5.2.1's own stated derivation).
+	if c.SmallThreshold == 0 {
+		if c.Policy == hlrc.PolicyAdaptive {
+			c.SmallThreshold = AutoThreshold(c.Fabric, c.Cost, c.Nodes)
+		} else {
+			c.SmallThreshold = DefaultSmallThreshold
+		}
 	}
 	return c
 }
@@ -145,6 +159,11 @@ func (c Config) Validate() error {
 	}
 	if c.SmallThreshold < 8 {
 		return fmt.Errorf("core: SmallThreshold = %d", c.SmallThreshold)
+	}
+	if !hlrc.ValidPolicy(c.Policy) {
+		return &PolicyConfigError{Policy: c.Policy, Reason: fmt.Sprintf(
+			"unknown protocol policy (valid: %q, %q, %q, or empty for legacy)",
+			hlrc.PolicyInvalidate, hlrc.PolicyUpdate, hlrc.PolicyAdaptive)}
 	}
 	if c.Lanes < 0 {
 		return &LaneConfigError{Lanes: c.Lanes, Reason: "Lanes must be >= 0 (0 disables event lanes)"}

@@ -58,6 +58,17 @@ func (c *Cluster) lockID(name string) int {
 	return id
 }
 
+// useCollective is the hybrid message-passing/SDSM cutoff (§5.2.1): a
+// directive guarding size bytes takes the message-passing collective
+// path when the runtime is in Hybrid mode and the data fits under the
+// small-structure threshold. The threshold is the paper's lexical 256
+// bytes by default; the adaptive policy derives it from the fabric,
+// cost model, and node count instead (AutoThreshold, applied in
+// WithDefaults), so the cutoff tracks the actual crossover point.
+func (t *Thread) useCollective(size int) bool {
+	return t.c.cfg.Mode == Hybrid && size <= t.c.cfg.SmallThreshold
+}
+
 // Critical executes fn under the named critical directive. scalars lists
 // the small shared variables the block modifies; when the block is
 // statically analyzable (scalars != nil, commutative updates) and their
@@ -70,7 +81,7 @@ func (c *Cluster) lockID(name string) int {
 // per-node deltas and agrees on the new values everywhere.
 func (t *Thread) Critical(name string, scalars []*Scalar, fn func()) {
 	rec, t0 := t.directiveStart()
-	if t.c.cfg.Mode == Hybrid && scalars != nil && 8*len(scalars) <= t.c.cfg.SmallThreshold {
+	if scalars != nil && t.useCollective(8*len(scalars)) {
 		t.criticalHybrid(name, scalars, fn)
 	} else {
 		t.criticalSDSM(name, fn)
@@ -171,7 +182,7 @@ func (t *Thread) criticalSDSM(name string, fn func()) {
 // small shared variable, which maps exactly onto one collective (§4.2).
 func (t *Thread) Atomic(s *Scalar, delta float64) {
 	rec, t0 := t.directiveStart()
-	if t.c.cfg.Mode == Hybrid && s.SizeBytes() <= t.c.cfg.SmallThreshold {
+	if t.useCollective(s.SizeBytes()) {
 		t.c.cnt(t.node.id).HybridAtomics++
 		t.criticalHybrid("atomic:"+s.name, []*Scalar{s}, func() { s.Add(t, delta) })
 	} else {
@@ -415,7 +426,7 @@ type gateInfo struct {
 // tests a shared flag, and ends with a full barrier.
 func (t *Thread) Single(name string, s *Scalar, fn func()) {
 	rec, t0 := t.directiveStart()
-	if t.c.cfg.Mode == Hybrid && (s == nil || s.SizeBytes() <= t.c.cfg.SmallThreshold) {
+	if s == nil && t.c.cfg.Mode == Hybrid || s != nil && t.useCollective(s.SizeBytes()) {
 		t.singleHybrid(name, s, fn)
 	} else {
 		t.singleSDSM(name, fn)

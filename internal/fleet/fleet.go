@@ -69,6 +69,11 @@ type JobSpec struct {
 	// always runs with them (the matrices' configuration) regardless of
 	// this field.
 	LockCaching bool `json:"lock_caching,omitempty"`
+	// Policy selects the hlrc protocol policy: "" (legacy, the default),
+	// "invalidate", "update", or "adaptive" (per-page online
+	// classification; also derives the directive threshold from the
+	// fabric). The policy sweep submits one job per policy per cell.
+	Policy string `json:"policy,omitempty"`
 }
 
 // FieldError locates one invalid field of a JobSpec.
@@ -206,6 +211,10 @@ func (s JobSpec) Validate() error {
 				s.FaultProfile, strings.Join(profileNames(), ", "))
 		}
 	}
+	if !hlrc.ValidPolicy(s.Policy) {
+		add("policy", "unknown policy %q (valid: %s, or empty for legacy)",
+			s.Policy, strings.Join(hlrc.PolicyNames()[1:], ", "))
+	}
 	if events, err := parseCrash(s.Crash); err != nil {
 		add("crash", "%v", err)
 	} else if len(events) > 0 {
@@ -247,9 +256,9 @@ func (s JobSpec) Canonical() string {
 		laneRegime = 1
 	}
 	return fmt.Sprintf(
-		"parade-fleet/v1 app=%s mode=%s fabric=%s nodes=%d threads=%d lanes=%d seed=%d lockcache=%t faults=%s crash=%s",
+		"parade-fleet/v1 app=%s mode=%s fabric=%s nodes=%d threads=%d lanes=%d seed=%d lockcache=%t faults=%s crash=%s policy=%s",
 		s.App, s.Mode, s.Fabric, s.Nodes, s.ThreadsPerNode, laneRegime,
-		s.Seed, s.LockCaching, s.FaultProfile, s.Crash)
+		s.Seed, s.LockCaching, s.FaultProfile, s.Crash, s.Policy)
 }
 
 // Fingerprint returns the canonical FNV-1a config fingerprint: the
@@ -280,6 +289,14 @@ func (s JobSpec) BuildConfig() (core.Config, error) {
 	}
 	cfg.Fabric = fabric
 	cfg.Lanes = s.Lanes
+	if s.Policy != "" {
+		// Re-derive the directive threshold under the requested policy:
+		// MatrixModeConfig froze it at the legacy default, and the
+		// adaptive policy computes its own from the fabric and cost model.
+		cfg.Policy = s.Policy
+		cfg.SmallThreshold = 0
+		cfg = cfg.WithDefaults()
+	}
 	if s.LockCaching {
 		cfg.LockCaching = true
 	}
@@ -311,6 +328,7 @@ type SpecMatrix struct {
 	Crashes  []string // default: "" (no crashes) only
 	Nodes    []int    // default: 4
 	Lanes    []int    // default: 0
+	Policies []string // default: "" (legacy) only
 	Seed     int64    // default: 1
 }
 
@@ -344,6 +362,7 @@ func (m SpecMatrix) Expand() []JobSpec {
 	if len(lanes) == 0 {
 		lanes = []int{0}
 	}
+	policies := orDefault(m.Policies)
 	var specs []JobSpec
 	for _, app := range apps {
 		for _, mode := range modes {
@@ -357,11 +376,14 @@ func (m SpecMatrix) Expand() []JobSpec {
 						}
 						for _, n := range nodes {
 							for _, l := range lanes {
-								specs = append(specs, JobSpec{
-									App: app, Mode: mode, Fabric: fabric,
-									FaultProfile: prof, Crash: crash,
-									Nodes: n, Lanes: l, Seed: m.Seed,
-								}.Normalize())
+								for _, pol := range policies {
+									specs = append(specs, JobSpec{
+										App: app, Mode: mode, Fabric: fabric,
+										FaultProfile: prof, Crash: crash,
+										Nodes: n, Lanes: l, Seed: m.Seed,
+										Policy: pol,
+									}.Normalize())
+								}
 							}
 						}
 					}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"parade/internal/core"
+	"parade/internal/hlrc"
 	"parade/internal/netsim"
 	"parade/internal/sim"
 )
@@ -63,6 +64,7 @@ type ChaosReport struct {
 	Nodes    int
 	Seed     int64
 	Lanes    int
+	Policy   string
 	Runs     []ChaosRun
 	Failures []string
 }
@@ -77,6 +79,7 @@ type ChaosOptions struct {
 	Lanes    int      // event-lane workers (0 = legacy kernel)
 	Apps     []string // subset of helmholtz, ep, cg, md, quad, lockmix (nil = all)
 	Profiles []string // subset of the built-in profiles (nil = all)
+	Policy   string   // hlrc protocol policy for every run ("" = legacy)
 }
 
 func contains(set []string, s string) bool {
@@ -127,7 +130,11 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 			}
 		}
 	}
-	rep := ChaosReport{Nodes: opt.Nodes, Seed: opt.Seed, Lanes: opt.Lanes}
+	if !hlrc.ValidPolicy(opt.Policy) {
+		return ChaosReport{}, fmt.Errorf("harness: unknown policy %q (valid: %s, or empty for legacy)",
+			opt.Policy, strings.Join(hlrc.PolicyNames()[1:], ", "))
+	}
+	rep := ChaosReport{Nodes: opt.Nodes, Seed: opt.Seed, Lanes: opt.Lanes, Policy: opt.Policy}
 	fail := func(format string, args ...any) {
 		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
 	}
@@ -137,7 +144,7 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 			continue
 		}
 		for _, mode := range chaosModes {
-			base, err := runChaosCell(app, mode, opt.Nodes, opt.Lanes, nil)
+			base, err := runChaosCell(app, mode, opt.Nodes, opt.Lanes, opt.Policy, nil)
 			if err != nil {
 				return rep, fmt.Errorf("harness: %s/%s baseline: %w", app.Name, mode.name, err)
 			}
@@ -149,7 +156,7 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 			}
 			for i := range profiles {
 				prof := profiles[i]
-				run, err := runChaosCell(app, mode, opt.Nodes, opt.Lanes, &prof)
+				run, err := runChaosCell(app, mode, opt.Nodes, opt.Lanes, opt.Policy, &prof)
 				if err != nil {
 					run = ChaosRun{App: app.Name, Mode: mode.name, Profile: prof.Name, Err: err.Error()}
 					rep.Runs = append(rep.Runs, run)
@@ -180,9 +187,10 @@ func RunChaos(opt ChaosOptions) (ChaosReport, error) {
 	return rep, nil
 }
 
-func runChaosCell(app MatrixApp, mode chaosMode, nodes, lanes int, prof *netsim.Profile) (ChaosRun, error) {
+func runChaosCell(app MatrixApp, mode chaosMode, nodes, lanes int, policy string, prof *netsim.Profile) (ChaosRun, error) {
 	cfg := mode.cfg(nodes)
 	cfg.Lanes = lanes
+	cfg.Policy = policy
 	if app.LockCaching {
 		cfg.LockCaching = true
 	}
@@ -215,6 +223,9 @@ func (r ChaosReport) Render() string {
 	fmt.Fprintf(&b, "chaos matrix: %d nodes, fault seed %d", r.Nodes, r.Seed)
 	if r.Lanes > 0 {
 		fmt.Fprintf(&b, ", %d event lanes", r.Lanes)
+	}
+	if r.Policy != "" {
+		fmt.Fprintf(&b, ", policy %s", r.Policy)
 	}
 	fmt.Fprintf(&b, "\n")
 	fmt.Fprintf(&b, "%-10s %-7s %-10s %12s %9s %8s %8s %8s %8s %8s\n",

@@ -73,6 +73,7 @@ type CrashRun struct {
 type CrashReport struct {
 	Nodes    int
 	Lanes    int
+	Policy   string
 	Runs     []CrashRun
 	Skipped  []string // schedules dropped because the app has too few barriers
 	Failures []string
@@ -83,9 +84,10 @@ func (r CrashReport) OK() bool { return len(r.Failures) == 0 }
 
 // CrashOptions selects the sweep.
 type CrashOptions struct {
-	Nodes int      // cluster size (default 4)
-	Lanes int      // event-lane workers (0 = legacy kernel)
-	Apps  []string // subset of the crash apps (nil = all)
+	Nodes  int      // cluster size (default 4)
+	Lanes  int      // event-lane workers (0 = legacy kernel)
+	Apps   []string // subset of the crash apps (nil = all)
+	Policy string   // hlrc protocol policy for every run ("" = legacy)
 }
 
 // RunCrash executes the crash acceptance matrix.
@@ -104,7 +106,11 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 			}
 		}
 	}
-	rep := CrashReport{Nodes: opt.Nodes, Lanes: opt.Lanes}
+	if !hlrc.ValidPolicy(opt.Policy) {
+		return CrashReport{}, fmt.Errorf("harness: unknown policy %q (valid: %s, or empty for legacy)",
+			opt.Policy, strings.Join(hlrc.PolicyNames()[1:], ", "))
+	}
+	rep := CrashReport{Nodes: opt.Nodes, Lanes: opt.Lanes, Policy: opt.Policy}
 	fail := func(format string, args ...any) {
 		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
 	}
@@ -114,7 +120,7 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 			continue
 		}
 		for _, mode := range chaosModes {
-			base, barriers, err := runCrashCell(app, mode, opt.Nodes, opt.Lanes, nil)
+			base, barriers, err := runCrashCell(app, mode, opt.Nodes, opt.Lanes, opt.Policy, nil)
 			if err != nil {
 				return rep, fmt.Errorf("harness: %s/%s baseline: %w", app.Name, mode.name, err)
 			}
@@ -132,7 +138,7 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 				armed := crashSchedule{name: "(armed)", events: []hlrc.CrashEvent{
 					{Node: 1, Barrier: 1 << 30, Restart: true},
 				}}
-				crashBase, _, err = runCrashCell(app, mode, opt.Nodes, opt.Lanes, &armed)
+				crashBase, _, err = runCrashCell(app, mode, opt.Nodes, opt.Lanes, opt.Policy, &armed)
 				if err != nil {
 					return rep, fmt.Errorf("harness: %s/%s armed baseline: %w", app.Name, mode.name, err)
 				}
@@ -143,7 +149,7 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 
 			// Inertness: an empty crash plan must not change the run at
 			// all — same bits, same final state, same virtual clock.
-			inert, _, err := runCrashCell(app, mode, opt.Nodes, opt.Lanes, &crashSchedule{name: "(empty)"})
+			inert, _, err := runCrashCell(app, mode, opt.Nodes, opt.Lanes, opt.Policy, &crashSchedule{name: "(empty)"})
 			if err != nil {
 				return rep, fmt.Errorf("harness: %s/%s empty-plan run: %w", app.Name, mode.name, err)
 			}
@@ -160,7 +166,7 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 						app.Name, mode.name, sched.name, sched.maxBarrier, barriers))
 					continue
 				}
-				run, _, err := runCrashCell(app, mode, opt.Nodes, opt.Lanes, &sched)
+				run, _, err := runCrashCell(app, mode, opt.Nodes, opt.Lanes, opt.Policy, &sched)
 				if err != nil {
 					run = CrashRun{App: app.Name, Mode: mode.name, Schedule: sched.name, Err: err.Error()}
 					rep.Runs = append(rep.Runs, run)
@@ -195,9 +201,10 @@ func RunCrash(opt CrashOptions) (CrashReport, error) {
 
 // runCrashCell executes one cell and returns the run record plus the
 // engine barrier count (used to filter schedules against the baseline).
-func runCrashCell(app MatrixApp, mode chaosMode, nodes, lanes int, sched *crashSchedule) (CrashRun, int64, error) {
+func runCrashCell(app MatrixApp, mode chaosMode, nodes, lanes int, policy string, sched *crashSchedule) (CrashRun, int64, error) {
 	cfg := mode.cfg(nodes)
 	cfg.Lanes = lanes
+	cfg.Policy = policy
 	if app.LockCaching {
 		cfg.LockCaching = true
 	}
@@ -231,6 +238,9 @@ func (r CrashReport) Render() string {
 	fmt.Fprintf(&b, "crash matrix: %d nodes", r.Nodes)
 	if r.Lanes > 0 {
 		fmt.Fprintf(&b, ", %d event lanes", r.Lanes)
+	}
+	if r.Policy != "" {
+		fmt.Fprintf(&b, ", policy %s", r.Policy)
 	}
 	fmt.Fprintf(&b, "\n")
 	fmt.Fprintf(&b, "%-10s %-7s %-10s %12s %7s %7s %6s %8s %7s %7s %7s\n",

@@ -1,0 +1,367 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"parade/internal/hlrc"
+	"parade/internal/netsim"
+	"parade/internal/sim"
+)
+
+// The policy sweep compares the fixed hlrc protocol policies against the
+// adaptive per-page engine across the acceptance-matrix kernels, both
+// directive modes, and both fabric presets. Every cell must preserve
+// result bits across policies (the protocol may move data differently,
+// never compute differently), the explicit "invalidate" policy must stay
+// byte-identical to the legacy empty policy, and the adaptive runs must
+// be bit-identical across event-lane counts. The sweep also reports the
+// cells where adaptive strictly beats every fixed policy on delivered
+// bytes or virtual time — the evidence the adaptive engine pays its way.
+
+// PolicyRun is the record of one cell of the policy sweep.
+type PolicyRun struct {
+	App       string       `json:"app"`
+	Mode      string       `json:"mode"`
+	Fabric    string       `json:"fabric"`
+	Policy    string       `json:"policy"` // "" is the legacy baseline
+	Result    string       `json:"result"` // result-bits fingerprint
+	MemHash   uint64       `json:"mem_hash"`
+	Kernel    sim.Duration `json:"kernel_ns"`
+	Time      sim.Duration `json:"time_ns"` // full-run virtual time
+	Bytes     int64        `json:"bytes"`   // modeled wire bytes incl. headers
+	Threshold int          `json:"threshold"`
+	Pushes    int64        `json:"policy_pushes"`
+	Refreshes int64        `json:"policy_refreshes"`
+	Reclass   int64        `json:"policy_reclass"`
+	Overrides int64        `json:"policy_overrides"`
+	Err       string       `json:"err,omitempty"`
+}
+
+// PolicyReport is the outcome of a policy sweep.
+type PolicyReport struct {
+	Nodes int         `json:"nodes"`
+	Lanes int         `json:"lanes"`
+	Runs  []PolicyRun `json:"runs"`
+	// Wins lists the app/mode/fabric cells where the adaptive policy
+	// strictly beat every fixed policy on wire bytes or virtual time.
+	Wins     []string `json:"wins"`
+	Failures []string `json:"failures"`
+}
+
+// OK reports whether every invariant held.
+func (r PolicyReport) OK() bool { return len(r.Failures) == 0 }
+
+// PolicyOptions selects the sweep.
+type PolicyOptions struct {
+	Nodes    int      // cluster size (default 4)
+	Lanes    int      // event-lane workers for the comparison runs (0 = legacy kernel)
+	Apps     []string // subset of the matrix kernels (nil = all)
+	Modes    []string // subset of hybrid, sdsm (nil = all)
+	Fabrics  []string // subset of via, tcp (nil = both)
+	Policies []string // policies to compare (nil = legacy, invalidate, update, adaptive)
+	// VerifyLanes re-runs every adaptive cell at these event-lane counts
+	// and requires bit-identical virtual time and memory fingerprint
+	// across them (nil = {1, 4}). Lane counts must be positive: the
+	// legacy lanes=0 kernel has its own historical timing.
+	VerifyLanes []int
+}
+
+// policyCell identifies one app/mode/fabric cell of the sweep.
+type policyCell struct{ app, mode, fabric string }
+
+func (c policyCell) String() string { return c.app + "/" + c.mode + "/" + c.fabric }
+
+// RunPolicySweep executes the fixed-vs-adaptive comparison matrix.
+func RunPolicySweep(opt PolicyOptions) (PolicyReport, error) {
+	if opt.Nodes == 0 {
+		opt.Nodes = 4
+	}
+	if opt.Modes == nil {
+		opt.Modes = MatrixModes()
+	}
+	if opt.Fabrics == nil {
+		opt.Fabrics = []string{"via", "tcp"}
+	}
+	if opt.Policies == nil {
+		opt.Policies = hlrc.PolicyNames()
+	}
+	if opt.VerifyLanes == nil {
+		opt.VerifyLanes = []int{1, 4}
+	}
+	if opt.Apps != nil {
+		for _, want := range opt.Apps {
+			if !contains(MatrixAppNames(), want) {
+				return PolicyReport{}, fmt.Errorf("harness: unknown app %q (valid: %s)",
+					want, strings.Join(MatrixAppNames(), ", "))
+			}
+		}
+	}
+	for _, mode := range opt.Modes {
+		if !contains(MatrixModes(), mode) {
+			return PolicyReport{}, fmt.Errorf("harness: unknown mode %q (valid: %s)",
+				mode, strings.Join(MatrixModes(), ", "))
+		}
+	}
+	for _, pol := range opt.Policies {
+		if !hlrc.ValidPolicy(pol) {
+			return PolicyReport{}, fmt.Errorf("harness: unknown policy %q (valid: %s, or empty for legacy)",
+				pol, strings.Join(hlrc.PolicyNames()[1:], ", "))
+		}
+	}
+	fabrics := make([]netsim.Fabric, 0, len(opt.Fabrics))
+	for _, name := range opt.Fabrics {
+		f, err := netsim.FabricByName(name)
+		if err != nil {
+			return PolicyReport{}, fmt.Errorf("harness: %w", err)
+		}
+		fabrics = append(fabrics, f)
+	}
+	for _, lanes := range opt.VerifyLanes {
+		if lanes <= 0 {
+			return PolicyReport{}, fmt.Errorf("harness: VerifyLanes entry %d; lane counts must be positive", lanes)
+		}
+	}
+
+	rep := PolicyReport{Nodes: opt.Nodes, Lanes: opt.Lanes}
+	fail := func(format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+	}
+	for _, app := range matrixApps {
+		if opt.Apps != nil && !contains(opt.Apps, app.Name) {
+			continue
+		}
+		for _, mode := range opt.Modes {
+			for fi, fabric := range fabrics {
+				cell := policyCell{app.Name, mode, opt.Fabrics[fi]}
+				runs := make(map[string]PolicyRun, len(opt.Policies))
+				for _, pol := range opt.Policies {
+					run, err := runPolicyCell(app, mode, fabric, pol, opt.Nodes, opt.Lanes)
+					if err != nil {
+						run.Err = err.Error()
+						rep.Runs = append(rep.Runs, run)
+						fail("%s policy %q: %v", cell, polLabel(pol), err)
+						continue
+					}
+					rep.Runs = append(rep.Runs, run)
+					runs[pol] = run
+				}
+				checkPolicyCell(cell, runs, opt, fail, func(lanes int) (PolicyRun, error) {
+					return runPolicyCell(app, mode, fabric, hlrc.PolicyAdaptive, opt.Nodes, lanes)
+				})
+				if win, ok := adaptiveWin(runs); ok {
+					rep.Wins = append(rep.Wins, fmt.Sprintf("%s: adaptive beats every fixed policy on %s", cell, win))
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// checkPolicyCell asserts one cell's cross-policy invariants.
+func checkPolicyCell(cell policyCell, runs map[string]PolicyRun, opt PolicyOptions,
+	fail func(string, ...any), rerun func(lanes int) (PolicyRun, error)) {
+	base, haveBase := runs[hlrc.PolicyLegacy]
+	if !haveBase {
+		for _, pol := range opt.Policies {
+			if r, ok := runs[pol]; ok {
+				base, haveBase = r, true
+				break
+			}
+		}
+	}
+	if !haveBase {
+		return
+	}
+	// The protocol may move pages differently but must never compute
+	// differently: result bits are policy-invariant.
+	for _, pol := range opt.Policies {
+		run, ok := runs[pol]
+		if !ok {
+			continue
+		}
+		if run.Result != base.Result {
+			fail("%s: policy %q result bits diverged from %q", cell, polLabel(pol), polLabel(base.Policy))
+		}
+	}
+	// The explicit invalidate policy is the legacy protocol spelled out:
+	// byte- and time-identical, not merely result-identical.
+	if inv, ok := runs[hlrc.PolicyInvalidate]; ok {
+		if leg, ok := runs[hlrc.PolicyLegacy]; ok {
+			if inv.Time != leg.Time || inv.MemHash != leg.MemHash || inv.Bytes != leg.Bytes {
+				fail("%s: explicit invalidate diverged from the legacy protocol (time %d vs %d, bytes %d vs %d)",
+					cell, inv.Time, leg.Time, inv.Bytes, leg.Bytes)
+			}
+		}
+	}
+	// The adaptive engine must be deterministic across event-lane
+	// counts: the classifier folds into the state fingerprint, so any
+	// schedule-dependence would show up here. Result bits must match the
+	// comparison run unconditionally; full bit-identity (virtual time and
+	// fingerprint) is required among the positive-lane runs, and against
+	// the comparison run only when it used positive lanes itself — the
+	// legacy lanes=0 kernel is its own timing regime, and lock-heavy
+	// kernels legitimately resolve contention in a different order there.
+	if adp, ok := runs[hlrc.PolicyAdaptive]; ok {
+		var prev *PolicyRun
+		var prevLanes int
+		for _, lanes := range opt.VerifyLanes {
+			run, err := rerun(lanes)
+			if err != nil {
+				fail("%s: adaptive verify at %d lanes: %v", cell, lanes, err)
+				continue
+			}
+			if run.Result != adp.Result {
+				fail("%s: adaptive at %d lanes changed result bits vs the comparison run", cell, lanes)
+			}
+			if opt.Lanes > 0 && (run.MemHash != adp.MemHash || run.Time != adp.Time) {
+				fail("%s: adaptive at %d lanes diverged from the %d-lane comparison run", cell, lanes, opt.Lanes)
+			}
+			if prev != nil && (run.Time != prev.Time || run.MemHash != prev.MemHash) {
+				fail("%s: adaptive not bit-identical across lane counts %d and %d (time %d vs %d)",
+					cell, prevLanes, lanes, prev.Time, run.Time)
+			}
+			r := run
+			prev, prevLanes = &r, lanes
+		}
+	}
+}
+
+// adaptiveWin reports whether the adaptive run strictly beat every fixed
+// policy in the cell, and on which metric.
+func adaptiveWin(runs map[string]PolicyRun) (string, bool) {
+	adp, ok := runs[hlrc.PolicyAdaptive]
+	if !ok {
+		return "", false
+	}
+	fixed := make([]PolicyRun, 0, 2)
+	for _, pol := range []string{hlrc.PolicyInvalidate, hlrc.PolicyUpdate, hlrc.PolicyLegacy} {
+		if r, ok := runs[pol]; ok {
+			fixed = append(fixed, r)
+		}
+	}
+	if len(fixed) == 0 {
+		return "", false
+	}
+	timeWin, bytesWin := true, true
+	for _, f := range fixed {
+		if adp.Time >= f.Time {
+			timeWin = false
+		}
+		if adp.Bytes >= f.Bytes {
+			bytesWin = false
+		}
+	}
+	switch {
+	case timeWin && bytesWin:
+		return "virtual time and wire bytes", true
+	case timeWin:
+		return "virtual time", true
+	case bytesWin:
+		return "wire bytes", true
+	}
+	return "", false
+}
+
+func runPolicyCell(app MatrixApp, mode string, fabric netsim.Fabric, policy string, nodes, lanes int) (PolicyRun, error) {
+	cfg, err := MatrixModeConfig(mode, nodes, 1)
+	if err != nil {
+		return PolicyRun{App: app.Name, Mode: mode, Fabric: fabric.Name, Policy: policy}, err
+	}
+	cfg.Fabric = fabric
+	cfg.Lanes = lanes
+	cfg.Policy = policy
+	// MatrixModeConfig already applied defaults, which froze the
+	// directive threshold at the paper's constant; clear it so the
+	// adaptive policy re-derives it from this cell's fabric and costs.
+	cfg.SmallThreshold = 0
+	cfg = cfg.WithDefaults()
+	if app.LockCaching {
+		cfg.LockCaching = true
+	}
+	run := PolicyRun{App: app.Name, Mode: mode, Fabric: fabric.Name, Policy: policy, Threshold: cfg.SmallThreshold}
+	result, kernel, report, err := app.Run(cfg)
+	if err != nil {
+		return run, err
+	}
+	run.Result = result
+	run.Kernel = kernel
+	run.Time = report.Time
+	run.MemHash = report.MemHash
+	c := report.Counters
+	run.Bytes = c.Bytes
+	run.Pushes = c.PolicyPushes
+	run.Refreshes = c.PolicyRefreshes
+	run.Reclass = c.PolicyReclass
+	run.Overrides = c.PolicyHomeOverrides
+	return run, nil
+}
+
+// polLabel names a policy for messages; the legacy empty string gets a
+// readable name.
+func polLabel(pol string) string {
+	if pol == hlrc.PolicyLegacy {
+		return "legacy"
+	}
+	return pol
+}
+
+// WriteJSONL streams the sweep as JSON lines: a header object, one
+// object per run, then a summary with the wins and failures.
+func (r PolicyReport) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	header := struct {
+		Schema string `json:"schema"`
+		Nodes  int    `json:"nodes"`
+		Lanes  int    `json:"lanes"`
+	}{Schema: "parade-policy/v1", Nodes: r.Nodes, Lanes: r.Lanes}
+	if err := enc.Encode(header); err != nil {
+		return err
+	}
+	for _, run := range r.Runs {
+		if err := enc.Encode(run); err != nil {
+			return err
+		}
+	}
+	summary := struct {
+		Wins     []string `json:"wins"`
+		Failures []string `json:"failures"`
+		OK       bool     `json:"ok"`
+	}{Wins: r.Wins, Failures: r.Failures, OK: r.OK()}
+	return enc.Encode(summary)
+}
+
+// Render formats the sweep as an aligned text table plus the verdict.
+func (r PolicyReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy sweep: %d nodes", r.Nodes)
+	if r.Lanes > 0 {
+		fmt.Fprintf(&b, ", %d event lanes", r.Lanes)
+	}
+	fmt.Fprintf(&b, "\n")
+	fmt.Fprintf(&b, "%-10s %-7s %-17s %-11s %12s %10s %6s %7s %7s %6s\n",
+		"app", "mode", "fabric", "policy", "time", "bytes", "thresh", "pushes", "refresh", "recl")
+	for _, run := range r.Runs {
+		if run.Err != "" {
+			fmt.Fprintf(&b, "%-10s %-7s %-17s %-11s ERROR: %s\n",
+				run.App, run.Mode, run.Fabric, polLabel(run.Policy), run.Err)
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %-7s %-17s %-11s %12d %10d %6d %7d %7d %6d\n",
+			run.App, run.Mode, run.Fabric, polLabel(run.Policy),
+			run.Time, run.Bytes, run.Threshold, run.Pushes, run.Refreshes, run.Reclass)
+	}
+	for _, w := range r.Wins {
+		fmt.Fprintf(&b, "WIN: %s\n", w)
+	}
+	if r.OK() {
+		fmt.Fprintf(&b, "OK: result bits policy-invariant, invalidate byte-identical to legacy, adaptive lane-deterministic\n")
+	} else {
+		for _, f := range r.Failures {
+			fmt.Fprintf(&b, "FAIL: %s\n", f)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"parade/internal/hlrc"
+)
+
+// TestPolicySweepInvariants runs one full cell known to be an adaptive
+// win and checks everything the sweep promises: all four policies run,
+// the internal identity checks pass, the classifier actually
+// reclassified pages, and the cell is reported as a win.
+func TestPolicySweepInvariants(t *testing.T) {
+	rep, err := RunPolicySweep(PolicyOptions{
+		Apps:    []string{"helmholtz"},
+		Modes:   []string{"sdsm"},
+		Fabrics: []string{"via"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("sweep failed:\n%s", rep.Render())
+	}
+	if len(rep.Runs) != len(hlrc.PolicyNames()) {
+		t.Fatalf("sweep ran %d cells, want %d", len(rep.Runs), len(hlrc.PolicyNames()))
+	}
+	var adp *PolicyRun
+	for i := range rep.Runs {
+		if rep.Runs[i].Policy == hlrc.PolicyAdaptive {
+			adp = &rep.Runs[i]
+		}
+	}
+	if adp == nil {
+		t.Fatal("no adaptive run in the sweep")
+	}
+	if adp.Reclass == 0 {
+		t.Fatal("adaptive run never reclassified a page")
+	}
+	if adp.Threshold == 256 {
+		t.Fatal("adaptive run kept the paper's fixed threshold; AutoThreshold never fired")
+	}
+	if len(rep.Wins) == 0 {
+		t.Fatalf("helmholtz/sdsm/via should be an adaptive win cell:\n%s", rep.Render())
+	}
+}
+
+// TestFixedInvalidateMatchesLegacy pins the refactor's ground rule: the
+// strategy-based "invalidate" engine is the legacy protocol spelled
+// out, byte- and time-identical, not merely result-identical. (The
+// sweep asserts this internally too; this test keeps the property
+// named and debuggable on its own.)
+func TestFixedInvalidateMatchesLegacy(t *testing.T) {
+	rep, err := RunPolicySweep(PolicyOptions{
+		Apps:     []string{"md"},
+		Policies: []string{hlrc.PolicyLegacy, hlrc.PolicyInvalidate},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("sweep failed:\n%s", rep.Render())
+	}
+	byPolicy := map[string][]PolicyRun{}
+	for _, run := range rep.Runs {
+		byPolicy[run.Policy] = append(byPolicy[run.Policy], run)
+	}
+	leg, inv := byPolicy[hlrc.PolicyLegacy], byPolicy[hlrc.PolicyInvalidate]
+	if len(leg) == 0 || len(leg) != len(inv) {
+		t.Fatalf("got %d legacy and %d invalidate runs", len(leg), len(inv))
+	}
+	for i := range leg {
+		if leg[i].Time != inv[i].Time || leg[i].MemHash != inv[i].MemHash || leg[i].Bytes != inv[i].Bytes {
+			t.Fatalf("cell %s/%s/%s: invalidate diverged from legacy",
+				leg[i].App, leg[i].Mode, leg[i].Fabric)
+		}
+	}
+}
+
+// TestPolicySweepRejectsBadInput: every selector is validated before
+// any cell runs.
+func TestPolicySweepRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  PolicyOptions
+		frag string
+	}{
+		{"unknown app", PolicyOptions{Apps: []string{"nope"}}, "unknown app"},
+		{"unknown mode", PolicyOptions{Modes: []string{"nope"}}, "unknown mode"},
+		{"unknown policy", PolicyOptions{Policies: []string{"nope"}}, "unknown policy"},
+		{"unknown fabric", PolicyOptions{Fabrics: []string{"nope"}}, "fabric"},
+		{"non-positive verify lanes", PolicyOptions{VerifyLanes: []int{0}}, "positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := RunPolicySweep(tc.opt)
+			if err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+// TestPolicyReportJSONL: the stream is one header, one line per run,
+// and a summary, each valid JSON with the documented schema tag.
+func TestPolicyReportJSONL(t *testing.T) {
+	rep, err := RunPolicySweep(PolicyOptions{
+		Apps:     []string{"md"},
+		Modes:    []string{"hybrid"},
+		Fabrics:  []string{"via"},
+		Policies: []string{hlrc.PolicyLegacy, hlrc.PolicyAdaptive},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, obj)
+	}
+	if want := 1 + len(rep.Runs) + 1; len(lines) != want {
+		t.Fatalf("got %d JSONL lines, want %d", len(lines), want)
+	}
+	if got := lines[0]["schema"]; got != "parade-policy/v1" {
+		t.Fatalf("header schema = %v", got)
+	}
+	if ok, is := lines[len(lines)-1]["ok"].(bool); !is || ok != rep.OK() {
+		t.Fatalf("summary ok = %v, want %v", lines[len(lines)-1]["ok"], rep.OK())
+	}
+}
+
+// TestAdaptivePolicyChaosMatrix: the fault-injection matrix holds with
+// the adaptive engine active — protocol elections are a pure function
+// of program order, so faulted runs stay bit-identical to their
+// fault-free baselines.
+func TestAdaptivePolicyChaosMatrix(t *testing.T) {
+	rep, err := RunChaos(ChaosOptions{Nodes: 4, Seed: 1, Policy: hlrc.PolicyAdaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("adaptive chaos matrix failed:\n%s", rep.Render())
+	}
+}
+
+// TestAdaptivePolicyCrashMatrix: crash/restart recovery under the
+// adaptive engine — the classifier folds into the checkpointed
+// fingerprint, so recovered runs must still match their baselines.
+func TestAdaptivePolicyCrashMatrix(t *testing.T) {
+	rep, err := RunCrash(CrashOptions{Nodes: 4, Policy: hlrc.PolicyAdaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("adaptive crash matrix failed:\n%s", rep.Render())
+	}
+}
+
+// TestChaosCrashRejectUnknownPolicy: both matrices validate the policy
+// name up front.
+func TestChaosCrashRejectUnknownPolicy(t *testing.T) {
+	if _, err := RunChaos(ChaosOptions{Nodes: 4, Policy: "nope"}); err == nil {
+		t.Fatal("RunChaos accepted an unknown policy")
+	}
+	if _, err := RunCrash(CrashOptions{Nodes: 4, Policy: "nope"}); err == nil {
+		t.Fatal("RunCrash accepted an unknown policy")
+	}
+}

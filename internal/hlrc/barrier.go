@@ -27,14 +27,18 @@ func (e *Engine) Barrier(p *sim.Proc, node int) {
 	for pg := range e.nodes[node].relNotices {
 		delete(e.nodes[node].relNotices, pg)
 	}
+	reads := e.drainReads(node)
 	if e.recov != nil {
-		e.logBarrier(p, node, notices)
+		e.logBarrier(p, node, notices, reads)
 		if ev := e.crashEventDue(node); ev >= 0 {
 			// Crash here, at the quiescent point: the flush is acked,
 			// the checkpoint log is durable at the buddy, and the
 			// arrival below is never sent. The representative parks on
-			// the crash gate until recovery releases it.
+			// the crash gate until recovery releases it — via the normal
+			// barrier departure, which may queue eager refreshes exactly
+			// as on a fault-free node, so they drain here too.
 			e.crashNow(p, node, ev)
+			e.refreshPages(p, node)
 			if e.rec != nil {
 				e.rec.BarrierWait(t0, p.Now(), node)
 			}
@@ -43,11 +47,73 @@ func (e *Engine) Barrier(p *sim.Proc, node int) {
 	}
 	ns := e.nodes[node]
 	ns.barrierGate = sim.NewGate(e.sim)
-	e.send(p, node, 0, msgBarrierArrive, 16+8*len(notices),
-		barrierArrive{Epoch: e.epoch, Notices: notices})
+	e.send(p, node, 0, msgBarrierArrive, 16+8*len(notices)+8*len(reads),
+		barrierArrive{Epoch: e.epoch, Notices: notices, Reads: reads})
 	ns.barrierGate.Wait(p)
+	e.refreshPages(p, node)
 	if e.rec != nil {
 		e.rec.BarrierWait(t0, p.Now(), node)
+	}
+}
+
+// drainReads snapshots and clears node's interval read set for the
+// barrier arrival, sorted for deterministic wire contents. Nil unless
+// the policy observes reads, so legacy and fixed-policy arrivals carry
+// no extra bytes.
+func (e *Engine) drainReads(node int) []int {
+	if !e.policy.observesReads() {
+		return nil
+	}
+	ns := e.nodes[node]
+	if len(ns.readObs) == 0 {
+		return nil
+	}
+	reads := make([]int, 0, len(ns.readObs))
+	for pg := range ns.readObs {
+		reads = append(reads, pg)
+		delete(ns.readObs, pg)
+	}
+	sort.Ints(reads)
+	return reads
+}
+
+// refreshPages drains the update-propagation queue: every page the
+// just-handled departure invalidated with Push set is re-fetched NOW,
+// all fetches in flight at once, instead of serially on demand faults.
+// This is where the update protocol wins: one barrier-time round-trip
+// batch (no SIGSEGV cost, latencies overlapped) replaces per-access
+// fault handling. The queue arrives page-sorted from the departure
+// handler, so send order is deterministic.
+func (e *Engine) refreshPages(p *sim.Proc, node int) {
+	ns := e.nodes[node]
+	if len(ns.refreshPending) == 0 {
+		return
+	}
+	pages := ns.refreshPending
+	ns.refreshPending = nil
+	gates := make([]*sim.Gate, 0, len(pages))
+	for _, pg := range pages {
+		pi := &ns.table.Pages[pg]
+		if pi.State != dsm.Invalid || pi.Home == node {
+			continue // raced with a migration back to us; nothing to refresh
+		}
+		if e.policy.observesReads() {
+			// A refresh is a read observation: the classifier must keep
+			// seeing this node as a consumer even though the push just
+			// eliminated its demand faults (otherwise producer-consumer
+			// pages would decay to migratory and oscillate).
+			ns.readObs[pg] = struct{}{}
+		}
+		ns.table.Set(pg, dsm.Transient)
+		gate := sim.NewGate(e.sim)
+		ns.fetch[pg] = gate
+		e.send(p, node, pi.Home, msgPageReq, 16, pageReq{Page: pg})
+		gates = append(gates, gate)
+		e.cnt(node).PolicyRefreshes++
+		e.rec.PolicyRefresh(node)
+	}
+	for _, g := range gates {
+		g.Wait(p)
 	}
 }
 

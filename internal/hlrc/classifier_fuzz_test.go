@@ -1,0 +1,124 @@
+package hlrc
+
+import (
+	"testing"
+
+	"parade/internal/sim"
+)
+
+// FuzzClassifier drives the adaptive policy's per-page classifier with
+// an arbitrary interval stream decoded from the fuzz input and checks
+// the properties every protocol election relies on:
+//
+//   - determinism: two classifiers fed the same stream agree on every
+//     reclassification event, every acting class, and the fingerprint
+//     fold (the guarantee behind cross-lane / cross-fault
+//     bit-identity);
+//   - validity: no verdict outside the PageClass enum, no event for an
+//     out-of-range page;
+//   - ordering: observe returns events in ascending page order (they
+//     feed deterministic counters and the trace recorder).
+func FuzzClassifier(f *testing.F) {
+	// One producer-consumer alternation, a falsely-shared burst, and a
+	// read-only page — the shapes the unit tests pin down.
+	f.Add([]byte{2, 0, 1, 1, 0, 2, 0, 1, 0, 0, 1, 1, 3, 1, 0, 1, 1, 1, 1, 1, 2, 1, 0})
+	f.Add([]byte{1, 5, 3, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const npages, nnodes = 8, 4
+		a := newClassifier(npages)
+		b := newClassifier(npages)
+
+		// Decode: repeating [nops, (page, node, kind)...] records. kind's
+		// low bit picks read vs. write. Interval boundaries fall after
+		// each record group.
+		pos, epoch := 0, 0
+		for pos < len(data) && epoch < 64 {
+			nops := int(data[pos] % 8)
+			pos++
+			mods := map[int]map[int]bool{}
+			type op struct{ pg, node, kind int }
+			var ops []op
+			for i := 0; i < nops && pos+2 < len(data); i++ {
+				ops = append(ops, op{
+					pg:   int(data[pos] % npages),
+					node: int(data[pos+1] % nnodes),
+					kind: int(data[pos+2] % 2),
+				})
+				pos += 3
+			}
+			for _, o := range ops {
+				if o.kind == 0 {
+					set := mods[o.pg]
+					if set == nil {
+						set = map[int]bool{}
+						mods[o.pg] = set
+					}
+					set[o.node] = true
+				} else {
+					a.noteReads(o.node, []int{o.pg})
+					b.noteReads(o.node, []int{o.pg})
+				}
+			}
+			now := sim.Time(1000 * (epoch + 1))
+			// observe mutates its mods argument's page sets never, but
+			// hand each classifier its own map to rule out aliasing.
+			evA := a.observe(epoch, now, cloneMods(mods))
+			evB := b.observe(epoch, now, cloneMods(mods))
+			if len(evA) != len(evB) {
+				t.Fatalf("epoch %d: %d events vs %d", epoch, len(evA), len(evB))
+			}
+			for i := range evA {
+				if evA[i] != evB[i] {
+					t.Fatalf("epoch %d event %d: %+v vs %+v", epoch, i, evA[i], evB[i])
+				}
+				if evA[i].Page < 0 || evA[i].Page >= npages {
+					t.Fatalf("epoch %d: event for out-of-range page %d", epoch, evA[i].Page)
+				}
+				if evA[i].Class > ClassFalselyShared {
+					t.Fatalf("epoch %d: invalid class %d", epoch, evA[i].Class)
+				}
+				if i > 0 && evA[i].Page <= evA[i-1].Page {
+					t.Fatalf("epoch %d: events out of page order: %d then %d",
+						epoch, evA[i-1].Page, evA[i].Page)
+				}
+			}
+			for pg := 0; pg < npages; pg++ {
+				if a.classOf(pg) != b.classOf(pg) {
+					t.Fatalf("epoch %d page %d: class %v vs %v",
+						epoch, pg, a.classOf(pg), b.classOf(pg))
+				}
+			}
+			epoch++
+		}
+
+		foldA := collectFold(a)
+		foldB := collectFold(b)
+		if len(foldA) != len(foldB) {
+			t.Fatalf("fold lengths differ: %d vs %d", len(foldA), len(foldB))
+		}
+		for i := range foldA {
+			if foldA[i] != foldB[i] {
+				t.Fatalf("fold word %d differs: %d vs %d", i, foldA[i], foldB[i])
+			}
+		}
+	})
+}
+
+func cloneMods(mods map[int]map[int]bool) map[int]map[int]bool {
+	out := make(map[int]map[int]bool, len(mods))
+	for pg, set := range mods {
+		cp := make(map[int]bool, len(set))
+		for n := range set {
+			cp[n] = true
+		}
+		out[pg] = cp
+	}
+	return out
+}
+
+func collectFold(c *classifier) []int {
+	var words []int
+	c.fold(func(v int) { words = append(words, v) })
+	return words
+}

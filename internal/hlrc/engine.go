@@ -61,6 +61,9 @@ type Config struct {
 	Strategy      dsm.UpdateStrategy // atomic page update method
 	Cost          CostModel
 	Crash         *CrashPlan // crash-stop fault plan (nil/empty: inert)
+	// Policy selects the protocol policy (policy.go): "" (legacy),
+	// "invalidate", "update", or "adaptive".
+	Policy string
 }
 
 // Protocol message subtypes carried in netsim.Message.Type.
@@ -106,6 +109,10 @@ type diffMsg struct{ Diffs []*dsm.Diff }
 type barrierArrive struct {
 	Epoch   int
 	Notices []dsm.WriteNotice
+	// Reads is the sorted set of pages this node read-faulted or eagerly
+	// refreshed during the interval — classifier input, piggybacked only
+	// when the policy observes reads (nil otherwise, adding no bytes).
+	Reads []int
 }
 
 // departEntry summarizes one modified page for the barrier departure:
@@ -114,6 +121,10 @@ type departEntry struct {
 	Page      int
 	NewHome   int
 	Modifiers []int
+	// Push selects update propagation for this page: nodes whose copy
+	// the departure invalidates re-fetch it eagerly (refreshPages)
+	// instead of waiting for the next access fault.
+	Push bool
 }
 
 // barrierDepart releases a node from the barrier and delivers the global
@@ -170,6 +181,16 @@ type nodeState struct {
 	flushBundle map[int][]*dsm.Diff
 
 	lockCache map[int]*nodeLock // cached-protocol token state
+
+	// readObs is the set of pages this node read-faulted or eagerly
+	// refreshed since its last barrier — the classifier's reader-set
+	// input, collected only when the policy observes reads and drained
+	// (sorted) onto the next barrier arrival.
+	readObs map[int]struct{}
+	// refreshPending queues pages a barrier departure invalidated with
+	// Push set; refreshPages re-fetches them all in parallel right after
+	// the barrier gate opens.
+	refreshPending []int
 
 	barrierGate *sim.Gate // waiting for barrier departure
 
@@ -245,6 +266,10 @@ type Engine struct {
 	// plan — the nil check keeps every hot path identical to a build
 	// without it).
 	recov *recovery
+
+	// policy is the protocol policy engine (nil for the legacy empty
+	// policy — the nil check keeps every hot path identical).
+	policy *policyEngine
 }
 
 // New creates a protocol engine for the given cluster.
@@ -262,6 +287,7 @@ func New(s *sim.Simulator, net *netsim.Network, cpus []*sim.CPU, cfg Config, c *
 		pgFetches:    make([]int, npages),
 		pgInval:      make([]int, npages),
 		pgMigrations: make([]int, npages),
+		policy:       newPolicyEngine(cfg.Policy, npages),
 	}
 	for i := range e.locks {
 		e.locks[i] = map[int]*lockState{}
@@ -281,6 +307,7 @@ func New(s *sim.Simulator, net *netsim.Network, cpus []*sim.CPU, cfg Config, c *
 			lockCache:   map[int]*nodeLock{},
 			flushBundle: map[int][]*dsm.Diff{},
 			relNotices:  map[int]struct{}{},
+			readObs:     map[int]struct{}{},
 		}
 		// Master starts with every page readable (paper §5.2.3).
 		if i == 0 {

@@ -47,6 +47,13 @@ func (e *Engine) fault(p *sim.Proc, node, pg int, write bool) {
 			t0 = p.Now()
 			e.rec.FetchStart(t0, node, pg, home, write)
 		}
+		if e.policy.observesReads() {
+			// Classifier input: any demand fetch means this node consumed
+			// the page this interval. Write-fault fetches are recorded too
+			// — harmless, since the fetcher is then also in the modifier
+			// set and the interval rules ignore the writer's own reads.
+			ns.readObs[pg] = struct{}{}
+		}
 		ns.table.Set(pg, dsm.Transient)
 		gate := sim.NewGate(e.sim)
 		ns.fetch[pg] = gate

@@ -118,6 +118,9 @@ func (e *Engine) handleBarrierArrive(p *sim.Proc, node int, m *netsim.Message) {
 		set[wn.Modifier] = true
 		e.cnt(0).WriteNotices++
 	}
+	if e.policy.observesReads() && len(arr.Reads) > 0 {
+		e.policy.cls.noteReads(m.From, arr.Reads)
+	}
 	mb.arrived++
 	if e.recov != nil {
 		e.noteArrival(m.From)
@@ -134,6 +137,20 @@ func (e *Engine) handleBarrierArrive(p *sim.Proc, node int, m *netsim.Message) {
 // behalf) once the survivors are all in.
 func (e *Engine) completeBarrier(p *sim.Proc, epoch int) {
 	mb := &e.master
+	// Close the classifier's interval BEFORE electing: this barrier's
+	// decisions should see the classes the interval's evidence produced.
+	// observe iterates a sorted page union, so the hash-map order of
+	// mb.modifiers never shows through.
+	if e.policy.observesReads() {
+		for _, ev := range e.policy.cls.observe(epoch, p.Now(), mb.modifiers) {
+			e.cnt(0).PolicyReclass++
+			since := ev.SinceNs
+			if ev.First {
+				since = -1
+			}
+			e.rec.PolicyReclass(0, since)
+		}
+	}
 	entries := make([]departEntry, 0, len(mb.modifiers))
 	homes := e.nodes[0].table // any table works for reading current homes
 	for pg, set := range mb.modifiers {
@@ -144,15 +161,31 @@ func (e *Engine) completeBarrier(p *sim.Proc, epoch int) {
 		if len(mods) > 1 {
 			sort.Ints(mods)
 		}
-		newHome := homes.Pages[pg].Home
-		if e.cfg.HomeMigration && len(mods) == 1 && mods[0] != newHome && !e.gone(mods[0]) {
-			// Single modifier becomes the new home (§5.2.2). With
-			// multiple modifiers the current home keeps the highest
-			// priority, so it stays. A dead single modifier cannot take
-			// the page (its notices may reach a shrink barrier).
-			newHome = mods[0]
+		cur := homes.Pages[pg].Home
+		// Single modifier becomes the new home (§5.2.2). With multiple
+		// modifiers the current home keeps the highest priority, so it
+		// stays. A dead single modifier cannot take the page (its notices
+		// may reach a shrink barrier).
+		legacy := cur
+		if e.cfg.HomeMigration && len(mods) == 1 && mods[0] != cur && !e.gone(mods[0]) {
+			legacy = mods[0]
 		}
-		entries = append(entries, departEntry{Page: pg, NewHome: newHome, Modifiers: mods})
+		newHome := legacy
+		push := false
+		if e.policy != nil {
+			class := e.policy.classOf(pg)
+			if cand := e.policy.home.ElectHome(pg, cur, mods, class, e.cfg.HomeMigration); cand == cur || !e.gone(cand) {
+				newHome = cand
+			}
+			if newHome != legacy {
+				e.cnt(0).PolicyHomeOverrides++
+			}
+			if e.policy.prop.ShouldPush(pg, class, mods, len(e.nodes)) {
+				push = true
+				e.cnt(0).PolicyPushes++
+			}
+		}
+		entries = append(entries, departEntry{Page: pg, NewHome: newHome, Modifiers: mods, Push: push})
 	}
 	// Sort the entries BEFORE counting and tracing the migrations: the
 	// map iteration above has no stable order, and trace output must be
@@ -252,6 +285,13 @@ func (e *Engine) handleBarrierDepart(p *sim.Proc, node int, m *netsim.Message) {
 			e.cnt(node).Invalidations++
 			e.bumpInval(node, ent.Page)
 			e.rec.Invalidated(node, ent.Page)
+			if ent.Push {
+				// Update propagation: this node held a copy, so it
+				// re-fetches eagerly once the barrier gate opens
+				// (refreshPages). Entries arrive page-sorted, so the
+				// queue is too.
+				ns.refreshPending = append(ns.refreshPending, ent.Page)
+			}
 		case dsm.Invalid:
 			// Nothing cached; only the directory update matters.
 		default:

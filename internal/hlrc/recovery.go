@@ -142,6 +142,7 @@ type ckptFlush struct {
 	Epoch   int
 	Barrier bool
 	Notices []dsm.WriteNotice
+	Reads   []int          // interval read set (adaptive policy; barrier logs only)
 	Table   []ckptTableEnt // barrier logs only
 	Pages   []ckptPageCopy // copies of home pages this flush dirtied
 }
@@ -163,6 +164,7 @@ type ckptTok struct {
 type recoverState struct {
 	Epoch   int
 	Notices []dsm.WriteNotice
+	Reads   []int // interval read set for the synthesized arrival
 	Table   []ckptTableEnt
 	Pages   []ckptPageCopy // the node's home pages, from the mirror
 	Tokens  []ckptTok
@@ -177,6 +179,7 @@ type ckptLog struct {
 	valid   bool
 	epoch   int
 	notices []dsm.WriteNotice
+	reads   []int
 	table   []ckptTableEnt
 }
 
@@ -313,7 +316,7 @@ func (e *Engine) collectSelfCopies(ns *nodeState) []ckptPageCopy {
 }
 
 func ckptFlushBytes(ck *ckptFlush) int {
-	return 24 + 8*len(ck.Notices) + 8*len(ck.Table) + (dsm.PageSize+16)*len(ck.Pages)
+	return 24 + 8*len(ck.Notices) + 8*len(ck.Reads) + 8*len(ck.Table) + (dsm.PageSize+16)*len(ck.Pages)
 }
 
 // shipMiniLog forwards the home pages a non-barrier flush (lock release,
@@ -334,7 +337,7 @@ func (e *Engine) shipMiniLog(p *sim.Proc, node int) {
 // logBarrier ships the barrier-time checkpoint log and blocks until the
 // buddy acknowledges it, so the subsequent barrier arrival is only ever
 // sent with a durable snapshot behind it.
-func (e *Engine) logBarrier(p *sim.Proc, node int, notices []dsm.WriteNotice) {
+func (e *Engine) logBarrier(p *sim.Proc, node int, notices []dsm.WriteNotice, reads []int) {
 	if e.recov == nil || node == 0 {
 		return
 	}
@@ -346,7 +349,7 @@ func (e *Engine) logBarrier(p *sim.Proc, node int, notices []dsm.WriteNotice) {
 	}
 	ck := &ckptFlush{
 		Epoch: e.epoch, Barrier: true,
-		Notices: notices, Table: snap,
+		Notices: notices, Reads: reads, Table: snap,
 		Pages: e.collectSelfCopies(ns),
 	}
 	ns.ckptPending = ck
@@ -386,7 +389,7 @@ func (e *Engine) handleCkptFlush(p *sim.Proc, node int, m *netsim.Message) {
 		r.mirrors[w][pc.Page] = pc.Data
 	}
 	if ck.Barrier {
-		r.logs[w] = ckptLog{valid: true, epoch: ck.Epoch, notices: ck.Notices, table: ck.Table}
+		r.logs[w] = ckptLog{valid: true, epoch: ck.Epoch, notices: ck.Notices, reads: ck.Reads, table: ck.Table}
 		e.send(p, node, w, msgCkptAck, 8, nil)
 	}
 }
@@ -478,6 +481,7 @@ func (e *Engine) crashNow(p *sim.Proc, node, evIdx int) {
 		lockCache:   map[int]*nodeLock{},
 		flushBundle: map[int][]*dsm.Diff{},
 		relNotices:  map[int]struct{}{},
+		readObs:     map[int]struct{}{},
 		barrierGate: gate,
 	}
 	e.nodes[node] = fresh
@@ -609,8 +613,8 @@ func (e *Engine) recoverRestart(p *sim.Proc, node int) {
 		t := r.tokens[node][id]
 		toks = append(toks, ckptTok{Lock: id, Cached: t.cached, Notices: t.notices})
 	}
-	rs := recoverState{Epoch: log.epoch, Notices: log.notices, Table: log.table, Pages: pages, Tokens: toks}
-	bytes := 24 + 8*len(rs.Notices) + 8*len(rs.Table) + (dsm.PageSize+16)*len(rs.Pages) + 16*len(rs.Tokens)
+	rs := recoverState{Epoch: log.epoch, Notices: log.notices, Reads: log.reads, Table: log.table, Pages: pages, Tokens: toks}
+	bytes := 24 + 8*len(rs.Notices) + 8*len(rs.Reads) + 8*len(rs.Table) + (dsm.PageSize+16)*len(rs.Pages) + 16*len(rs.Tokens)
 	gate := sim.NewGate(e.sim)
 	r.restoreGate = gate
 	e.send(p, e.buddy(node), node, msgRecoverState, bytes, rs)
@@ -740,9 +744,10 @@ func (e *Engine) handleRecoverState(p *sim.Proc, node int, m *netsim.Message) {
 	}
 	e.cnt(0).PagesRestored += int64(len(rs.Pages))
 	// Synthesize the barrier arrival the crash suppressed: the logged
-	// notices are exactly what the node would have sent.
-	e.send(p, node, 0, msgBarrierArrive, 16+8*len(rs.Notices),
-		barrierArrive{Epoch: rs.Epoch, Notices: rs.Notices})
+	// notices (and, under the adaptive policy, the logged interval read
+	// set) are exactly what the node would have sent.
+	e.send(p, node, 0, msgBarrierArrive, 16+8*len(rs.Notices)+8*len(rs.Reads),
+		barrierArrive{Epoch: rs.Epoch, Notices: rs.Notices, Reads: rs.Reads})
 	// Only now may the daemon re-drive stuck traffic at this node: a
 	// resent diff arriving before the directory restore would find a
 	// reboot-state table.
@@ -785,6 +790,11 @@ func (e *Engine) recoverShrink(p *sim.Proc, node int) {
 		}
 		set[wn.Modifier] = true
 		e.cnt(0).WriteNotices++
+	}
+	if e.policy.observesReads() && len(log.reads) > 0 {
+		// The dead member's interval reads join the classifier the same
+		// way its notices join the barrier.
+		e.policy.cls.noteReads(node, log.reads)
 	}
 
 	// Merge the stuck flushers' bundles for the dead home into the

@@ -138,5 +138,13 @@ func (e *Engine) StateFingerprint() uint64 {
 			writeInt(n)
 		}
 	}
+	// The adaptive classifier's program-order state (classes, hysteresis,
+	// change epochs — never virtual times): two adaptive runs that agree
+	// here made identical protocol elections. Absent (zero-cost) for
+	// legacy and fixed policies, whose fingerprints must stay comparable
+	// with pre-policy baselines.
+	if e.policy.observesReads() {
+		e.policy.cls.fold(writeInt)
+	}
 	return h.Sum64()
 }

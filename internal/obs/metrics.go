@@ -22,6 +22,7 @@ const (
 	HistRetryLatency           // first send -> ack, frames that needed a retransmit
 	HistRecoveryLatency        // crash detected -> recovery complete, per execution
 	HistStealLatency           // steal request sent -> reply received (hit or miss)
+	HistReclassLatency         // interval between a page's successive class changes
 	NumHists
 )
 
@@ -38,6 +39,7 @@ var histDefs = [NumHists]struct{ Name, Unit string }{
 	HistRetryLatency:    {"retry_latency", "ns"},
 	HistRecoveryLatency: {"recovery_latency", "ns"},
 	HistStealLatency:    {"steal_latency", "ns"},
+	HistReclassLatency:  {"reclass_latency", "ns"},
 }
 
 // HistName returns the stable name of histogram id (as used in the
@@ -83,6 +85,10 @@ type NodeCounters struct {
 	TasksExecuted int64 `json:"task_executed,omitempty"`
 	TasksStolen   int64 `json:"task_stolen,omitempty"`
 	StealRequests int64 `json:"steal_requests,omitempty"`
+
+	// Protocol policy engine (nonzero only with a non-legacy policy).
+	PolicyReclass   int64 `json:"policy_reclass,omitempty"`
+	PolicyRefreshes int64 `json:"policy_refreshes,omitempty"`
 
 	// Crash faults and recovery (nonzero only with a crash plan).
 	Crashes   int64 `json:"crash_injected,omitempty"`

@@ -504,6 +504,31 @@ func (r *Recorder) RecoveryDone(start, end sim.Time, node int) {
 	r.m.h(node, HistRecoveryLatency).Observe(int64(end - start))
 }
 
+// --- hlrc: protocol policy engine ---
+
+// PolicyRefresh counts one eager page refresh (update propagation)
+// issued by node after a barrier departure.
+func (r *Recorder) PolicyRefresh(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).PolicyRefreshes++
+}
+
+// PolicyReclass records one applied classifier class change at node
+// (the master). sinceNs is the virtual time since the page's previous
+// change and feeds the reclass_latency histogram; pass a negative value
+// for a page's first change (no previous change to measure from).
+func (r *Recorder) PolicyReclass(node int, sinceNs int64) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).PolicyReclass++
+	if sinceNs >= 0 {
+		r.m.h(node, HistReclassLatency).Observe(sinceNs)
+	}
+}
+
 // --- mpi ---
 
 // Collective records one rank's pass through an MPI collective.

@@ -41,6 +41,12 @@ type Counters struct {
 	HomeMigrations int64
 	Barriers       int64 // SDSM global barriers
 
+	// Protocol policy engine (nonzero only with a non-legacy policy).
+	PolicyReclass       int64 // classifier class changes applied at barriers
+	PolicyPushes        int64 // depart entries sent with update propagation
+	PolicyRefreshes     int64 // pages eagerly re-fetched after a barrier
+	PolicyHomeOverrides int64 // home elections that differ from the legacy rule
+
 	// Lock manager (conventional SDSM path).
 	LockRequests int64
 	LockWaits    int64 // requests that found the lock held
@@ -110,6 +116,10 @@ func (c *Counters) Map() map[string]int64 {
 		"write_notices":     c.WriteNotices,
 		"home_migrations":   c.HomeMigrations,
 		"sdsm_barriers":     c.Barriers,
+		"policy_reclass":    c.PolicyReclass,
+		"policy_pushes":     c.PolicyPushes,
+		"policy_refreshes":  c.PolicyRefreshes,
+		"policy_overrides":  c.PolicyHomeOverrides,
 		"lock_requests":     c.LockRequests,
 		"lock_waits":        c.LockWaits,
 		"hybrid_criticals":  c.HybridCriticals,

@@ -35,4 +35,11 @@ set -- -baseline "$baseline" "$@"
 if [ "$out_set" -eq 0 ]; then
     set -- -out BENCH_PR1.json "$@"
 fi
+
+# Report header: make the measurement environment visible in the log
+# (the JSON report records the same via go_version/gomaxprocs/num_cpu).
+ncpu=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)
+echo "bench.sh: $(go version)" >&2
+echo "bench.sh: GOMAXPROCS=${GOMAXPROCS:-unset} nproc=$ncpu" >&2
+
 exec go run ./cmd/parade-bench -regress "$@"
