@@ -5,6 +5,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -114,10 +115,12 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault-plane seed (with -faults)")
 	crash := flag.String("crash", "", "crash-and-restart events: node@barrier[,node@barrier...], e.g. 1@2")
 	policy := flag.String("policy", "", "hlrc protocol policy: invalidate, update, or adaptive (empty = legacy)")
+	timeout := flag.Duration("timeout", 0, "wall-clock guard: cancel the run after this host time and dump partial stats (0 disables)")
 	flag.Parse()
 
 	cfg := core.Config{Nodes: *nodes, ThreadsPerNode: *tpn, CPUsPerNode: *cpus,
-		Mode: core.Hybrid, HomeMigration: true, Policy: *policy}
+		Mode: core.Hybrid, HomeMigration: true, Policy: *policy,
+		Deadline: *timeout}
 	if *fabric == "tcp" {
 		cfg.Fabric = netsim.TCP()
 	}
@@ -129,6 +132,20 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "parade-run: %v\n", err)
 		os.Exit(1)
+	}
+
+	// failRun handles an application error. A -timeout abort is the typed
+	// core.ErrCanceled chain; instead of vanishing with a bare error, the
+	// partial report (counters and virtual time reached before the abort)
+	// is dumped so a hung configuration is still diagnosable.
+	failRun := func(err error, rep core.Report) {
+		if errors.Is(err, core.ErrCanceled) {
+			fmt.Fprintf(os.Stderr, "parade-run: %v\n", err)
+			fmt.Fprintf(os.Stderr, "parade-run: partial stats at abort (virtual time %v, host budget %v):\n%s\n",
+				rep.Time, *timeout, rep.Counters.String())
+			os.Exit(1)
+		}
+		fail(err)
 	}
 
 	if *faults != "" {
@@ -201,7 +218,7 @@ func main() {
 		}
 		r, err := apps.RunCG(cfg, cl)
 		if err != nil {
-			fail(err)
+			failRun(err, r.Report)
 		}
 		fmt.Printf("CG class %s: zeta=%.12f rnorm=%.3e nz=%d kernel=%v util=%.2f\n",
 			cl.Name, r.Zeta, r.RNorm, r.NZ, r.KernelTime, r.Report.Utilization())
@@ -214,7 +231,7 @@ func main() {
 		}
 		r, err := apps.RunEP(cfg, cl)
 		if err != nil {
-			fail(err)
+			failRun(err, r.Report)
 		}
 		fmt.Printf("EP class %s: sx=%.6f sy=%.6f accepted=%.0f kernel=%v util=%.2f\n",
 			cl.Name, r.Sx, r.Sy, r.Accepted, r.KernelTime, r.Report.Utilization())
@@ -223,7 +240,7 @@ func main() {
 	case "helmholtz":
 		r, err := apps.RunHelmholtz(cfg, apps.HelmholtzDefault())
 		if err != nil {
-			fail(err)
+			failRun(err, r.Report)
 		}
 		fmt.Printf("Helmholtz: err=%.3e iters=%d kernel=%v util=%.2f\n",
 			r.Error, r.Iterations, r.KernelTime, r.Report.Utilization())
@@ -232,7 +249,7 @@ func main() {
 	case "md":
 		r, err := apps.RunMD(cfg, apps.MDDefault())
 		if err != nil {
-			fail(err)
+			failRun(err, r.Report)
 		}
 		fmt.Printf("MD: e0=%.6f efinal=%.6f drift=%.3e kernel=%v util=%.2f\n",
 			r.E0, r.EFinal, r.MaxDrift, r.KernelTime, r.Report.Utilization())
@@ -241,7 +258,7 @@ func main() {
 	case "lockmix":
 		r, err := apps.RunLockmix(cfg, apps.LockmixDefault())
 		if err != nil {
-			fail(err)
+			failRun(err, r.Report)
 		}
 		fmt.Printf("Lockmix: sum=%.0f expected=%.0f time=%v util=%.2f\n",
 			r.Sum, r.Expected, r.Report.Time, r.Report.Utilization())

@@ -4,7 +4,11 @@
 // fingerprint against an LRU result cache, and exports Prometheus-style
 // metrics on GET /metrics. SIGTERM/SIGINT triggers a graceful drain:
 // admission stops (new batches get 503), admitted jobs finish, then the
-// process exits. See SERVING.md for the full serving surface.
+// process exits. With -wal the service is crash-safe: completed results
+// are appended to a checksummed, fsynced JSONL log and replayed into
+// the cache on startup, so a killed-and-restarted server serves every
+// previously completed cell bit-identical without re-executing it.
+// See SERVING.md for the full serving surface and failure modes.
 //
 // With -replay the command instead acts as its own acceptance harness:
 // it replays the chaos and crash scenario matrices through the service
@@ -13,6 +17,13 @@
 // hit re-executes (probed via /metrics). "-replay self" boots an
 // in-process server first; "-replay http://host:port" targets a running
 // one.
+//
+// With -serve-chaos the command runs the service-chaos harness instead:
+// a WAL-backed server is killed mid-batch, restarted, and must recover
+// every completed cell bit-identical with zero re-executions; injected
+// worker panics must surface as typed per-job results (with retry and
+// quarantine) while the server keeps serving; and a deadline_ms job
+// must come back canceled instead of hanging a worker.
 package main
 
 import (
@@ -39,6 +50,14 @@ func main() {
 		cache    = flag.Int("cache", 1024, "result cache capacity (entries)")
 		maxBatch = flag.Int("max-batch", 4096, "maximum jobs per request")
 
+		walPath     = flag.String("wal", "", "durable result WAL path: completed results are appended (checksummed, fsynced) and replayed into the cache on startup, so a restart never re-executes a completed cell")
+		jobDeadline = flag.Duration("job-deadline", 0, "server-side watchdog per job (0 disables); a job's own deadline_ms can only tighten it")
+		maxAttempts = flag.Int("max-attempts", 0, "panic-retry budget per job before its config is quarantined (default 3)")
+
+		serveChaos = flag.Bool("serve-chaos", false, "run the service-chaos harness (kill/restart/panic/deadline) instead of serving; requires -wal")
+		chaosCells = flag.Int("chaos-cells", 0, "scenario cells for -serve-chaos (default 24)")
+		chaosSeed  = flag.Int64("chaos-seed", 0, "base seed for -serve-chaos (default 1)")
+
 		replay         = flag.String("replay", "", "replay the acceptance matrices through the service path: 'self' boots an in-process server, otherwise a base URL of a running one")
 		replayApps     = flag.String("replay-apps", "", "comma-separated app subset for -replay (default: all)")
 		replayModes    = flag.String("replay-modes", "", "comma-separated mode subset for -replay (default: hybrid,sdsm)")
@@ -53,6 +72,28 @@ func main() {
 	opt := fleet.ServerOptions{
 		Workers: *workers, Queue: *queue,
 		Cache: *cache, MaxBatch: *maxBatch,
+		WALPath: *walPath, JobDeadline: *jobDeadline, MaxAttempts: *maxAttempts,
+	}
+
+	if *serveChaos {
+		if *walPath == "" {
+			fmt.Fprintln(os.Stderr, "parade-serve: -serve-chaos requires -wal")
+			os.Exit(2)
+		}
+		sum, err := fleet.RunServeChaos(fleet.ChaosOptions{
+			WALPath: *walPath,
+			Cells:   *chaosCells,
+			Seed:    *chaosSeed,
+			Workers: *workers,
+			Log:     os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parade-serve: chaos FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chaos OK: %d cells, %d durable at kill, %d recovered bit-identical with %d re-executions, %d panic isolated, %d quarantined, %d canceled by deadline\n",
+			sum.Cells, sum.Durable, sum.Recovered, sum.ReExecutions, sum.Panics, sum.Quarantined, sum.Canceled)
+		os.Exit(0)
 	}
 
 	if *replay != "" {
@@ -69,7 +110,11 @@ func main() {
 		os.Exit(runReplay(*replay, opt, ropt))
 	}
 
-	svc := fleet.NewService(opt)
+	svc, err := fleet.NewService(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parade-serve: %v\n", err)
+		os.Exit(1)
+	}
 	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	done := make(chan struct{})
@@ -85,8 +130,12 @@ func main() {
 		close(done)
 	}()
 
-	fmt.Fprintf(os.Stderr, "parade-serve: listening on %s (workers=%d queue=%d cache=%d)\n",
-		*addr, *workers, *queue, *cache)
+	walNote := ""
+	if *walPath != "" {
+		walNote = fmt.Sprintf(" wal=%s (%d results recovered)", *walPath, svc.Cache().Len())
+	}
+	fmt.Fprintf(os.Stderr, "parade-serve: listening on %s (workers=%d queue=%d cache=%d%s)\n",
+		*addr, *workers, *queue, *cache, walNote)
 	if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintf(os.Stderr, "parade-serve: %v\n", err)
 		os.Exit(1)
@@ -100,7 +149,11 @@ func main() {
 func runReplay(target string, opt fleet.ServerOptions, ropt fleet.ReplayOptions) int {
 	baseURL := target
 	if target == "self" {
-		svc := fleet.NewService(opt)
+		svc, err := fleet.NewService(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parade-serve: %v\n", err)
+			return 1
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "parade-serve: replay listen: %v\n", err)

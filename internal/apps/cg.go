@@ -208,7 +208,9 @@ func RunCG(cfg core.Config, class CGClass) (CGResult, error) {
 		res.KernelTime = sim.Duration(m.Now() - t0)
 	})
 	if err != nil {
-		return CGResult{}, err
+		// A canceled run's partial report (counters, timing to the abort
+		// point) rides along with the error for the -timeout stats dump.
+		return CGResult{Report: rep}, err
 	}
 	res.Report = rep
 	return res, nil

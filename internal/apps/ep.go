@@ -111,7 +111,9 @@ func RunEP(cfg core.Config, class EPClass) (EPResult, error) {
 		res.KernelTime = sim.Duration(m.Now() - t0)
 	})
 	if err != nil {
-		return EPResult{}, err
+		// A canceled run's partial report (counters, timing to the abort
+		// point) rides along with the error for the -timeout stats dump.
+		return EPResult{Report: rep}, err
 	}
 	res.Report = rep
 	return res, nil

@@ -126,7 +126,9 @@ func RunHelmholtz(cfg core.Config, prm HelmholtzParams) (HelmholtzResult, error)
 		res.KernelTime = sim.Duration(m.Now() - t0)
 	})
 	if err != nil {
-		return HelmholtzResult{}, err
+		// A canceled run's partial report (counters, timing to the abort
+		// point) rides along with the error for the -timeout stats dump.
+		return HelmholtzResult{Report: rep}, err
 	}
 	res.Report = rep
 	return res, nil

@@ -132,7 +132,9 @@ func RunLockmix(cfg core.Config, prm LockmixParams) (LockmixResult, error) {
 		res.Expected = float64(2*nt*prm.Iters*prm.Locks + prm.Locks)
 	})
 	if err != nil {
-		return LockmixResult{}, err
+		// A canceled run's partial report (counters, timing to the abort
+		// point) rides along with the error for the -timeout stats dump.
+		return LockmixResult{Report: rep}, err
 	}
 	res.Report = rep
 	return res, nil

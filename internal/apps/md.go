@@ -164,7 +164,9 @@ func RunMD(cfg core.Config, prm MDParams) (MDResult, error) {
 		res.KernelTime = sim.Duration(m.Now() - t0)
 	})
 	if err != nil {
-		return MDResult{}, err
+		// A canceled run's partial report (counters, timing to the abort
+		// point) rides along with the error for the -timeout stats dump.
+		return MDResult{Report: rep}, err
 	}
 	res.Report = rep
 	return res, nil

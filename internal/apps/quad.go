@@ -156,7 +156,9 @@ func RunQuad(cfg core.Config, prm QuadParams) (QuadResult, error) {
 		})
 	})
 	if err != nil {
-		return QuadResult{}, err
+		// A canceled run's partial report (counters, timing to the abort
+		// point) rides along with the error for the -timeout stats dump.
+		return QuadResult{Report: rep}, err
 	}
 	res.Report = rep
 	return res, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"parade/internal/dsm"
@@ -293,7 +294,18 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		})
 	}
 
+	if hook := cancelHook(cfg); hook != nil {
+		c.s.SetCancel(hook, 0)
+	}
 	if err := c.s.Run(); err != nil {
+		if errors.Is(err, sim.ErrCanceled) {
+			// Canceled (hook or deadline): the kernel has unwound every
+			// goroutine, so the layers are quiescent — fold what ran into a
+			// partial report (counters, timing, utilization) alongside the
+			// typed error. Identity fields (MemHash, PageReport) are left
+			// zero: a mid-run fingerprint carries no bit-identity meaning.
+			return c.partialReport(cfg, cpus), err
+		}
 		if pd := c.net.PeerDownErr(); pd != nil {
 			// A stalled simulation with a recorded retry exhaustion is an
 			// undetected node failure, not a runtime bug: surface the
@@ -328,6 +340,36 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		rep.Obs = c.rec.Metrics()
 	}
 	return rep, nil
+}
+
+// partialReport folds the counters of a canceled run into a Report that
+// carries everything meaningful at the cancel point: elapsed virtual
+// time, protocol/traffic counters, per-node busy time, and observability
+// metrics. Called only after sim.Run returned — the kernel is torn down
+// and every layer is quiescent.
+func (c *Cluster) partialReport(cfg Config, cpus []*sim.CPU) Report {
+	busy := make([]sim.Duration, cfg.Nodes)
+	for i, cpu := range cpus {
+		busy[i] = cpu.BusyTime
+	}
+	c.net.FoldCounters()
+	c.world.FoldCounters()
+	c.engine.FoldCounters()
+	c.stats.Fold()
+	if c.rec != nil {
+		c.rec.FoldLanes()
+		laneReport(c.s, c.rec)
+	}
+	rep := Report{
+		Time:     sim.Duration(c.s.Now()),
+		Counters: c.counters.Snapshot(),
+		Config:   cfg,
+		CPUBusy:  busy,
+	}
+	if c.rec != nil {
+		rep.Obs = c.rec.Metrics()
+	}
+	return rep
 }
 
 // commLoop is one node's communication thread. It exits on the stop

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"parade/internal/dsm"
 	"parade/internal/hlrc"
@@ -95,6 +96,21 @@ type Config struct {
 	// only supports Restart events — a shrunken node would leave its
 	// team threads unjoinable at shutdown.
 	Crash *hlrc.CrashPlan
+	// Deadline, when positive, bounds the run's host wall-clock time: the
+	// event loop polls a monotonic clock and, once the budget is spent,
+	// aborts the run with an error matching ErrCanceled and wrapping a
+	// *DeadlineError — instead of hanging on a livelocked configuration.
+	// Host time only: it never perturbs virtual time or results of runs
+	// that finish within the budget.
+	Deadline time.Duration
+	// Cancel, when non-nil, is a cooperative cancellation hook polled
+	// periodically from the event loop (sim.DefaultCancelEvery events). A
+	// non-nil return cancels the run: Run returns an error matching
+	// ErrCanceled that wraps the hook's cause, alongside a partial Report
+	// (counters and timing up to the cancel point). Lane-mode runs poll
+	// the hook concurrently from every lane, so it must be safe for
+	// concurrent use.
+	Cancel func() error
 }
 
 // DefaultSmallThreshold is the paper's update/invalidate switch point for
@@ -171,6 +187,9 @@ func (c Config) Validate() error {
 	if c.Lanes > 0 && c.Fabric.Latency <= 0 {
 		return &LaneConfigError{Lanes: c.Lanes, Reason: fmt.Sprintf(
 			"fabric %q has non-positive link latency; the conservative lookahead bound requires Fabric.Latency > 0", c.Fabric.Name)}
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("core: Deadline = %v (must be >= 0; 0 disables the wall-clock guard)", c.Deadline)
 	}
 	if c.Crash.Active() {
 		if err := c.Crash.Validate(c.Nodes); err != nil {

@@ -94,6 +94,20 @@ func (c *Cache) Put(fp uint64, canonical string, res JobResult) {
 	c.entries[fp] = c.order.PushFront(&cacheEntry{key: fp, canonical: canonical, result: res})
 }
 
+// Entries snapshots the live cache contents in LRU order (least
+// recently used first), the order a WAL compaction should persist them
+// in so a future replay re-creates the same recency ordering.
+func (c *Cache) Entries() []WALRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	recs := make([]WALRecord, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		ent := el.Value.(*cacheEntry)
+		recs = append(recs, WALRecord{FP: ent.key, Canonical: ent.canonical, Result: ent.result})
+	}
+	return recs
+}
+
 // Len returns the number of cached results.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -1,0 +1,42 @@
+package fleet
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRunServeChaos drives the full service-chaos harness on a small
+// matrix: kill mid-batch, WAL recovery with zero re-executions and
+// bit-identical results, panic isolation with quarantine, and a
+// deadline cancellation — the acceptance criteria end to end.
+func TestRunServeChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness runs full simulations")
+	}
+	sum, err := RunServeChaos(ChaosOptions{
+		WALPath: filepath.Join(t.TempDir(), "results.wal"),
+		Cells:   12,
+		Workers: 2,
+		Log:     testWriter{t},
+	})
+	if err != nil {
+		t.Fatalf("RunServeChaos: %v (summary %+v)", err, sum)
+	}
+	if sum.Durable == 0 || sum.Recovered != sum.Durable {
+		t.Fatalf("summary %+v: recovery incomplete", sum)
+	}
+	if sum.ReExecutions != 0 {
+		t.Fatalf("summary %+v: recovered cells re-executed", sum)
+	}
+	if sum.Panics != 1 || sum.Quarantined != 1 || sum.Canceled != 1 {
+		t.Fatalf("summary %+v: injection phases incomplete", sum)
+	}
+}
+
+// testWriter adapts t.Logf to the harness's progress log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

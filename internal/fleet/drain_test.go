@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drainSpecs builds a batch body of distinct fast cells (one seed lane
+// per client so concurrent batches never coalesce).
+func drainSpecs(t *testing.T, client, n int) (string, int) {
+	t.Helper()
+	var body strings.Builder
+	for i := 0; i < n; i++ {
+		spec := validSpec()
+		spec.Seed = int64(1 + client*100 + i)
+		spec.ID = fmt.Sprintf("drain-%d-%d", client, i)
+		body.WriteString(specLine(t, spec))
+	}
+	return body.String(), n
+}
+
+// TestDrainWithInFlightBatches is the graceful-shutdown contract under
+// concurrency (run with -race): batches in flight when the drain begins
+// all complete and reach the WAL, batches after it get clean 503s, and
+// no goroutine outlives the service.
+func TestDrainWithInFlightBatches(t *testing.T) {
+	base := runtime.NumGoroutine()
+	walPath := filepath.Join(t.TempDir(), "results.wal")
+	svc := mustService(t, ServerOptions{Workers: 2, Queue: 64, WALPath: walPath})
+	ts := httptest.NewServer(svc.Handler())
+
+	const clients, perClient = 4, 3
+	var wg sync.WaitGroup
+	type outcome struct {
+		status  int
+		results []JobResult
+	}
+	outcomes := make([]outcome, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		body, _ := drainSpecs(t, c, perClient)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, _, results := postBatch(t, ts, body)
+			outcomes[c] = outcome{status, results}
+		}()
+	}
+
+	// Begin the drain only once every batch is admitted and work is
+	// genuinely in flight, the SIGTERM mid-batch shape.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		svc.metrics.mu.Lock()
+		admitted := svc.metrics.batches
+		svc.metrics.mu.Unlock()
+		if admitted >= clients {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batches admitted %d/%d: never mid-batch", admitted, clients)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	svc.Drain()
+
+	// Admission is closed: a new batch gets a clean 503.
+	lateBody, _ := drainSpecs(t, 99, 1)
+	status, _, _ := postBatch(t, ts, lateBody)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain batch got %d, want 503", status)
+	}
+
+	// Every in-flight batch completed normally, all results ok.
+	wg.Wait()
+	for c, out := range outcomes {
+		if out.status != http.StatusOK {
+			t.Fatalf("client %d: status %d, want 200 (admitted before drain)", c, out.status)
+		}
+		if len(out.results) != perClient {
+			t.Fatalf("client %d: %d results, want %d", c, len(out.results), perClient)
+		}
+		for _, res := range out.results {
+			if res.Status != StatusOK {
+				t.Fatalf("client %d: result %s status %q (%s)", c, res.ID, res.Status, res.Error)
+			}
+		}
+	}
+
+	// Everything that completed is durable.
+	w, records, _, err := OpenWAL(walPath)
+	if err != nil {
+		t.Fatalf("reading WAL after drain: %v", err)
+	}
+	w.Close()
+	if len(records) != clients*perClient {
+		t.Fatalf("WAL holds %d records, want %d (every completed job persisted)", len(records), clients*perClient)
+	}
+
+	// No goroutine outlives the drained service.
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d live, want <= %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestKillDropsQueuedWithTypedResults: Kill (the in-process SIGKILL
+// analogue) finishes in-flight jobs, discards queued ones as typed
+// canceled lines, and the response stream still completes.
+func TestKillDropsQueuedWithTypedResults(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "results.wal")
+	svc := mustService(t, ServerOptions{Workers: 1, Queue: 16, WALPath: walPath})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body, n := drainSpecs(t, 0, 6)
+	type reply struct {
+		status  int
+		results []JobResult
+	}
+	done := make(chan reply, 1)
+	go func() {
+		status, _, results := postBatch(t, ts, body)
+		done <- reply{status, results}
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, inFlight := svc.pool.Depth(); inFlight > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no job went in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	svc.Kill()
+
+	out := <-done
+	if out.status != http.StatusOK || len(out.results) != n {
+		t.Fatalf("killed-server stream: status %d, %d results, want 200 with %d lines", out.status, len(out.results), n)
+	}
+	completed, dropped := 0, 0
+	for _, res := range out.results {
+		switch res.Status {
+		case StatusOK:
+			completed++
+		case StatusCanceled:
+			dropped++
+			if !strings.Contains(res.Error, "dropped") {
+				t.Fatalf("dropped result error = %q, want a dropped marker", res.Error)
+			}
+		default:
+			t.Fatalf("unexpected status %q (%s)", res.Status, res.Error)
+		}
+	}
+	if completed == 0 || dropped == 0 {
+		t.Fatalf("completed=%d dropped=%d: a kill mid-batch should leave both", completed, dropped)
+	}
+
+	// Exactly the completed jobs are durable.
+	w, records, _, err := OpenWAL(walPath)
+	if err != nil {
+		t.Fatalf("reading WAL after kill: %v", err)
+	}
+	w.Close()
+	if len(records) != completed {
+		t.Fatalf("WAL holds %d records, want %d (the completed jobs)", len(records), completed)
+	}
+}

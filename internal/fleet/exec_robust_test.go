@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestExecPanicRetryThenRecover: a transient panic (first attempt only)
+// is retried with backoff and the job still succeeds; the counters and
+// Attempts reflect the retry.
+func TestExecPanicRetryThenRecover(t *testing.T) {
+	var slept atomic.Int64
+	exec := NewExecutor(ExecOptions{Sleep: func(d time.Duration) {
+		if d <= 0 {
+			t.Errorf("backoff slept %v, want > 0", d)
+		}
+		slept.Add(1)
+	}})
+	exec.BeforeRun = func(spec JobSpec, attempt int) {
+		if attempt == 1 {
+			panic("transient fault")
+		}
+	}
+	res, err := exec.Run(validSpec())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Status != StatusOK {
+		t.Fatalf("status = %q (%s), want ok after retry", res.Status, res.Error)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", res.Attempts)
+	}
+	st := exec.Stats()
+	if st.Panics != 1 || st.Retries != 1 || slept.Load() != 1 {
+		t.Fatalf("stats = %+v (slept %d), want 1 panic, 1 retry, 1 backoff", st, slept.Load())
+	}
+	if len(exec.Quarantined()) != 0 {
+		t.Fatalf("recovered job quarantined: %v", exec.Quarantined())
+	}
+}
+
+// TestExecPanicExhaustsIntoQuarantine: a cell that panics on every
+// attempt becomes a typed StatusPanic result carrying the stack, and its
+// fingerprint is quarantined — the identical spec is refused without
+// executing again.
+func TestExecPanicExhaustsIntoQuarantine(t *testing.T) {
+	exec := NewExecutor(ExecOptions{MaxAttempts: 2, Sleep: func(time.Duration) {}})
+	exec.BeforeRun = func(JobSpec, int) { panic("poisoned cell") }
+	res, err := exec.Run(validSpec())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Status != StatusPanic || res.Attempts != 2 {
+		t.Fatalf("result = {%s, attempts %d}, want panic after 2 attempts", res.Status, res.Attempts)
+	}
+	if !strings.Contains(res.Error, "poisoned cell") {
+		t.Fatalf("panic result error %q does not carry the panic value", res.Error)
+	}
+	if len(exec.Quarantined()) != 1 {
+		t.Fatalf("quarantine = %v, want the poisoned fingerprint", exec.Quarantined())
+	}
+
+	exec.BeforeRun = nil // even a now-healthy config stays quarantined
+	execsBefore := exec.Executions()
+	res, err = exec.Run(validSpec())
+	if err != nil {
+		t.Fatalf("Run (quarantined): %v", err)
+	}
+	if res.Status != StatusQuarantined {
+		t.Fatalf("quarantined resubmit status = %q, want %q", res.Status, StatusQuarantined)
+	}
+	if exec.Executions() != execsBefore {
+		t.Fatal("quarantined job executed")
+	}
+	if exec.Stats().Quarantined != 1 {
+		t.Fatalf("Quarantined counter = %d, want 1", exec.Stats().Quarantined)
+	}
+}
+
+// TestExecDeadlineCancels: both the spec's deadline_ms and the server
+// watchdog abort a large cell into a typed canceled result with partial
+// virtual time, instead of hanging.
+func TestExecDeadlineCancels(t *testing.T) {
+	slow := JobSpec{App: "cg", Mode: "sdsm", Nodes: 8}
+	t.Run("spec deadline_ms", func(t *testing.T) {
+		exec := &Executor{}
+		spec := slow
+		spec.DeadlineMS = 1
+		res, err := exec.Run(spec)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.Status != StatusCanceled {
+			t.Fatalf("status = %q (%s), want canceled", res.Status, res.Error)
+		}
+		if res.TimeNs <= 0 {
+			t.Fatalf("canceled result TimeNs = %d, want partial virtual time > 0", res.TimeNs)
+		}
+		if !strings.Contains(res.Error, "deadline") {
+			t.Fatalf("canceled error %q does not name the deadline", res.Error)
+		}
+		if exec.Stats().Cancels != 1 {
+			t.Fatalf("Cancels = %d, want 1", exec.Stats().Cancels)
+		}
+	})
+	t.Run("server watchdog", func(t *testing.T) {
+		exec := NewExecutor(ExecOptions{MaxJobTime: time.Millisecond})
+		res, err := exec.Run(slow)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.Status != StatusCanceled {
+			t.Fatalf("status = %q (%s), want canceled", res.Status, res.Error)
+		}
+	})
+}
+
+// TestDeadlineMSNotIdentity: deadline_ms is execution control, not
+// config identity — it must not perturb the canonical string or the
+// fingerprint, so a deadline-guarded job still dedupes against its
+// unguarded twin.
+func TestDeadlineMSNotIdentity(t *testing.T) {
+	a := validSpec()
+	b := validSpec()
+	b.DeadlineMS = 30_000
+	if a.Canonical() != b.Canonical() || a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("deadline_ms changed identity: %q vs %q", a.Canonical(), b.Canonical())
+	}
+}
+
+// TestNegativeDeadlineMSInvalid: validation rejects a negative deadline.
+func TestNegativeDeadlineMSInvalid(t *testing.T) {
+	spec := validSpec()
+	spec.DeadlineMS = -1
+	exec := &Executor{}
+	res, err := exec.Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Status != StatusInvalid {
+		t.Fatalf("status = %q, want invalid", res.Status)
+	}
+}

@@ -74,6 +74,15 @@ type JobSpec struct {
 	// classification; also derives the directive threshold from the
 	// fabric). The policy sweep submits one job per policy per cell.
 	Policy string `json:"policy,omitempty"`
+	// DeadlineMS, when positive, bounds the job's host wall-clock
+	// execution time in milliseconds: a run over budget is cooperatively
+	// canceled by the simulation kernel and returns a typed canceled
+	// result (StatusCanceled) instead of hanging a worker. The server's
+	// own -job-deadline watchdog, when set, caps this further. Execution
+	// control, not simulation identity: it does not participate in
+	// Canonical() or the config fingerprint — a cell that completed
+	// under any deadline is the same cell.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // FieldError locates one invalid field of a JobSpec.
@@ -214,6 +223,9 @@ func (s JobSpec) Validate() error {
 	if !hlrc.ValidPolicy(s.Policy) {
 		add("policy", "unknown policy %q (valid: %s, or empty for legacy)",
 			s.Policy, strings.Join(hlrc.PolicyNames()[1:], ", "))
+	}
+	if s.DeadlineMS < 0 {
+		add("deadline_ms", "must be >= 0 (0 disables the job deadline), got %d", s.DeadlineMS)
 	}
 	if events, err := parseCrash(s.Crash); err != nil {
 		add("crash", "%v", err)

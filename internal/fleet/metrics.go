@@ -30,6 +30,11 @@ type Metrics struct {
 
 	jobLatency obs.Histogram // host ns per executed job
 
+	// WAL replay accounting, set once per process start by WALReplayDone.
+	walReplayRecords   int64
+	walReplayTruncated int64
+	walReplayHist      obs.Histogram // host ns per replay
+
 	// Cumulative simulation activity across all executed jobs, folded
 	// from each run's obs registry.
 	simCounters map[string]int64
@@ -76,6 +81,15 @@ func (m *Metrics) SetQueue(queued, inFlight int) {
 	m.mu.Lock()
 	m.queued, m.inFlight = queued, inFlight
 	m.mu.Unlock()
+}
+
+// WALReplayDone records one startup replay of the durable result store.
+func (m *Metrics) WALReplayDone(rep WALReplay) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.walReplayRecords += int64(rep.Records)
+	m.walReplayTruncated += rep.TruncatedBytes
+	m.walReplayHist.Observe(rep.Elapsed.Nanoseconds())
 }
 
 // FoldRun folds one executed run's observability metrics into the
@@ -131,8 +145,10 @@ func (m *Metrics) FoldRun(run *obs.Metrics) {
 
 // WritePrometheus renders the registry in Prometheus text exposition
 // format (version 0.0.4). cache may be nil when the service runs
-// without a cache; executions is the Executor's run-count probe.
-func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache, executions int64) {
+// without a cache; exec is the Executor's counter snapshot (executions
+// is the cache-skip probe); wal is the zero value when the service runs
+// without a durable result store.
+func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache, exec ExecStats, wal WALStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -147,14 +163,28 @@ func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache, executions int64) {
 	gauge("parade_fleet_in_flight", "Jobs currently executing.", float64(m.inFlight))
 
 	fmt.Fprintf(w, "# HELP parade_fleet_jobs_total Finished jobs by status.\n# TYPE parade_fleet_jobs_total counter\n")
-	for _, status := range []string{StatusOK, StatusInvalid, StatusError} {
+	for _, status := range Statuses() {
 		fmt.Fprintf(w, "parade_fleet_jobs_total{status=%q} %d\n", status, m.jobs[status])
 	}
 	counter("parade_fleet_jobs_cached_total", "Jobs served from the dedupe cache without execution.", m.cachedJobs)
 	counter("parade_fleet_batches_total", "Batches received.", m.batches)
 	counter("parade_fleet_batches_rejected_total", "Batches refused with 429 (queue full).", m.rejected)
 	counter("parade_fleet_executions_total", "Simulations actually executed (the cache-skip probe).",
-		executions)
+		exec.Executions)
+	counter("parade_fleet_jobs_retried_total", "Job attempts repeated after a recovered panic.", exec.Retries)
+	counter("parade_fleet_jobs_panicked_total", "Jobs whose attempts exhausted on panics.", exec.Panics)
+	counter("parade_fleet_jobs_canceled_total", "Jobs canceled by deadline or cancellation hook.", exec.Cancels)
+	counter("parade_fleet_jobs_quarantined_total", "Jobs refused because their config is quarantined.", exec.Quarantined)
+
+	counter("parade_fleet_wal_appends_total", "Results durably appended to the WAL.", wal.Appends)
+	counter("parade_fleet_wal_append_errors_total", "WAL append failures (result served but not durable).", wal.AppendErrors)
+	counter("parade_fleet_wal_compactions_total", "WAL rewrites to one record per fingerprint.", wal.Compactions)
+	counter("parade_fleet_wal_replayed_records_total", "Valid WAL records replayed into the cache at startup.", m.walReplayRecords)
+	counter("parade_fleet_wal_replay_truncated_bytes_total", "Corrupt WAL tail bytes truncated at startup.", m.walReplayTruncated)
+	if m.walReplayHist.Count > 0 {
+		writeHist(w, "parade_fleet_wal_replay_latency_seconds", "Host time to replay the WAL at startup.",
+			&m.walReplayHist, 1e-9)
+	}
 
 	if cache != nil {
 		cs := cache.Stats()

@@ -15,6 +15,15 @@ var (
 	ErrDraining = errors.New("fleet: pool draining")
 )
 
+// Job is one unit of pool work. Run executes it; Drop, when non-nil, is
+// invoked instead of Run if the job is discarded from the queue by Kill
+// — the hook lets a submitter observe the discard (e.g. the server emits
+// a canceled result so a response stream still completes).
+type Job struct {
+	Run  func()
+	Drop func()
+}
+
 // Pool is the bounded worker pool jobs execute on. Admission is
 // work-stealing-friendly: an admitted batch is spread over the workers'
 // local FIFO queues (each job lands on the least-loaded queue), a worker
@@ -27,7 +36,7 @@ var (
 type Pool struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	locals   [][]func() // per-worker FIFO queues
+	locals   [][]Job // per-worker FIFO queues
 	queued   int
 	cap      int
 	inFlight int
@@ -50,7 +59,7 @@ func NewPool(workers, capacity int) *Pool {
 		capacity = 1
 	}
 	p := &Pool{
-		locals: make([][]func(), workers),
+		locals: make([][]Job, workers),
 		cap:    capacity,
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -87,7 +96,7 @@ func (p *Pool) Capacity() int { return p.cap }
 // SubmitBatch atomically admits all jobs or none: ErrQueueFull when the
 // batch does not fit in the remaining queue space, ErrDraining after
 // Drain. Each job is placed on the currently least-loaded worker queue.
-func (p *Pool) SubmitBatch(jobs []func()) error {
+func (p *Pool) SubmitBatch(jobs []Job) error {
 	if len(jobs) == 0 {
 		return nil
 	}
@@ -117,7 +126,7 @@ func (p *Pool) SubmitBatch(jobs []func()) error {
 // next pops work for worker w: its own queue first (FIFO), then a steal
 // of the oldest job from the most-loaded peer. Returns nil with ok=false
 // when the pool is stopped.
-func (p *Pool) next(w int) (func(), bool) {
+func (p *Pool) next(w int) (Job, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
@@ -144,7 +153,7 @@ func (p *Pool) next(w int) (func(), bool) {
 			return job, true
 		}
 		if p.stopped || (p.draining && p.queued == 0) {
-			return nil, false
+			return Job{}, false
 		}
 		p.cond.Wait()
 	}
@@ -157,7 +166,7 @@ func (p *Pool) worker(w int) {
 		if !ok {
 			return
 		}
-		job()
+		job.Run()
 		p.mu.Lock()
 		p.inFlight--
 		p.notifyLocked()
@@ -179,6 +188,38 @@ func (p *Pool) Drain() {
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	p.wg.Wait()
+}
+
+// Kill is the hard-stop counterpart of Drain: it halts admission,
+// discards every queued job (invoking each job's Drop hook so its
+// submitter can account for it), waits only for the jobs already
+// executing to finish, then stops the workers. It is the in-process
+// analogue of a SIGKILL'd server: whatever had started completes (and
+// may have reached the WAL); whatever was merely queued never runs.
+// Safe to call once; do not mix with Drain.
+func (p *Pool) Kill() {
+	p.mu.Lock()
+	p.draining = true
+	var dropped []Job
+	for w := range p.locals {
+		dropped = append(dropped, p.locals[w]...)
+		p.locals[w] = nil
+	}
+	p.queued = 0
+	p.notifyLocked()
+	p.cond.Broadcast()
+	for p.inFlight > 0 {
+		p.cond.Wait()
+	}
+	p.stopped = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+	for _, job := range dropped {
+		if job.Drop != nil {
+			job.Drop()
+		}
+	}
 }
 
 // Draining reports whether a drain has begun.

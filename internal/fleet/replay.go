@@ -6,9 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // ReplayOptions selects the scenario subset a replay drives through the
@@ -96,6 +98,9 @@ func Replay(baseURL string, opt ReplayOptions) (ReplaySummary, error) {
 	}
 	logf("replay: in-process reference complete (%d executions)", exec.Executions())
 
+	// Jitter is deterministic per replay seed so two replays of the same
+	// matrix back off identically.
+	rng := rand.New(rand.NewSource(opt.Seed + 0x9e3779b9))
 	post := func() (map[string]JobResult, error) {
 		var body bytes.Buffer
 		enc := json.NewEncoder(&body)
@@ -105,9 +110,9 @@ func Replay(baseURL string, opt ReplayOptions) (ReplaySummary, error) {
 				return nil, err
 			}
 		}
-		resp, err := http.Post(baseURL+"/v1/jobs", "application/x-ndjson", &body)
+		resp, err := postWithBackoff(baseURL+"/v1/jobs", body.Bytes(), rng, logf)
 		if err != nil {
-			return nil, fmt.Errorf("POST /v1/jobs: %w", err)
+			return nil, err
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
@@ -195,6 +200,60 @@ func Replay(baseURL string, opt ReplayOptions) (ReplaySummary, error) {
 	}
 	logf("replay: pass 2 all %d cells cached, executions_total unchanged", sum.CacheHits)
 	return sum, nil
+}
+
+// postAttempts bounds the overload/restart retry loop: a 429 (queue
+// full) is retried after the server's Retry-After hint, a 503 (draining
+// server, or a rolling restart's brief gap) with exponential backoff.
+// Both sleeps are jittered so a fleet of clients that were rejected
+// together does not reconverge on the same instant.
+const postAttempts = 5
+
+func postWithBackoff(url string, body []byte, rng *rand.Rand, logf func(string, ...any)) (*http.Response, error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(body))
+		if err != nil {
+			lastErr = fmt.Errorf("POST /v1/jobs: %w", err)
+		} else {
+			switch resp.StatusCode {
+			case http.StatusTooManyRequests:
+				hint := time.Second
+				if s, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); err == nil && s > 0 {
+					hint = time.Duration(s) * time.Second
+				}
+				resp.Body.Close()
+				lastErr = fmt.Errorf("POST /v1/jobs: 429 queue full")
+				if attempt < postAttempts {
+					d := jitter(hint, rng)
+					logf("replay: 429, honoring Retry-After %v (jittered %v), attempt %d/%d", hint, d, attempt, postAttempts)
+					time.Sleep(d)
+					continue
+				}
+			case http.StatusServiceUnavailable:
+				resp.Body.Close()
+				lastErr = fmt.Errorf("POST /v1/jobs: 503 draining")
+				if attempt < postAttempts {
+					d := jitter(100*time.Millisecond<<(attempt-1), rng)
+					logf("replay: 503, backing off %v, attempt %d/%d", d, attempt, postAttempts)
+					time.Sleep(d)
+					continue
+				}
+			default:
+				return resp, nil
+			}
+		}
+		if attempt >= postAttempts {
+			return nil, fmt.Errorf("%w (after %d attempts)", lastErr, attempt)
+		}
+		d := jitter(100*time.Millisecond<<(attempt-1), rng)
+		time.Sleep(d)
+	}
+}
+
+// jitter scales d by a uniform factor in [0.5, 1.5).
+func jitter(d time.Duration, rng *rand.Rand) time.Duration {
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
 }
 
 // withEmpty prepends the empty value to a dimension unless present.

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 )
 
 // ServerOptions sizes a Service.
@@ -16,6 +17,20 @@ type ServerOptions struct {
 	Cache    int // LRU result-cache capacity (default 1024)
 	MaxBatch int // maximum job lines per request (default 4096)
 	MaxLine  int // maximum bytes per JSONL line (default 1 MiB)
+
+	// WALPath, when non-empty, enables the durable result store: every
+	// StatusOK result is appended (checksummed, fsynced) to this JSONL
+	// log, and NewService replays it into the cache so a restarted
+	// server never re-executes a completed cell.
+	WALPath string
+	// JobDeadline, when positive, is the server-side watchdog: the
+	// wall-clock budget applied to every job (a runaway simulation is
+	// cooperatively canceled and answered with a typed canceled result).
+	// A job's own deadline_ms can only tighten it.
+	JobDeadline time.Duration
+	// MaxAttempts bounds panic retries per job (default 3; the executor
+	// quarantines the config after the last attempt panics).
+	MaxAttempts int
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -38,13 +53,15 @@ func (o ServerOptions) withDefaults() ServerOptions {
 }
 
 // Service is the sweep service: executor + dedupe cache + worker pool +
-// metrics behind an http.Handler. Create with NewService, expose with
-// Handler, stop with Drain.
+// metrics (+ optional durable WAL) behind an http.Handler. Create with
+// NewService, expose with Handler, stop with Drain (graceful) or Kill
+// (hard stop).
 type Service struct {
 	exec    *Executor
 	cache   *Cache
 	pool    *Pool
 	metrics *Metrics
+	wal     *WAL // nil when WALPath is empty
 	opt     ServerOptions
 
 	// flight coalesces concurrent identical jobs: the first runs, the
@@ -58,20 +75,37 @@ type flightCall struct {
 	res  JobResult
 }
 
-// NewService builds a running service (workers started).
-func NewService(opt ServerOptions) *Service {
+// NewService builds a running service (workers started). When
+// opt.WALPath is set, the WAL is opened and replayed into the cache
+// before the first request can land: a restarted server serves every
+// previously completed cell from cache, bit-identical, with zero
+// re-executions.
+func NewService(opt ServerOptions) (*Service, error) {
 	opt = opt.withDefaults()
 	s := &Service{
-		exec:    &Executor{},
+		exec:    NewExecutor(ExecOptions{MaxJobTime: opt.JobDeadline, MaxAttempts: opt.MaxAttempts}),
 		cache:   NewCache(opt.Cache),
-		pool:    NewPool(opt.Workers, opt.Queue),
 		metrics: NewMetrics(),
 		opt:     opt,
 		flight:  map[uint64]*flightCall{},
 	}
 	s.exec.Obs = s.metrics.FoldRun
+	if opt.WALPath != "" {
+		wal, records, rep, err := OpenWAL(opt.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = wal
+		for _, rec := range records {
+			s.cache.Put(rec.FP, rec.Canonical, rec.Result)
+		}
+		s.metrics.WALReplayDone(rep)
+	}
+	// Workers start only after the cache is warm, so no job can race the
+	// replay.
+	s.pool = NewPool(opt.Workers, opt.Queue)
 	s.pool.SetObserver(s.metrics.SetQueue)
-	return s
+	return s, nil
 }
 
 // Executor returns the service's executor (the run-count probe).
@@ -83,9 +117,31 @@ func (s *Service) Cache() *Cache { return s.cache }
 // Metrics returns the service's metrics registry.
 func (s *Service) Metrics() *Metrics { return s.metrics }
 
+// WAL returns the service's durable result store (nil when disabled).
+func (s *Service) WAL() *WAL { return s.wal }
+
 // Drain stops admission (new batches get 503, /healthz flips to 503),
-// waits for every admitted job to finish, and stops the workers.
-func (s *Service) Drain() { s.pool.Drain() }
+// waits for every admitted job to finish, then stops the workers and
+// closes the WAL.
+func (s *Service) Drain() {
+	s.pool.Drain()
+	if s.wal != nil {
+		s.wal.Close()
+	}
+}
+
+// Kill is the hard stop (the in-process analogue of SIGKILL for chaos
+// testing): admission halts, queued jobs are discarded — their response
+// lines report a canceled status so in-progress batch streams still
+// complete — only already-executing jobs finish, and the WAL is closed.
+// Results that reached the WAL before Kill returned are durable; a
+// NewService over the same WALPath recovers them.
+func (s *Service) Kill() {
+	s.pool.Kill()
+	if s.wal != nil {
+		s.wal.Close()
+	}
+}
 
 // Handler returns the HTTP serving surface:
 //
@@ -111,7 +167,11 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, s.cache, s.exec.Executions())
+	var ws WALStats
+	if s.wal != nil {
+		ws = s.wal.Stats()
+	}
+	s.metrics.WritePrometheus(w, s.cache, s.exec.Stats(), ws)
 }
 
 // batchLine is one parsed input line: a spec or its parse error.
@@ -144,14 +204,26 @@ func (s *Service) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 
 	results := make(chan JobResult, len(jobs))
-	submit := make([]func(), 0, len(jobs))
+	submit := make([]Job, 0, len(jobs))
 	for _, idx := range jobs {
 		idx := idx
 		spec := lines[idx].spec
-		submit = append(submit, func() {
-			res := s.runJob(spec)
-			res.Index = idx
-			results <- res
+		submit = append(submit, Job{
+			Run: func() {
+				res := s.runJob(spec)
+				res.Index = idx
+				results <- res
+			},
+			// Kill discards queued jobs; the drop hook completes the
+			// response stream with a typed canceled line instead of
+			// leaving the client hanging.
+			Drop: func() {
+				results <- JobResult{
+					ID: spec.ID, Index: idx, Status: StatusCanceled,
+					App: spec.App, Mode: spec.Mode,
+					Error: "dropped: server killed before execution",
+				}
+			},
 		})
 	}
 	if err := s.pool.SubmitBatch(submit); err != nil {
@@ -305,6 +377,13 @@ func (s *Service) runJob(spec JobSpec) JobResult {
 	}
 	if res.Status == StatusOK {
 		s.cache.Put(fp, canon, res)
+		if s.wal != nil {
+			// Durability before visibility is not required here — the
+			// cache is authoritative for this process — but the append is
+			// fsynced before the result line reaches the client, so any
+			// result a client observed survives a crash.
+			s.wal.Append(fp, canon, res)
+		}
 	}
 	call.res = res
 	close(call.done)

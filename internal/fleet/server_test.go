@@ -40,6 +40,16 @@ func postBatch(t *testing.T, ts *httptest.Server, body string) (int, http.Header
 	return resp.StatusCode, resp.Header, results
 }
 
+// mustService builds a running test service or fails the test.
+func mustService(t *testing.T, opt ServerOptions) *Service {
+	t.Helper()
+	svc, err := NewService(opt)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	return svc
+}
+
 func specLine(t *testing.T, spec JobSpec) string {
 	t.Helper()
 	b, err := json.Marshal(spec)
@@ -50,7 +60,7 @@ func specLine(t *testing.T, spec JobSpec) string {
 }
 
 func TestServiceDedupeSkipsExecution(t *testing.T) {
-	svc := NewService(ServerOptions{Workers: 2, Queue: 8})
+	svc := mustService(t, ServerOptions{Workers: 2, Queue: 8})
 	defer svc.Drain()
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
@@ -107,7 +117,7 @@ func TestServiceDedupeSkipsExecution(t *testing.T) {
 
 func TestServiceBackpressure429(t *testing.T) {
 	// Queue bound 1: a 2-job batch cannot be admitted atomically.
-	svc := NewService(ServerOptions{Workers: 1, Queue: 1})
+	svc := mustService(t, ServerOptions{Workers: 1, Queue: 1})
 	defer svc.Drain()
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
@@ -133,7 +143,7 @@ func TestServiceBackpressure429(t *testing.T) {
 }
 
 func TestServiceBatchTooLarge(t *testing.T) {
-	svc := NewService(ServerOptions{Workers: 1, Queue: 8, MaxBatch: 2})
+	svc := mustService(t, ServerOptions{Workers: 1, Queue: 8, MaxBatch: 2})
 	defer svc.Drain()
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
@@ -146,7 +156,7 @@ func TestServiceBatchTooLarge(t *testing.T) {
 }
 
 func TestServiceMalformedLines(t *testing.T) {
-	svc := NewService(ServerOptions{Workers: 1, Queue: 8})
+	svc := mustService(t, ServerOptions{Workers: 1, Queue: 8})
 	defer svc.Drain()
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
@@ -190,7 +200,7 @@ func TestServiceMalformedLines(t *testing.T) {
 }
 
 func TestServiceDrainSemantics(t *testing.T) {
-	svc := NewService(ServerOptions{Workers: 1, Queue: 4})
+	svc := mustService(t, ServerOptions{Workers: 1, Queue: 4})
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 
@@ -220,7 +230,7 @@ func TestServiceDrainSemantics(t *testing.T) {
 }
 
 func TestServiceMetricsEndpoint(t *testing.T) {
-	svc := NewService(ServerOptions{Workers: 1, Queue: 8})
+	svc := mustService(t, ServerOptions{Workers: 1, Queue: 8})
 	defer svc.Drain()
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
@@ -254,7 +264,7 @@ func TestReplayAgainstTestServer(t *testing.T) {
 	if testing.Short() {
 		t.Skip("replay matrix in -short mode")
 	}
-	svc := NewService(ServerOptions{Workers: 2, Queue: 64})
+	svc := mustService(t, ServerOptions{Workers: 2, Queue: 64})
 	defer svc.Drain()
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()

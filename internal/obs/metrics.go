@@ -23,6 +23,7 @@ const (
 	HistRecoveryLatency        // crash detected -> recovery complete, per execution
 	HistStealLatency           // steal request sent -> reply received (hit or miss)
 	HistReclassLatency         // interval between a page's successive class changes
+	HistWALReplay              // host ns to replay the fleet result WAL at startup
 	NumHists
 )
 
@@ -40,6 +41,7 @@ var histDefs = [NumHists]struct{ Name, Unit string }{
 	HistRecoveryLatency: {"recovery_latency", "ns"},
 	HistStealLatency:    {"steal_latency", "ns"},
 	HistReclassLatency:  {"reclass_latency", "ns"},
+	HistWALReplay:       {"wal_replay_latency", "ns"},
 }
 
 // HistName returns the stable name of histogram id (as used in the

@@ -146,12 +146,37 @@ type lane struct {
 
 	start chan struct{} // window go-signal to the pump
 
+	cancelTick int // lane-local event count toward the next cancel poll
+
 	// Host-time accounting (observability only; never simulation-visible).
 	winStart time.Time
 	lastDone time.Time
 	ran      bool
 	stat     LaneStat
 	sync     SyncHist
+}
+
+// cancelCheck polls the cancellation hook every cancelEvery lane events
+// (lane-local tick, so concurrent lanes never share the counter). It
+// reports true once the run is canceled — by this lane's poll or any
+// other's — at which point the lane abandons the rest of its window and
+// reaches the window barrier so the coordinator can tear the run down.
+func (ln *lane) cancelCheck() bool {
+	s := ln.sim
+	if s.canceled.Load() {
+		return true
+	}
+	ln.cancelTick++
+	if ln.cancelTick < s.cancelEvery {
+		return false
+	}
+	ln.cancelTick = 0
+	if err := s.cancelFn(); err != nil {
+		s.cancelOnce.Do(func() { s.cancelErr = err })
+		s.canceled.Store(true)
+		return true
+	}
+	return false
 }
 
 // push enqueues e into this lane at absolute time t (clamped to the
@@ -397,6 +422,12 @@ const (
 func (ln *lane) schedLoop(self *Proc) laneOutcome {
 	s := ln.sim
 	for ln.queue.len() > 0 && ln.queue.ev[0].t < s.horizon {
+		if s.cancelFn != nil && ln.cancelCheck() {
+			// Canceled: abandon the rest of the window and fall through to
+			// the barrier below; the coordinator tears the run down once
+			// every active lane has reached it.
+			break
+		}
 		ev := ln.queue.pop()
 		ln.now = ev.t
 		ln.stat.Events++
@@ -414,6 +445,10 @@ func (ln *lane) schedLoop(self *Proc) laneOutcome {
 			return laneHandedOff
 		}
 		<-self.resume
+		if s.aborting {
+			// The wake came from teardown, not a window: unwind.
+			panic(abortUnwind{})
+		}
 		return laneResumed
 	}
 	if self == nil {
@@ -421,6 +456,9 @@ func (ln *lane) schedLoop(self *Proc) laneOutcome {
 	}
 	s.laneDone(ln)
 	<-self.resume
+	if s.aborting {
+		panic(abortUnwind{})
+	}
 	return laneResumed
 }
 
@@ -542,8 +580,15 @@ func (s *Simulator) runLanes() error {
 		}
 		s.windows++
 		s.mergeOutboxes()
+		if s.canceled.Load() {
+			// A lane's poll canceled the run. All lanes are quiesced at the
+			// barrier; capture the cancel instant before teardown.
+			err := &CanceledError{Cause: s.cancelErr, At: s.maxLaneNow()}
+			s.teardownLanes()
+			return err
+		}
 	}
-	s.finished = true
+	var err error
 	if s.live > 0 {
 		var parked []string
 		for _, ln := range s.lanes {
@@ -555,9 +600,38 @@ func (s *Simulator) runLanes() error {
 			}
 		}
 		sort.Strings(parked)
-		return &DeadlockError{Parked: parked}
+		err = &DeadlockError{Parked: parked}
 	}
-	return nil
+	s.teardownLanes()
+	return err
+}
+
+// maxLaneNow is the maximum clock across lanes and the serial queue — the
+// natural "current time" of a quiesced lane-mode simulation.
+func (s *Simulator) maxLaneNow() Time {
+	t := s.serialNow
+	for _, ln := range s.lanes {
+		if ln.now > t {
+			t = ln.now
+		}
+	}
+	return t
+}
+
+// teardownLanes ends a lane-mode run: it marks the run finished, stops
+// the per-lane pump goroutines, and sequentially unwinds every process
+// goroutine still blocked on its resume channel (parked processes and
+// daemons alike), so a completed lane run leaks nothing. All lanes are
+// quiesced at the window barrier when it is called, so the plain-field
+// writes are ordered by the barrier receives and the per-proc resume
+// sends that follow.
+func (s *Simulator) teardownLanes() {
+	s.finished = true
+	s.aborting = true
+	for _, ln := range s.lanes {
+		close(ln.start)
+	}
+	s.unwindAll()
 }
 
 // mergeOutboxes applies every cross-lane event staged during the window

@@ -25,11 +25,13 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Time is an absolute instant in virtual nanoseconds since simulation start.
@@ -154,6 +156,40 @@ func (e *DeadlockError) Error() string {
 		len(e.Parked), strings.Join(e.Parked, "; "))
 }
 
+// ErrCanceled matches (via errors.Is) every *CanceledError a canceled
+// run returns.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// CanceledError is returned by Run when the cancellation hook installed
+// with SetCancel fired: the event loop stopped at a poll point, every
+// process goroutine was unwound, and the hook's cause is carried here.
+type CanceledError struct {
+	// Cause is the non-nil error the cancel hook returned.
+	Cause error
+	// At is the virtual time the cancellation was detected (the maximum
+	// lane clock in lane mode).
+	At Time
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: run canceled at %v: %v", e.At, e.Cause)
+}
+
+// Unwrap exposes the hook's cause to errors.Is/As chains.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrCanceled sentinel.
+func (e *CanceledError) Is(target error) bool { return target == ErrCanceled }
+
+// abortUnwind is the internal panic sentinel teardown uses to unwind a
+// process goroutine's stack. spawn's wrapper recovers it; it never
+// escapes the package.
+type abortUnwind struct{}
+
+// DefaultCancelEvery is the event-count granularity of cancellation
+// polls when SetCancel is given a non-positive interval.
+const DefaultCancelEvery = 2048
+
 // Simulator owns the virtual clock and the event queue.
 type Simulator struct {
 	now    Time
@@ -165,6 +201,21 @@ type Simulator struct {
 	parked map[*Proc]string
 	rng    *rand.Rand
 	ran    bool
+
+	// Cooperative cancellation (SetCancel) and end-of-run teardown.
+	// procs registers every spawned process so teardown can unwind the
+	// goroutines still blocked on their resume channels; aborting flips
+	// once no simulation goroutine runs anymore and is read only after a
+	// happens-before edge (a resume send), so a plain bool suffices.
+	cancelFn    func() error
+	cancelEvery int
+	cancelTick  int
+	cancelErr   error
+	cancelOnce  sync.Once
+	canceled    atomic.Bool
+	aborting    bool
+	procs       []*Proc
+	unwound     chan struct{}
 
 	// Lane mode (see lane.go). lanes == nil selects the legacy
 	// single-queue kernel above; every field below is inert then.
@@ -195,10 +246,30 @@ type Simulator struct {
 // New creates a simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
 	return &Simulator{
-		done:   make(chan struct{}),
-		parked: make(map[*Proc]string),
-		rng:    rand.New(rand.NewSource(seed)),
+		done:    make(chan struct{}),
+		parked:  make(map[*Proc]string),
+		rng:     rand.New(rand.NewSource(seed)),
+		unwound: make(chan struct{}),
 	}
+}
+
+// SetCancel installs a cooperative cancellation hook, polled from the
+// event loop every `every` processed events (DefaultCancelEvery when
+// every <= 0). A non-nil return cancels the run: the kernel stops at the
+// poll point, unwinds every process goroutine, and Run returns a
+// *CanceledError (errors.Is-matchable against ErrCanceled) wrapping the
+// hook's cause. Must be called before Run. In lane mode the hook is
+// polled concurrently from every lane, so check must be safe for
+// concurrent use (a deadline comparison or an atomic flag read).
+func (s *Simulator) SetCancel(check func() error, every int) {
+	if s.ran || s.running {
+		panic("sim: SetCancel after Run")
+	}
+	if every <= 0 {
+		every = DefaultCancelEvery
+	}
+	s.cancelFn = check
+	s.cancelEvery = every
 }
 
 // Now returns the current virtual time. In lane mode the global clock
@@ -336,8 +407,8 @@ func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
 
 // SpawnDaemon creates a process that does not keep the simulation alive:
 // a daemon parked forever (e.g. a communication thread blocked on an
-// empty mailbox) is not a deadlock. Its goroutine is abandoned when the
-// simulation ends.
+// empty mailbox) is not a deadlock. Its goroutine is unwound when the
+// simulation ends, so completed runs leak nothing.
 func (s *Simulator) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 	return s.spawn(name, fn, true)
 }
@@ -352,8 +423,13 @@ func (s *Simulator) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	if !daemon {
 		s.live++
 	}
+	s.procs = append(s.procs, p)
 	go func() {
+		defer s.procExit(p)
 		<-p.resume
+		if s.aborting {
+			panic(abortUnwind{})
+		}
 		fn(p)
 		p.exited = true
 		if !p.daemon {
@@ -361,12 +437,74 @@ func (s *Simulator) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		}
 		// The exiting process holds the baton; keep draining events on
 		// this goroutine until the baton moves on or the queue empties.
-		if s.schedLoop(nil) == loopDrained {
+		switch s.schedLoop(nil) {
+		case loopDrained:
 			s.done <- struct{}{}
+		case loopCanceled:
+			// This goroutine detected the cancellation while draining
+			// after its own exit: hand control to Run, then confirm the
+			// goroutine is finished (no unwinding left to do).
+			s.done <- struct{}{}
+			s.unwound <- struct{}{}
 		}
 	}()
 	s.push(s.now, event{p: p})
 	return p
+}
+
+// procExit is the deferred tail of every process goroutine: it recovers
+// the teardown sentinel, marks the goroutine gone, and reports to the
+// sequential unwinder. Real panics from process bodies pass through.
+func (s *Simulator) procExit(p *Proc) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if _, ok := r.(abortUnwind); !ok {
+		panic(r)
+	}
+	p.exited = true
+	s.unwound <- struct{}{}
+}
+
+// checkCancel polls the cancellation hook on the legacy kernel's event
+// loop (single-threaded, so the plain tick counter is safe). It reports
+// true once the run is canceled.
+func (s *Simulator) checkCancel() bool {
+	if s.cancelFn == nil {
+		return false
+	}
+	if s.canceled.Load() {
+		return true
+	}
+	s.cancelTick++
+	if s.cancelTick < s.cancelEvery {
+		return false
+	}
+	s.cancelTick = 0
+	if err := s.cancelFn(); err != nil {
+		s.cancelOnce.Do(func() { s.cancelErr = err })
+		s.canceled.Store(true)
+		return true
+	}
+	return false
+}
+
+// unwindAll wakes every process goroutine still blocked on its resume
+// channel — parked processes, parked daemons, processes whose start
+// event never fired — one at a time, waiting for each to finish
+// unwinding before waking the next, so the kernel's one-runner invariant
+// holds through teardown. Callers set s.aborting first; the woken
+// goroutine sees it and panics with the abortUnwind sentinel, which
+// procExit recovers.
+func (s *Simulator) unwindAll() {
+	for _, p := range s.procs {
+		if p.exited {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-s.unwound
+	}
 }
 
 // spawnOn is spawn's lane-mode body: the process is bound to lane ln and
@@ -383,10 +521,15 @@ func (s *Simulator) spawnOn(ln int, name string, fn func(p *Proc), daemon bool) 
 	if !daemon {
 		s.live++
 	}
-	s.liveMu.Unlock()
 	p := &Proc{sim: s, name: name, id: id, resume: make(chan struct{}), daemon: daemon, lane: lane}
+	s.procs = append(s.procs, p)
+	s.liveMu.Unlock()
 	go func() {
+		defer s.procExit(p)
 		<-p.resume
+		if s.aborting {
+			panic(abortUnwind{})
+		}
 		fn(p)
 		p.exited = true
 		if !p.daemon {
@@ -415,6 +558,8 @@ const (
 	loopHandedOff
 	// loopDrained: the queue is empty; the simulation is over.
 	loopDrained
+	// loopCanceled: the cancellation hook fired; stop executing events.
+	loopCanceled
 )
 
 // schedLoop drains the event queue on the calling goroutine. Callback
@@ -424,7 +569,15 @@ const (
 // self returns immediately — the allocation- and channel-free resume
 // path.
 func (s *Simulator) schedLoop(self *Proc) loopOutcome {
+	// cancelFn is immutable once Run starts; hoisting the nil test out
+	// of the loop keeps the disabled path at one register-resident
+	// branch per event instead of a field load or a function call.
+	cancelable := s.cancelFn != nil
 	for s.queue.len() > 0 {
+		if cancelable && s.checkCancel() {
+			s.aborting = true
+			return loopCanceled
+		}
 		ev := s.queue.pop()
 		s.now = ev.t
 		if ev.p == nil {
@@ -441,6 +594,10 @@ func (s *Simulator) schedLoop(self *Proc) loopOutcome {
 			return loopHandedOff
 		}
 		<-self.resume
+		if s.aborting {
+			// The wake came from teardown, not the scheduler: unwind.
+			panic(abortUnwind{})
+		}
 		return loopResumed
 	}
 	return loopDrained
@@ -449,18 +606,30 @@ func (s *Simulator) schedLoop(self *Proc) loopOutcome {
 // park blocks p until some event wakes it. reason is reported on deadlock.
 func (p *Proc) park(reason string) {
 	s := p.sim
+	if s.aborting {
+		// Teardown is unwinding this goroutine and a defer (or the
+		// unwind path itself) re-entered the kernel: keep unwinding.
+		panic(abortUnwind{})
+	}
 	if p.lane != nil {
 		p.lane.parked[p] = reason
 		p.lane.schedLoop(p) // blocks until a later event resumes p
 		return
 	}
 	s.parked[p] = reason
-	if s.schedLoop(p) == loopDrained {
+	switch s.schedLoop(p) {
+	case loopDrained:
 		// The queue drained while p was parked: nothing can ever wake p
 		// again. Hand control back to Run (which reports the deadlock or
-		// ignores a parked daemon) and abandon this goroutine.
+		// ignores a parked daemon); teardown unwinds this goroutine.
 		s.done <- struct{}{}
-		<-p.resume // never arrives
+		<-p.resume // teardown's unwind wake
+		panic(abortUnwind{})
+	case loopCanceled:
+		// p detected the cancellation while holding the baton: hand
+		// control to Run, then unwind (procExit reports completion).
+		s.done <- struct{}{}
+		panic(abortUnwind{})
 	}
 }
 
@@ -503,8 +672,11 @@ func (p *Proc) Yield() {
 }
 
 // Run executes events until the queue drains. It returns nil when every
-// spawned process has exited, and a *DeadlockError when processes remain
-// parked with no event left to wake them.
+// spawned process has exited, a *DeadlockError when processes remain
+// parked with no event left to wake them, and a *CanceledError when the
+// SetCancel hook fired. In every case the kernel tears its goroutines
+// down before returning: parked daemons, deadlocked processes, and
+// canceled runs all unwind, so a completed Run leaks nothing.
 func (s *Simulator) Run() error {
 	if s.ran {
 		return fmt.Errorf("sim: Run called twice")
@@ -516,9 +688,21 @@ func (s *Simulator) Run() error {
 	}
 	if s.schedLoop(nil) == loopHandedOff {
 		// The baton is circulating among process goroutines; whichever
-		// one drains the queue signals completion.
+		// one drains the queue (or detects cancellation) signals
+		// completion.
 		<-s.done
+		if s.aborting {
+			// A process goroutine detected the cancellation; wait for it
+			// to finish unwinding before tearing down the rest.
+			<-s.unwound
+		}
 	}
+	if s.aborting {
+		err := &CanceledError{Cause: s.cancelErr, At: s.now}
+		s.unwindAll()
+		return err
+	}
+	var err error
 	if s.live > 0 {
 		var parked []string
 		for p, reason := range s.parked {
@@ -528,7 +712,11 @@ func (s *Simulator) Run() error {
 			parked = append(parked, p.name+": "+reason)
 		}
 		sort.Strings(parked)
-		return &DeadlockError{Parked: parked}
+		err = &DeadlockError{Parked: parked}
 	}
-	return nil
+	// Tear down the goroutines the run leaves blocked (parked daemons
+	// always; parked processes too on deadlock).
+	s.aborting = true
+	s.unwindAll()
+	return err
 }
