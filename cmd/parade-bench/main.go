@@ -89,18 +89,18 @@ func main() {
 	chaosNodes := flag.Int("chaos-nodes", 4, "chaos: cluster size")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault-plane seed")
 	chaosLanes := flag.Int("chaos-lanes", 0, "chaos: event-lane workers (0 = legacy kernel)")
-	chaosApps := flag.String("chaos-apps", "", "chaos: comma-separated subset of helmholtz,ep,cg,md,quad,lockmix (empty = all)")
+	chaosApps := flag.String("chaos-apps", "", "chaos: comma-separated subset of helmholtz,ep,cg,md,quad,taskdep,lockmix (empty = all)")
 	chaosProfiles := flag.String("chaos-profiles", "", "chaos: comma-separated subset of drop,dup,reorder,straggler,chaos (empty = all)")
 	crash := flag.Bool("crash", false, "run the crash-stop acceptance matrix (checkpoint/restart recovery) instead of figures")
 	crashNodes := flag.Int("crash-nodes", 4, "crash: cluster size")
 	crashLanes := flag.Int("crash-lanes", 0, "crash: event-lane workers (0 = legacy kernel)")
-	crashApps := flag.String("crash-apps", "", "crash: comma-separated subset of helmholtz,ep,cg,md,quad,lockmix (empty = all)")
+	crashApps := flag.String("crash-apps", "", "crash: comma-separated subset of helmholtz,ep,cg,md,quad,taskdep,lockmix (empty = all)")
 	chaosPolicy := flag.String("chaos-policy", "", "chaos: hlrc protocol policy for every run (empty = legacy)")
 	crashPolicy := flag.String("crash-policy", "", "crash: hlrc protocol policy for every run (empty = legacy)")
 	policy := flag.Bool("policy", false, "run the fixed-vs-adaptive protocol policy sweep instead of figures")
 	policyNodes := flag.Int("policy-nodes", 4, "policy: cluster size")
 	policyLanes := flag.Int("policy-lanes", 0, "policy: event-lane workers for the comparison runs (0 = legacy kernel)")
-	policyApps := flag.String("policy-apps", "", "policy: comma-separated subset of helmholtz,ep,cg,md,quad,lockmix (empty = all)")
+	policyApps := flag.String("policy-apps", "", "policy: comma-separated subset of helmholtz,ep,cg,md,quad,taskdep,lockmix (empty = all)")
 	policyModes := flag.String("policy-modes", "", "policy: comma-separated subset of hybrid,sdsm (empty = both)")
 	policyFabrics := flag.String("policy-fabrics", "", "policy: comma-separated subset of via,tcp (empty = both)")
 	policyOut := flag.String("policy-out", "", "policy: write the sweep as JSONL to this file ('-' for stdout)")

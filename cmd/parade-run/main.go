@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -98,7 +99,7 @@ func newSink(format string, w io.Writer) (obs.Sink, error) {
 }
 
 func main() {
-	app := flag.String("app", "cg", "application: cg, ep, helmholtz, md, lockmix")
+	app := flag.String("app", "cg", "application: cg, ep, helmholtz, md, lockmix, quad, taskdep")
 	nodes := flag.Int("nodes", 4, "cluster nodes")
 	tpn := flag.Int("tpn", 1, "computational threads per node")
 	cpus := flag.Int("cpus", 2, "CPUs per node")
@@ -115,6 +116,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault-plane seed (with -faults)")
 	crash := flag.String("crash", "", "crash-and-restart events: node@barrier[,node@barrier...], e.g. 1@2")
 	policy := flag.String("policy", "", "hlrc protocol policy: invalidate, update, or adaptive (empty = legacy)")
+	hetero := flag.String("hetero", "", "heterogeneous machine profile: uniform, fasthalf, or slow1 (empty = uniform)")
 	timeout := flag.Duration("timeout", 0, "wall-clock guard: cancel the run after this host time and dump partial stats (0 disables)")
 	flag.Parse()
 
@@ -154,6 +156,14 @@ func main() {
 			fail(err)
 		}
 		cfg.Faults = &prof
+	}
+
+	if *hetero != "" {
+		h, err := netsim.HeteroByName(*hetero, cfg.Nodes)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Hetero = h
 	}
 
 	if *crash != "" {
@@ -262,6 +272,31 @@ func main() {
 		}
 		fmt.Printf("Lockmix: sum=%.0f expected=%.0f time=%v util=%.2f\n",
 			r.Sum, r.Expected, r.Report.Time, r.Report.Utilization())
+		fmt.Println(r.Report.Counters.String())
+		printPages(r.Report, *pages)
+	case "quad":
+		r, err := apps.RunQuad(cfg, apps.QuadDefault())
+		if err != nil {
+			failRun(err, r.Report)
+		}
+		fmt.Printf("Quad: integral=%x tablesum=%x kernel=%v util=%.2f\n",
+			math.Float64bits(r.Integral), math.Float64bits(r.TableSum),
+			r.KernelTime, r.Report.Utilization())
+		fmt.Println(r.Report.Counters.String())
+		printPages(r.Report, *pages)
+	case "taskdep":
+		// Result bits and the DSM fingerprint print as raw hex so a lane
+		// or steal-schedule divergence is a one-line diff, not a rounding
+		// question — the CI deps smoke compares -lanes 1 against -lanes 4
+		// on exactly this output.
+		r, err := apps.RunTaskdep(cfg, apps.TaskdepDefault())
+		if err != nil {
+			failRun(err, r.Report)
+		}
+		fmt.Printf("Taskdep: pipe=%x offload=%x check=%x memhash=%016x kernel=%v util=%.2f\n",
+			math.Float64bits(r.PipeSum), math.Float64bits(r.OffloadSum),
+			math.Float64bits(r.CheckSum), r.Report.MemHash,
+			r.KernelTime, r.Report.Utilization())
 		fmt.Println(r.Report.Counters.String())
 		printPages(r.Report, *pages)
 	default:

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"parade/internal/dsm"
 	"parade/internal/hlrc"
@@ -33,6 +34,7 @@ type Cluster struct {
 	counters *stats.Counters
 	stats    *stats.Sharded // counter router: base set, or per-node shards under strict lanes
 	lanes    bool           // cfg.Lanes > 0: per-node event-lane kernel (lanes.go)
+	hetero   *netsim.Hetero // nil: uniform cluster (Config.Hetero)
 	rec      *obs.Recorder  // nil when observability is disabled
 
 	nodes   []*node
@@ -49,12 +51,20 @@ type Cluster struct {
 	dynLoops   map[string]*dynLoop // chunk-server state (master node)
 
 	// Tasking runtime (task.go): cluster-wide live-task count, the
-	// condition idle drainers park on, and the seeded victim-selection
-	// rotation.
-	taskMu    *sim.Mutex
-	taskCond  *sim.Cond
-	tasksLive int
-	stealRot  uint64
+	// condition idle drainers park on, the seeded victim-selection
+	// rotation, and the cumulative count of Taskwait join arrivals
+	// (monotonic — thread joinEpoch × team size gives each join's
+	// arrival target, so no reset is ever needed).
+	taskMu      *sim.Mutex
+	taskCond    *sim.Cond
+	tasksLive   int
+	stealRot    uint64
+	taskArrived uint64
+
+	// abortErr is the first runtime error a thread aborted the run with
+	// (depend.go); the always-installed cancellation hook polls it.
+	// Atomic because lane mode polls from every lane concurrently.
+	abortErr atomic.Pointer[runAbort]
 
 	programEnd sim.Time
 }
@@ -94,6 +104,12 @@ type node struct {
 	taskResults []taskResult
 	stealSeq    int
 	stealWaits  map[int]*stealWait
+
+	// Dependence-resolver graph (depend.go): tracked tasks spawned from
+	// contexts living on this node, keyed by canonical task id. Entries
+	// are deleted at completion; held tasks sit in their entry until
+	// their predecessor count drains.
+	depGraph map[uint64]*depNode
 
 	// Event-lane mode (lanes.go): per-node replicas of the directive-site
 	// registries and the shared-memory allocator (kept in lockstep by SPMD
@@ -214,7 +230,9 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 	c.taskMu = sim.NewMutex(c.s)
 	c.taskCond = sim.NewCond(c.taskMu)
 	c.stealRot = splitmix64(uint64(cfg.Seed))
+	c.hetero = cfg.Hetero
 	c.net = netsim.New(c.s, cfg.Nodes, cfg.Fabric, cpus, c.counters)
+	c.net.EnableHetero(cfg.Hetero)
 	if cfg.Crash.Active() && cfg.Faults == nil {
 		// Crash detection rides the reliability sublayer's retransmit
 		// timers, so a fault plane is mandatory; the crash-only plane
@@ -294,9 +312,21 @@ func Run(cfg Config, program func(master *Thread)) (Report, error) {
 		})
 	}
 
-	if hook := cancelHook(cfg); hook != nil {
-		c.s.SetCancel(hook, 0)
-	}
+	// The cancellation hook is always installed: runtime errors the
+	// threads cannot panic with (a task dependence cycle — a sim-goroutine
+	// panic would kill the process, see internal/sim) surface by storing
+	// abortErr and letting the kernel's poll unwind the run; the user's
+	// own cancel/deadline hook, when configured, is checked second.
+	userHook := cancelHook(cfg)
+	c.s.SetCancel(func() error {
+		if a := c.abortErr.Load(); a != nil {
+			return a.err
+		}
+		if userHook != nil {
+			return userHook()
+		}
+		return nil
+	}, 0)
 	if err := c.s.Run(); err != nil {
 		if errors.Is(err, sim.ErrCanceled) {
 			// Canceled (hook or deadline): the kernel has unwound every
@@ -399,6 +429,10 @@ func (c *Cluster) commLoop(p *sim.Proc, nodeID int) {
 				c.handleStealReq(p, nodeID, m)
 			case ctlStealReply:
 				c.handleStealReply(nodeID, m)
+			case ctlTaskDone:
+				c.handleTaskDone(p, nodeID, m)
+			case ctlTaskPush:
+				c.handleTaskPush(p, nodeID, m)
 			case ctlStop:
 				c.stopLocal(p, nodeID)
 				return

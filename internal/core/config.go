@@ -88,6 +88,15 @@ type Config struct {
 	// underneath the protocol layers. Nil — the default — keeps the ideal
 	// fabric with its original byte-identical timing.
 	Faults *netsim.Profile
+	// Hetero, when non-nil, makes the cluster heterogeneous: durations
+	// charged to a node's processors (thread compute, message receive
+	// processing) are multiplied by its speed factor, so node choice —
+	// and Target offload placement in particular — becomes observable in
+	// run times. Nil — the default — is the uniform cluster with its
+	// original byte-identical timing. The profile is part of the machine
+	// description: results stay bit-identical across fault and crash
+	// schedules for a fixed profile.
+	Hetero *netsim.Hetero
 	// Crash, when active, schedules deterministic crash-stop node
 	// failures at barrier points and arms the engine's
 	// checkpoint/recovery protocol (see internal/hlrc). Requires a fault
@@ -190,6 +199,12 @@ func (c Config) Validate() error {
 	}
 	if c.Deadline < 0 {
 		return fmt.Errorf("core: Deadline = %v (must be >= 0; 0 disables the wall-clock guard)", c.Deadline)
+	}
+	if err := c.Hetero.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Hetero != nil && len(c.Hetero.Factors) > c.Nodes {
+		return fmt.Errorf("core: Hetero has %d factors for %d nodes", len(c.Hetero.Factors), c.Nodes)
 	}
 	if c.Crash.Active() {
 		if err := c.Crash.Validate(c.Nodes); err != nil {

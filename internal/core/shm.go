@@ -28,6 +28,10 @@ func (a F64Array) Len() int { return a.n }
 // Addr returns the shared address of element i.
 func (a F64Array) Addr(i int) int { return a.base + 8*i }
 
+// Pages returns the array's page span, making it Mappable in a Target
+// map clause. Arrays are page-aligned, so the span is exactly theirs.
+func (a F64Array) Pages() []int { return pageSpan(a.base, 8*a.n) }
+
 // Get loads element i from t's node, faulting the page in if needed.
 func (a F64Array) Get(t *Thread, i int) float64 {
 	addr := a.Addr(i)
@@ -60,6 +64,23 @@ func (a I64Array) Len() int { return a.n }
 
 // Addr returns the shared address of element i.
 func (a I64Array) Addr(i int) int { return a.base + 8*i }
+
+// Pages returns the array's page span, making it Mappable in a Target
+// map clause.
+func (a I64Array) Pages() []int { return pageSpan(a.base, 8*a.n) }
+
+// pageSpan lists the pages covering [base, base+bytes).
+func pageSpan(base, bytes int) []int {
+	if bytes <= 0 {
+		return nil
+	}
+	first, last := dsm.PageOf(base), dsm.PageOf(base+bytes-1)
+	pages := make([]int, 0, last-first+1)
+	for pg := first; pg <= last; pg++ {
+		pages = append(pages, pg)
+	}
+	return pages
+}
 
 // Get loads element i from t's node.
 func (a I64Array) Get(t *Thread, i int) int64 {

@@ -1,0 +1,57 @@
+package core
+
+import "fmt"
+
+// Target: the cluster-as-device offload primitive. A Target task is an
+// ordinary graph task pinned to one node — the "device" — with explicit
+// data movement declared by map clauses instead of demand faults:
+// map(to) pages are pushed to the device in one batched prefetch before
+// the body runs, and map(from) pages are queued (at spawn, in program
+// order) for the spawning node's next barrier-time refresh, so the
+// results return eagerly without the spawner re-faulting page by page.
+// This is the model of the cluster-device OpenMP papers: the DSM stays
+// the correctness backstop — anything not mapped still faults — while
+// maps turn the hot transfers into bulk, predictable traffic.
+
+// Target spawns fn as a task pinned to the device node: it is delivered
+// to that node's deque (over the fabric when remote), executes only
+// there — thieves skip pinned tasks — and joins like any other task at
+// Taskwait. All TaskOptions apply; dependence bookkeeping stays on the
+// spawning node, which releases the task to the device once its
+// predecessors complete. WithMap clauses take effect only here: MapTo
+// pages are batch-prefetched on the device before fn runs, MapFrom
+// pages are queued for the spawning node's next barrier refresh.
+//
+// device must be a valid node id; a program offloading to a nonexistent
+// device panics, like any other out-of-range shared-memory access.
+func (t *Thread) Target(device int, fn func(tc *Thread) float64, opts ...TaskOption) {
+	if device < 0 || device >= t.c.cfg.Nodes {
+		panic(fmt.Sprintf("core: Target device %d out of range [0,%d)", device, t.c.cfg.Nodes))
+	}
+	cfg := taskConfig{}
+	for _, o := range opts {
+		o.applyTask(&cfg)
+	}
+	tk := t.newTask(fn, &cfg)
+	tk.pinned = true
+	tk.device = device
+	tk.maps = cfg.maps
+	t.spawnTask(tk, &cfg)
+}
+
+// prefetchMaps runs in the task prologue on the executing (device)
+// node: one batched pull of every MapTo/MapToFrom page that is not
+// already valid locally, replacing the demand faults the body would
+// otherwise take one page at a time.
+func (t *Thread) prefetchMaps(tk *task) {
+	var pages []int
+	for _, ms := range tk.maps {
+		if ms.Dir != MapFrom {
+			pages = append(pages, ms.Pages...)
+		}
+	}
+	if len(pages) == 0 {
+		return
+	}
+	t.c.engine.PrefetchPages(t.p, t.node.id, pages)
+}

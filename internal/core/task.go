@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"parade/internal/dsm"
 	"parade/internal/netsim"
 	"parade/internal/sim"
 )
@@ -41,10 +42,12 @@ import (
 // threads park on a cluster-wide condition instead of polling. The
 // task transfer itself always pays the full request/reply fabric cost.
 
-// Control message subtypes for the steal protocol.
+// Control message subtypes for the steal and task-graph protocols.
 const (
 	ctlStealReq = iota + 20
 	ctlStealReply
+	ctlTaskDone // remote completion notification to a tracked task's origin
+	ctlTaskPush // task delivery to the device node it is pinned to
 )
 
 // taskDescBytes models the wire size of a stolen task descriptor
@@ -58,6 +61,22 @@ type task struct {
 	id       uint64 // canonical spawn-path id (see taskID)
 	fn       func(tc *Thread) float64
 	children int // child-spawn counter, drives child id derivation
+
+	// Task-graph state (zero for plain tasks).
+	prio     int       // WithPriority rank, deque insertion key
+	name     string    // WithTaskName registration
+	origin   int       // spawning context's node, owner of the graph entry
+	tracked  bool      // completion must be reported to origin
+	pinned   bool      // Target task: must execute on device
+	device   int       // pinned execution node
+	maps     []MapSpec // Target data-mapping clauses
+	depState *depState // this task's own children's dependence context
+
+	// notices is the write-notice set inherited over incoming dependence
+	// edges: applied (invalidating stale local copies) before the body
+	// runs, and folded into the outgoing set at completion so release
+	// consistency is transitive along graph paths.
+	notices []dsm.WriteNotice
 }
 
 // taskResult is one executed task's contribution, merged at Taskwait.
@@ -125,8 +144,22 @@ func splitmix64(x uint64) uint64 {
 // float64 is the task's result record; the sum of all records since the
 // last join is what Taskwait returns (return 0 for pure side-effect
 // tasks).
-func (t *Thread) Task(fn func(tc *Thread) float64) {
-	c, n := t.c, t.node
+// Task-graph clauses attach as TaskOptions: WithDepend orders the task
+// after its predecessors (the task is held off the deques until they
+// complete), WithTaskName registers it for DepTask references,
+// WithPriority ranks it in the deques, and the loop-shaped ForTaskOption
+// clauses are accepted for Taskloop symmetry.
+func (t *Thread) Task(fn func(tc *Thread) float64, opts ...TaskOption) {
+	cfg := taskConfig{}
+	for _, o := range opts {
+		o.applyTask(&cfg)
+	}
+	t.spawnTask(t.newTask(fn, &cfg), &cfg)
+}
+
+// newTask builds the task object for fn under cfg, deriving its
+// canonical spawn-path id from the current context.
+func (t *Thread) newTask(fn func(tc *Thread) float64, cfg *taskConfig) *task {
 	var id uint64
 	if t.curTask != nil {
 		t.curTask.children++
@@ -135,20 +168,59 @@ func (t *Thread) Task(fn func(tc *Thread) float64) {
 		t.rootSeq++
 		id = taskID(uint64(t.gid)+0x517cc1b727220a95, t.rootSeq)
 	}
+	return &task{
+		id:     id,
+		fn:     fn,
+		prio:   cfg.priority,
+		name:   cfg.taskName,
+		origin: t.node.id,
+	}
+}
+
+// spawnTask is the single spawn path behind Task, Taskloop and Target.
+// After the deque-push cost (the one yield), dependence resolution,
+// enqueue and the liveness tallies run without yielding, so the whole
+// spawn is atomic under the kernel; a push to a remote device node goes
+// out last, after the task is already counted live.
+func (t *Thread) spawnTask(tk *task, cfg *taskConfig) {
+	c, n := t.c, t.node
 	t.Compute(localPthreadOp) // deque push under the node's pthread lock
-	n.taskq = append(n.taskq, &task{id: id, fn: fn})
+	held := false
+	if len(cfg.deps) > 0 || tk.name != "" {
+		tk.tracked = true
+		held = t.resolveDeps(tk, cfg)
+	}
+	if !held && (!tk.pinned || tk.device == n.id) {
+		n.enqueueTask(tk)
+	}
 	if c.lanes {
 		// Lane mode (lanes.go): no cluster-wide live count or wake — the
-		// spawn tally feeds the quiescence vote instead.
+		// spawn tally feeds the quiescence vote instead. Held and pinned
+		// tasks tally on the spawner too: the vote sums over all nodes,
+		// so a task spawned here and executed elsewhere still balances.
 		n.taskSpawned++
 		c.cnt(n.id).TasksSpawned++
 		c.rec.TaskSpawned(n.id)
-		return
+	} else {
+		c.tasksLive++
+		c.counters.TasksSpawned++
+		c.rec.TaskSpawned(n.id)
+		c.taskWake()
 	}
-	c.tasksLive++
-	c.counters.TasksSpawned++
-	c.rec.TaskSpawned(n.id)
-	c.taskWake()
+	// MapFrom pages queue for this node's barrier-time refresh batch now,
+	// at spawn, in program order — not when the remote completion lands,
+	// whose timing depends on the fault schedule.
+	for _, ms := range tk.maps {
+		if ms.Dir != MapTo {
+			c.engine.QueueRefresh(n.id, ms.Pages)
+		}
+	}
+	if !held && tk.pinned && tk.device != n.id {
+		c.net.Send(t.p, &netsim.Message{
+			From: n.id, To: tk.device, Kind: KindCtl, Type: ctlTaskPush,
+			Bytes: taskDescBytes, Payload: tk,
+		})
+	}
 }
 
 // Taskwait is the team-collective join: every team thread must call it
@@ -162,13 +234,25 @@ func (t *Thread) Task(fn func(tc *Thread) float64) {
 // small results returned by collective, large data through HLRC.
 func (t *Thread) Taskwait() float64 {
 	rec, t0 := t.directiveStart()
+	// This thread's root context is closing: no sibling can register task
+	// names anymore, so dangling DepTask references resolve vacuously and
+	// the tasks they held become runnable.
+	t.c.resolvePending(t.p, t.node.id, t.depState)
 	if t.c.lanes {
 		t.drainTasksLane()
 	} else {
-		t.drainTasks()
+		// Register this thread's arrival before draining: the join may
+		// only terminate once every team thread has arrived (and thus
+		// finished spawning for this region). The lane path needs no
+		// equivalent — its quiescence vote is itself team-collective.
+		t.joinEpoch++
+		t.c.taskArrived++
+		t.c.taskWake()
+		t.drainTasks(t.joinEpoch * uint64(t.c.TotalThreads()))
 	}
 	out := t.mergeTaskResults()
 	t.Barrier()
+	t.depState = nil // next task region starts a fresh dependence context
 	rec.Directive(t0, t.p.Now(), t.node.id, "taskwait", "taskwait")
 	return out
 }
@@ -182,11 +266,18 @@ func (t *Thread) Taskwait() float64 {
 // virtual cost attaches with WithIterCost. The implicit Taskwait
 // returns the sum of the body's results; Nowait skips the join (and
 // returns 0), leaving the chunks for a later scheduling point.
-func (t *Thread) Taskloop(lo, hi int, body func(tc *Thread, i int) float64, opts ...ForOption) float64 {
-	cfg := forConfig{}
+//
+// Task-graph clauses apply to every chunk: WithDepend makes each chunk
+// declare the same dependences (an Out handle therefore serializes one
+// thread's chunks; In handles keep them parallel behind the writer),
+// and WithPriority ranks them all. WithTaskName is ignored — chunks are
+// anonymous, a shared name would just rebind to the newest chunk.
+func (t *Thread) Taskloop(lo, hi int, body func(tc *Thread, i int) float64, opts ...TaskOption) float64 {
+	cfg := taskConfig{}
 	for _, o := range opts {
-		o(&cfg)
+		o.applyTask(&cfg)
 	}
+	cfg.taskName = ""
 	myLo, myHi := t.StaticRange(lo, hi)
 	grain := cfg.chunk
 	if grain < 1 {
@@ -202,7 +293,7 @@ func (t *Thread) Taskloop(lo, hi int, body func(tc *Thread, i int) float64, opts
 			chi = myHi
 		}
 		clo, chi := clo, chi
-		t.Task(func(tc *Thread) float64 {
+		fn := func(tc *Thread) float64 {
 			var sum float64
 			for i := clo; i < chi; i++ {
 				sum += body(tc, i)
@@ -211,7 +302,8 @@ func (t *Thread) Taskloop(lo, hi int, body func(tc *Thread, i int) float64, opts
 				tc.Compute(perIter * sim.Duration(chi-clo))
 			}
 			return sum
-		})
+		}
+		t.spawnTask(t.newTask(fn, &cfg), &cfg)
 	}
 	if cfg.nowait {
 		return 0
@@ -224,13 +316,21 @@ func (t *Thread) Taskloop(lo, hi int, body func(tc *Thread, i int) float64, opts
 // that per-task overhead stays small.
 const taskGrainDiv = 4
 
-// drainTasks executes queued tasks until none is live cluster-wide:
-// local LIFO pops first, then cross-node steals, then parking on the
-// cluster task condition until a push or completion changes the
-// picture.
-func (t *Thread) drainTasks() {
+// drainTasks executes queued tasks until none is live cluster-wide and,
+// when arriveTarget is nonzero, every team thread has arrived at the
+// join (c.taskArrived has reached the target): local LIFO pops first,
+// then cross-node steals, then parking on the cluster task condition
+// until a push, completion, or arrival changes the picture.
+//
+// The arrival requirement is what makes the collective join sound: the
+// live count can be transiently zero while a sibling thread — still on
+// its way to Taskwait — has tasks left to spawn, possibly pinned to
+// THIS node, which no other node may execute. Barrier's scheduling-
+// point drain passes target 0 (plain live-count loop), preserving its
+// best-effort semantics and task-free timing.
+func (t *Thread) drainTasks(arriveTarget uint64) {
 	c := t.c
-	for c.tasksLive > 0 {
+	for c.tasksLive > 0 || c.taskArrived < arriveTarget {
 		if tk := t.popLocalTask(); tk != nil {
 			t.runTask(tk)
 			continue
@@ -240,7 +340,7 @@ func (t *Thread) drainTasks() {
 			continue
 		}
 		c.taskMu.Lock(t.p)
-		if c.tasksLive > 0 && !c.anyQueuedTask() {
+		if (c.tasksLive > 0 || c.taskArrived < arriveTarget) && !c.anyQueuedTaskFor(t.node.id) {
 			c.taskCond.Wait(t.p)
 		}
 		c.taskMu.Unlock(t.p)
@@ -298,10 +398,13 @@ func (t *Thread) stealTask() *task {
 	return w.task
 }
 
-// chooseVictim picks the remote node with the longest deque; ties break
-// by a rotation drawn from the Config.Seed-derived steal sequence, so
-// victim selection is deterministic for a given seed yet unbiased
-// across nodes. Returns -1 when no remote node has queued work.
+// chooseVictim picks the remote node with the most stealable (non-
+// pinned) queued tasks; ties break by a rotation drawn from the
+// Config.Seed-derived steal sequence, so victim selection is
+// deterministic for a given seed yet unbiased across nodes. Pinned
+// tasks never leave their device node, so counting them would send
+// thieves on guaranteed-miss round trips. Returns -1 when no remote
+// node has stealable work.
 func (c *Cluster) chooseVictim(thief int) int {
 	nodes := len(c.nodes)
 	if nodes < 2 {
@@ -315,19 +418,36 @@ func (c *Cluster) chooseVictim(thief int) int {
 		if id == thief {
 			continue
 		}
-		if l := len(c.nodes[id].taskq); l > bestLen {
+		l := 0
+		for _, tk := range c.nodes[id].taskq {
+			if !tk.pinned {
+				l++
+			}
+		}
+		if l > bestLen {
 			best, bestLen = id, l
 		}
 	}
 	return best
 }
 
-// anyQueuedTask reports whether any node has a queued (stealable or
-// poppable) task.
-func (c *Cluster) anyQueuedTask() bool {
-	for _, n := range c.nodes {
-		if len(n.taskq) > 0 {
-			return true
+// anyQueuedTaskFor reports whether node nodeID's threads have actionable
+// queued work: any task on their own deque (poppable, pinned or not),
+// or a stealable (non-pinned) task on any other node. A task pinned to
+// a different node is not actionable here — parking on it would just
+// spin the steal path on guaranteed misses.
+func (c *Cluster) anyQueuedTaskFor(nodeID int) bool {
+	for id, n := range c.nodes {
+		if id == nodeID {
+			if len(n.taskq) > 0 {
+				return true
+			}
+			continue
+		}
+		for _, tk := range n.taskq {
+			if !tk.pinned {
+				return true
+			}
 		}
 	}
 	return false
@@ -339,42 +459,81 @@ func (c *Cluster) taskWake() {
 	c.taskCond.Broadcast()
 }
 
-// runTask executes one task on t, records its result on t's node, and
-// retires it from the live count.
+// runTask executes one task on t, records its result on t's node,
+// retires it from the live count, and — for tracked tasks — reports the
+// completion to the origin node so the dependence resolver can release
+// successors.
 func (t *Thread) runTask(tk *task) {
 	c := t.c
+	if len(tk.maps) > 0 {
+		t.prefetchMaps(tk)
+	}
+	if len(tk.notices) > 0 {
+		// Acquire: the write notices inherited over tk's incoming edges
+		// invalidate this node's stale copies before the body reads them.
+		c.engine.ApplyNotices(t.node.id, tk.notices)
+	}
 	prev := t.curTask
 	t.curTask = tk
 	v := tk.fn(t)
 	t.curTask = prev
+	// tk's own children's context closes with tk: dangling DepTask
+	// references among them resolve vacuously now.
+	if tk.depState != nil {
+		c.resolvePending(t.p, t.node.id, tk.depState)
+		tk.depState = nil
+	}
+	var outgoing []dsm.WriteNotice
+	if tk.tracked {
+		// Release: flush this node's modifications home before any
+		// successor can be released, and pass the notices down the edges
+		// (inherited plus this interval's own, so visibility is
+		// transitive along graph paths).
+		outgoing = mergeNotices(tk.notices, c.engine.TaskFlush(t.p, t.node.id))
+	}
 	t.node.taskResults = append(t.node.taskResults, taskResult{id: tk.id, val: v})
 	if c.lanes {
 		t.node.taskExecuted++
 		c.cnt(t.node.id).TasksExecuted++
 		c.rec.TaskExecuted(t.node.id)
-		return
+	} else {
+		c.counters.TasksExecuted++
+		c.rec.TaskExecuted(t.node.id)
+		c.tasksLive--
+		c.taskWake()
 	}
-	c.counters.TasksExecuted++
-	c.rec.TaskExecuted(t.node.id)
-	c.tasksLive--
-	c.taskWake()
+	if tk.tracked {
+		if tk.origin == t.node.id {
+			c.taskDone(t.p, tk.origin, tk.id, outgoing)
+		} else {
+			c.net.Send(t.p, &netsim.Message{
+				From: t.node.id, To: tk.origin, Kind: KindCtl, Type: ctlTaskDone,
+				Bytes: 24 + 8*len(outgoing), Payload: taskDoneMsg{ID: tk.id, Notices: outgoing},
+			})
+		}
+	}
 }
 
 // handleStealReq runs on the victim's communication thread: pop the
-// oldest queued task (FIFO from the thief's perspective — the coldest,
-// largest-granularity work) and reply, possibly with a miss.
+// oldest stealable queued task (FIFO from the thief's perspective — the
+// coldest, largest-granularity, lowest-priority work) and reply,
+// possibly with a miss. Tasks pinned to this node by Target never leave.
 func (c *Cluster) handleStealReq(p *sim.Proc, nodeID int, m *netsim.Message) {
 	req := m.Payload.(stealReq)
 	n := c.nodes[nodeID]
 	n.cpu.Compute(p, serveCost)
 	var tk *task
 	bytes := 16
-	if len(n.taskq) > 0 {
-		tk = n.taskq[0]
-		copy(n.taskq, n.taskq[1:])
+	for i, q := range n.taskq {
+		if q.pinned {
+			continue
+		}
+		tk = q
+		copy(n.taskq[i:], n.taskq[i+1:])
 		n.taskq[len(n.taskq)-1] = nil
 		n.taskq = n.taskq[:len(n.taskq)-1]
 		bytes = taskDescBytes
+		break
 	}
 	c.net.Send(p, &netsim.Message{
 		From: nodeID, To: req.Thief, Kind: KindCtl, Type: ctlStealReply,

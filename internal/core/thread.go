@@ -27,6 +27,18 @@ type Thread struct {
 	// task ids.
 	curTask *task
 	rootSeq int
+
+	// Dependence context of this thread's root tasks (depend.go):
+	// lazily created at the first depend clause, reset at Taskwait.
+	depState *depState
+
+	// Count of Taskwait joins this thread has entered (task.go). With
+	// the cluster's cumulative arrival tally it forms the join's
+	// termination target: a thread may leave the drain loop only after
+	// every team thread has arrived at the same join, so a transiently
+	// zero live count never ends the join while a sibling still has
+	// tasks to spawn.
+	joinEpoch uint64
 }
 
 // GID returns the global thread id (0 .. TotalThreads-1).
@@ -49,9 +61,12 @@ func (t *Thread) Cluster() *Cluster { return t.c }
 func (t *Thread) Now() sim.Time { return t.p.Now() }
 
 // Compute charges d of processor time to this thread (the mechanism by
-// which real computation acquires a virtual-time cost).
+// which real computation acquires a virtual-time cost). Under a
+// heterogeneous cluster profile (Config.Hetero) the charge is scaled by
+// the node's speed factor — a slow node takes proportionally longer for
+// the same work, which is what makes offload placement observable.
 func (t *Thread) Compute(d sim.Duration) {
-	t.node.cpu.Compute(t.p, d)
+	t.node.cpu.Compute(t.p, t.c.hetero.Scale(t.node.id, d))
 }
 
 // workerLoop is the body of every non-master team thread: wait for a
@@ -135,8 +150,9 @@ func (t *Thread) Barrier() {
 		// Barriers are task scheduling points: all outstanding tasks
 		// complete before any thread passes (OpenMP §task scheduling).
 		// One integer compare when no tasks exist, so task-free programs
-		// keep their exact timing.
-		t.drainTasks()
+		// keep their exact timing. Target 0: a barrier is not a task
+		// join, so the drain is the plain live-count loop.
+		t.drainTasks(0)
 	}
 	t.Compute(localPthreadOp)
 	n.barMu.Lock(p)
@@ -184,7 +200,7 @@ func (t *Thread) StaticRange(lo, hi int) (int, int) {
 func (t *Thread) For(lo, hi int, body func(i int), opts ...ForOption) {
 	cfg := forConfig{}
 	for _, o := range opts {
-		o(&cfg)
+		o.applyFor(&cfg)
 	}
 	switch cfg.kind {
 	case Static:

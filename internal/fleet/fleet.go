@@ -74,6 +74,11 @@ type JobSpec struct {
 	// classification; also derives the directive threshold from the
 	// fabric). The policy sweep submits one job per policy per cell.
 	Policy string `json:"policy,omitempty"`
+	// Hetero names a heterogeneous cluster profile (netsim.HeteroByName):
+	// "uniform" (or empty, the default), "fasthalf", or "slow1". The
+	// profile is part of the machine description and participates in the
+	// config fingerprint.
+	Hetero string `json:"hetero,omitempty"`
 	// DeadlineMS, when positive, bounds the job's host wall-clock
 	// execution time in milliseconds: a run over budget is cooperatively
 	// canceled by the simulation kernel and returns a typed canceled
@@ -135,6 +140,9 @@ func (s JobSpec) Normalize() JobSpec {
 	}
 	if app, err := harness.MatrixAppByName(s.App); err == nil && app.LockCaching {
 		s.LockCaching = true
+	}
+	if s.Hetero == "uniform" {
+		s.Hetero = "" // the explicit name for the default machine
 	}
 	s.Crash = canonicalCrash(s.Crash)
 	return s
@@ -227,6 +235,11 @@ func (s JobSpec) Validate() error {
 	if s.DeadlineMS < 0 {
 		add("deadline_ms", "must be >= 0 (0 disables the job deadline), got %d", s.DeadlineMS)
 	}
+	if s.Nodes >= 1 {
+		if _, err := netsim.HeteroByName(s.Hetero, s.Nodes); err != nil {
+			add("hetero", "unknown hetero profile %q (valid: uniform, fasthalf, slow1, or empty)", s.Hetero)
+		}
+	}
 	if events, err := parseCrash(s.Crash); err != nil {
 		add("crash", "%v", err)
 	} else if len(events) > 0 {
@@ -267,10 +280,16 @@ func (s JobSpec) Canonical() string {
 	if s.Lanes > 0 {
 		laneRegime = 1
 	}
-	return fmt.Sprintf(
+	c := fmt.Sprintf(
 		"parade-fleet/v1 app=%s mode=%s fabric=%s nodes=%d threads=%d lanes=%d seed=%d lockcache=%t faults=%s crash=%s policy=%s",
 		s.App, s.Mode, s.Fabric, s.Nodes, s.ThreadsPerNode, laneRegime,
 		s.Seed, s.LockCaching, s.FaultProfile, s.Crash, s.Policy)
+	if s.Hetero != "" {
+		// Appended only when set, so pre-hetero fingerprints (and cached
+		// results keyed by them) stay valid for the uniform cluster.
+		c += " hetero=" + s.Hetero
+	}
+	return c
 }
 
 // Fingerprint returns the canonical FNV-1a config fingerprint: the
@@ -326,6 +345,11 @@ func (s JobSpec) BuildConfig() (core.Config, error) {
 	if len(events) > 0 {
 		cfg.Crash = &hlrc.CrashPlan{Events: events}
 	}
+	hetero, err := netsim.HeteroByName(s.Hetero, s.Nodes)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg.Hetero = hetero
 	return cfg, nil
 }
 

@@ -47,6 +47,9 @@ func TestJobSpecValidationTable(t *testing.T) {
 			fields: []string{"seed"}, reason: "positive"},
 		{name: "unknown profile", spec: JobSpec{App: "ep", Mode: "hybrid", FaultProfile: "meteor"},
 			fields: []string{"fault_profile"}, reason: `unknown fault profile "meteor"`},
+		{name: "valid hetero profile", spec: JobSpec{App: "ep", Mode: "hybrid", Hetero: "fasthalf"}},
+		{name: "unknown hetero profile", spec: JobSpec{App: "ep", Mode: "hybrid", Hetero: "gpufarm"},
+			fields: []string{"hetero"}, reason: `unknown hetero profile "gpufarm"`},
 		{name: "crash syntax", spec: JobSpec{App: "ep", Mode: "hybrid", Crash: "1-at-2"},
 			fields: []string{"crash"}, reason: "want node@barrier"},
 		{name: "crash node out of range", spec: JobSpec{App: "ep", Mode: "hybrid", Crash: "9@1"},
@@ -125,6 +128,13 @@ func TestJobSpecCanonicalization(t *testing.T) {
 		t.Errorf("lockmix fingerprint depends on redundant lock_caching field")
 	}
 
+	// "uniform" is the explicit spelling of the default machine.
+	hu := base
+	hu.Hetero = "uniform"
+	if hu.Fingerprint() != base.Fingerprint() {
+		t.Errorf(`hetero "uniform" fingerprints differently from the default`)
+	}
+
 	// Crash schedules canonicalize whitespace.
 	c1, c2 := base, base
 	c1.Crash, c2.Crash = "1@1, 2@3", "1@1,2@3"
@@ -144,6 +154,8 @@ func TestJobSpecCanonicalization(t *testing.T) {
 		{App: "ep", Mode: "hybrid", Seed: 2},
 		{App: "ep", Mode: "hybrid", FaultProfile: "drop"},
 		{App: "ep", Mode: "hybrid", Crash: "1@1"},
+		{App: "ep", Mode: "hybrid", Hetero: "fasthalf"},
+		{App: "ep", Mode: "hybrid", Hetero: "slow1"},
 	}
 	seen := map[string]int{}
 	for i, s := range distinct {

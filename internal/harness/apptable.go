@@ -8,6 +8,7 @@ import (
 	"parade/internal/apps"
 	"parade/internal/core"
 	"parade/internal/kdsm"
+	"parade/internal/netsim"
 	"parade/internal/sim"
 )
 
@@ -52,6 +53,20 @@ var matrixApps = []MatrixApp{
 		// injected faults like every other protocol.
 		r, err := apps.RunQuad(cfg, apps.QuadTest())
 		return fpBits(r.Integral, r.TableSum), r.KernelTime, r.Report, err
+	}},
+	{"taskdep", false, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
+		// The dependence-graph and offload kernel always runs on the
+		// "fasthalf" heterogeneous machine so device placement is
+		// observable in its matrices. Applied here — constant across
+		// every cell — so the bit-identity invariants still compare
+		// like with like.
+		h, err := netsim.HeteroByName("fasthalf", cfg.Nodes)
+		if err != nil {
+			return "", 0, core.Report{}, err
+		}
+		cfg.Hetero = h
+		r, err := apps.RunTaskdep(cfg, apps.TaskdepTest())
+		return fpBits(r.PipeSum, r.OffloadSum, r.CheckSum), r.KernelTime, r.Report, err
 	}},
 	{"lockmix", true, func(cfg core.Config) (string, sim.Duration, core.Report, error) {
 		// The lock-protocol stress kernel runs with lazy-release tokens

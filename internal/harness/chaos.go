@@ -77,7 +77,7 @@ type ChaosOptions struct {
 	Nodes    int      // cluster size (default 4)
 	Seed     int64    // fault-plane seed (default 1)
 	Lanes    int      // event-lane workers (0 = legacy kernel)
-	Apps     []string // subset of helmholtz, ep, cg, md, quad, lockmix (nil = all)
+	Apps     []string // subset of the matrix kernels, see MatrixAppNames (nil = all)
 	Profiles []string // subset of the built-in profiles (nil = all)
 	Policy   string   // hlrc protocol policy for every run ("" = legacy)
 }

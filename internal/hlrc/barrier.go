@@ -21,7 +21,13 @@ func (e *Engine) Barrier(p *sim.Proc, node int) {
 	if e.recov != nil {
 		e.recov.barrierSeq[node]++
 	}
-	notices := e.flush(p, node)
+	e.flush(p, node)
+	// The arrival must carry the whole interval's write set, not just the
+	// final flush's: pages already flushed mid-interval (lock releases,
+	// task dependence intervals) are invisible to nodes that never
+	// synchronized with the flusher, and the barrier is where their stale
+	// copies must die. relNotices has accumulated exactly that set.
+	notices := e.releaseNotices(node)
 	// The interval ends here: departure will carry its notices to every
 	// node, so releases after the barrier start accumulating afresh.
 	for pg := range e.nodes[node].relNotices {

@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"fmt"
+
+	"parade/internal/sim"
+)
+
+// Heterogeneous cluster profiles: a static per-node speed multiplier,
+// modeling clusters whose nodes are not interchangeable (mixed
+// generations, or a big host plus small accelerator nodes — the shape
+// the cluster-as-device offload papers assume). Unlike the fault
+// plane's straggler — a single anomalous node under a chaos profile —
+// a Hetero profile is part of the machine description: deterministic,
+// permanent, and identical across runs, so the sweep matrices can hold
+// it fixed while varying fault and crash schedules.
+
+// Hetero is a per-node compute-speed profile: durations charged to node
+// i are multiplied by Factors[i]. A factor above 1 makes the node
+// slower. A nil *Hetero (or a node beyond the slice) scales by 1, so
+// the zero configuration is the uniform cluster.
+type Hetero struct {
+	// Factors holds one multiplier per node; entries must be positive.
+	Factors []float64
+}
+
+// Scale applies node's speed factor to d. Safe on a nil receiver.
+func (h *Hetero) Scale(node int, d sim.Duration) sim.Duration {
+	if h == nil || node >= len(h.Factors) {
+		return d
+	}
+	f := h.Factors[node]
+	if f == 1 {
+		return d
+	}
+	return sim.Duration(float64(d) * f)
+}
+
+// Validate checks that every factor is positive.
+func (h *Hetero) Validate() error {
+	if h == nil {
+		return nil
+	}
+	for i, f := range h.Factors {
+		if f <= 0 {
+			return fmt.Errorf("netsim: hetero factor %g for node %d (must be > 0)", f, i)
+		}
+	}
+	return nil
+}
+
+// HeteroByName builds one of the named heterogeneity profiles for a
+// cluster of the given size — the vocabulary the fleet JobSpec and the
+// harness flags share. "" and "uniform" mean no profile (nil);
+// "fasthalf" makes the second half of the nodes 2x slower than the
+// first; "slow1" makes node 1 4x slower than the rest. Unknown names
+// are an error.
+func HeteroByName(name string, nodes int) (*Hetero, error) {
+	switch name {
+	case "", "uniform":
+		return nil, nil
+	case "fasthalf":
+		f := make([]float64, nodes)
+		for i := range f {
+			if i < nodes/2 {
+				f[i] = 1
+			} else {
+				f[i] = 2
+			}
+		}
+		return &Hetero{Factors: f}, nil
+	case "slow1":
+		f := make([]float64, nodes)
+		for i := range f {
+			f[i] = 1
+		}
+		if nodes > 1 {
+			f[1] = 4
+		}
+		return &Hetero{Factors: f}, nil
+	default:
+		return nil, fmt.Errorf("netsim: unknown hetero profile %q (want uniform, fasthalf or slow1)", name)
+	}
+}
+
+// EnableHetero attaches a heterogeneity profile to the network: message
+// receive processing on a slow node takes proportionally longer. Call
+// before the simulation starts; a nil profile is the uniform cluster.
+func (n *Network) EnableHetero(h *Hetero) {
+	n.hetero = h
+}
+
+// Hetero returns the attached heterogeneity profile (nil when uniform).
+func (n *Network) Hetero() *Hetero { return n.hetero }

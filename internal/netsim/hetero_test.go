@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"parade/internal/sim"
+)
+
+func TestHeteroScale(t *testing.T) {
+	h := &Hetero{Factors: []float64{1, 2, 0.5}}
+	cases := []struct {
+		name string
+		h    *Hetero
+		node int
+		d    sim.Duration
+		want sim.Duration
+	}{
+		{"nil receiver", nil, 0, 1000, 1000},
+		{"unit factor", h, 0, 1000, 1000},
+		{"slow node", h, 1, 1000, 2000},
+		{"fast node", h, 2, 1000, 500},
+		{"node beyond slice", h, 7, 1000, 1000},
+	}
+	for _, c := range cases {
+		if got := c.h.Scale(c.node, c.d); got != c.want {
+			t.Errorf("%s: Scale(%d, %d) = %d, want %d", c.name, c.node, c.d, got, c.want)
+		}
+	}
+}
+
+func TestHeteroValidate(t *testing.T) {
+	var nilH *Hetero
+	if err := nilH.Validate(); err != nil {
+		t.Errorf("nil profile: %v", err)
+	}
+	if err := (&Hetero{Factors: []float64{1, 2, 0.25}}).Validate(); err != nil {
+		t.Errorf("positive factors: %v", err)
+	}
+	if err := (&Hetero{Factors: []float64{1, 0}}).Validate(); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if err := (&Hetero{Factors: []float64{-1}}).Validate(); err == nil {
+		t.Error("negative factor accepted")
+	}
+}
+
+func TestHeteroByName(t *testing.T) {
+	for _, name := range []string{"", "uniform"} {
+		h, err := HeteroByName(name, 4)
+		if err != nil || h != nil {
+			t.Errorf("HeteroByName(%q) = %v, %v; want nil, nil", name, h, err)
+		}
+	}
+
+	fh, err := HeteroByName("fasthalf", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{1, 1, 2, 2}; !reflect.DeepEqual(fh.Factors, want) {
+		t.Errorf("fasthalf(4) = %v, want %v", fh.Factors, want)
+	}
+	if err := fh.Validate(); err != nil {
+		t.Errorf("fasthalf invalid: %v", err)
+	}
+
+	s1, err := HeteroByName("slow1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{1, 4, 1, 1}; !reflect.DeepEqual(s1.Factors, want) {
+		t.Errorf("slow1(4) = %v, want %v", s1.Factors, want)
+	}
+
+	// A one-node cluster has no node 1 to slow down.
+	s1, err = HeteroByName("slow1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{1}; !reflect.DeepEqual(s1.Factors, want) {
+		t.Errorf("slow1(1) = %v, want %v", s1.Factors, want)
+	}
+
+	if _, err := HeteroByName("bogus", 4); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestNetworkEnableHetero(t *testing.T) {
+	_, n, _ := newNet(t, 2, VIA())
+	if n.Hetero() != nil {
+		t.Fatal("fresh network should be uniform")
+	}
+	h := &Hetero{Factors: []float64{1, 2}}
+	n.EnableHetero(h)
+	if n.Hetero() != h {
+		t.Fatal("profile not attached")
+	}
+	n.EnableHetero(nil)
+	if n.Hetero() != nil {
+		t.Fatal("profile not detached")
+	}
+}

@@ -113,6 +113,7 @@ type Network struct {
 	rec      *obs.Recorder
 	fault    *FaultPlane // nil: ideal fabric, original Send path
 	rel      *relState   // reliability sublayer state (set with fault)
+	hetero   *Hetero     // nil: uniform cluster (hetero.go)
 
 	// Crash-stop state (crash.go); down is allocated with the fault plane.
 	down        []bool
@@ -247,7 +248,8 @@ func (n *Network) Send(p *sim.Proc, m *Message) {
 }
 
 // RecvCost charges the per-message receive overhead to node's CPU from
-// p's context. Communication threads call this once per popped message.
+// p's context, scaled by the node's straggler and heterogeneity factors.
+// Communication threads call this once per popped message.
 func (n *Network) RecvCost(p *sim.Proc, node int) {
-	n.cpus[node].Compute(p, n.fault.scale(node, n.fabric.RecvOverhead))
+	n.cpus[node].Compute(p, n.hetero.Scale(node, n.fault.scale(node, n.fabric.RecvOverhead)))
 }

@@ -24,6 +24,7 @@ const (
 	HistStealLatency           // steal request sent -> reply received (hit or miss)
 	HistReclassLatency         // interval between a page's successive class changes
 	HistWALReplay              // host ns to replay the fleet result WAL at startup
+	HistDepWait                // task spawn -> dependence release, held tasks only
 	NumHists
 )
 
@@ -42,6 +43,7 @@ var histDefs = [NumHists]struct{ Name, Unit string }{
 	HistStealLatency:    {"steal_latency", "ns"},
 	HistReclassLatency:  {"reclass_latency", "ns"},
 	HistWALReplay:       {"wal_replay_latency", "ns"},
+	HistDepWait:         {"dep_wait_latency", "ns"},
 }
 
 // HistName returns the stable name of histogram id (as used in the
@@ -87,6 +89,8 @@ type NodeCounters struct {
 	TasksExecuted int64 `json:"task_executed,omitempty"`
 	TasksStolen   int64 `json:"task_stolen,omitempty"`
 	StealRequests int64 `json:"steal_requests,omitempty"`
+	DepsResolved  int64 `json:"task_deps_resolved,omitempty"` // predecessor edges retired by the resolver
+	TasksReleased int64 `json:"task_released,omitempty"`      // held tasks released into a deque
 
 	// Protocol policy engine (nonzero only with a non-legacy policy).
 	PolicyReclass   int64 `json:"policy_reclass,omitempty"`

@@ -619,6 +619,26 @@ func (r *Recorder) TaskExecuted(node int) {
 	r.m.node(node).TasksExecuted++
 }
 
+// DepResolved counts one predecessor edge retired by node's dependence
+// resolver (a completed task satisfying one successor's dependence).
+func (r *Recorder) DepResolved(node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).DepsResolved++
+}
+
+// TaskReleased records a held task's release on its origin node once
+// its last predecessor completed; start is the spawn instant, so the
+// span is the task's dependence wait (the dep_wait_latency histogram).
+func (r *Recorder) TaskReleased(start, end sim.Time, node int) {
+	if r == nil {
+		return
+	}
+	r.m.node(node).TasksReleased++
+	r.m.h(node, HistDepWait).Observe(int64(end - start))
+}
+
 // StealRequest counts a steal round trip initiated by thief.
 func (r *Recorder) StealRequest(thief int) {
 	if r == nil {

@@ -58,12 +58,14 @@ type Counters struct {
 	HybridAtomics    int64
 
 	// Tasking runtime and its work-stealing scheduler.
-	TasksSpawned  int64 // tasks pushed onto a node deque
-	TasksExecuted int64 // tasks run to completion
-	TasksStolen   int64 // tasks that moved nodes through a steal
-	StealRequests int64 // steal round trips initiated
-	StealHits     int64 // steal requests that returned a task
-	StealMisses   int64 // steal requests that found the victim empty
+	TasksSpawned     int64 // tasks pushed onto a node deque
+	TasksExecuted    int64 // tasks run to completion
+	TasksStolen      int64 // tasks that moved nodes through a steal
+	StealRequests    int64 // steal round trips initiated
+	StealHits        int64 // steal requests that returned a task
+	StealMisses      int64 // steal requests that found the victim empty
+	TaskDepsResolved int64 // predecessor edges retired by the dependence resolver
+	TasksReleased    int64 // dependence-held tasks released into a deque
 
 	// Reliability sublayer (nonzero only with a fault plane attached).
 	AcksSent       int64 // cumulative acks put on the control channel
@@ -98,47 +100,49 @@ func (c *Counters) Snapshot() Counters { return *c }
 // Map returns the non-zero counters keyed by field name, for reports.
 func (c *Counters) Map() map[string]int64 {
 	m := map[string]int64{
-		"messages":          c.Messages,
-		"bytes":             c.Bytes,
-		"local_deliveries":  c.LocalDeliver,
-		"mpi_sends":         c.Sends,
-		"mpi_bcasts":        c.Bcasts,
-		"mpi_allreduces":    c.Allreduces,
-		"mpi_barriers":      c.MPIBarrier,
-		"read_faults":       c.ReadFaults,
-		"write_faults":      c.WriteFaults,
-		"page_fetches":      c.PageFetches,
-		"twins":             c.TwinsCreated,
-		"diffs_created":     c.DiffsCreated,
-		"diffs_applied":     c.DiffsApplied,
-		"diff_bytes":        c.DiffBytes,
-		"invalidations":     c.Invalidations,
-		"write_notices":     c.WriteNotices,
-		"home_migrations":   c.HomeMigrations,
-		"sdsm_barriers":     c.Barriers,
-		"policy_reclass":    c.PolicyReclass,
-		"policy_pushes":     c.PolicyPushes,
-		"policy_refreshes":  c.PolicyRefreshes,
-		"policy_overrides":  c.PolicyHomeOverrides,
-		"lock_requests":     c.LockRequests,
-		"lock_waits":        c.LockWaits,
-		"hybrid_criticals":  c.HybridCriticals,
-		"hybrid_singles":    c.HybridSingles,
-		"hybrid_reductions": c.HybridReductions,
-		"hybrid_atomics":    c.HybridAtomics,
-		"task_spawned":      c.TasksSpawned,
-		"task_executed":     c.TasksExecuted,
-		"task_stolen":       c.TasksStolen,
-		"steal_requests":    c.StealRequests,
-		"steal_hits":        c.StealHits,
-		"steal_misses":      c.StealMisses,
-		"rel_acks":          c.AcksSent,
-		"rel_timeouts":      c.Timeouts,
-		"rel_retransmits":   c.Retransmits,
-		"rel_dups_dropped":  c.DupsSuppressed,
-		"faults_dropped":    c.InjectedDrops,
-		"faults_duplicated": c.InjectedDups,
-		"faults_delayed":    c.InjectedDelays,
+		"messages":           c.Messages,
+		"bytes":              c.Bytes,
+		"local_deliveries":   c.LocalDeliver,
+		"mpi_sends":          c.Sends,
+		"mpi_bcasts":         c.Bcasts,
+		"mpi_allreduces":     c.Allreduces,
+		"mpi_barriers":       c.MPIBarrier,
+		"read_faults":        c.ReadFaults,
+		"write_faults":       c.WriteFaults,
+		"page_fetches":       c.PageFetches,
+		"twins":              c.TwinsCreated,
+		"diffs_created":      c.DiffsCreated,
+		"diffs_applied":      c.DiffsApplied,
+		"diff_bytes":         c.DiffBytes,
+		"invalidations":      c.Invalidations,
+		"write_notices":      c.WriteNotices,
+		"home_migrations":    c.HomeMigrations,
+		"sdsm_barriers":      c.Barriers,
+		"policy_reclass":     c.PolicyReclass,
+		"policy_pushes":      c.PolicyPushes,
+		"policy_refreshes":   c.PolicyRefreshes,
+		"policy_overrides":   c.PolicyHomeOverrides,
+		"lock_requests":      c.LockRequests,
+		"lock_waits":         c.LockWaits,
+		"hybrid_criticals":   c.HybridCriticals,
+		"hybrid_singles":     c.HybridSingles,
+		"hybrid_reductions":  c.HybridReductions,
+		"hybrid_atomics":     c.HybridAtomics,
+		"task_spawned":       c.TasksSpawned,
+		"task_executed":      c.TasksExecuted,
+		"task_stolen":        c.TasksStolen,
+		"steal_requests":     c.StealRequests,
+		"steal_hits":         c.StealHits,
+		"steal_misses":       c.StealMisses,
+		"task_deps_resolved": c.TaskDepsResolved,
+		"task_released":      c.TasksReleased,
+		"rel_acks":           c.AcksSent,
+		"rel_timeouts":       c.Timeouts,
+		"rel_retransmits":    c.Retransmits,
+		"rel_dups_dropped":   c.DupsSuppressed,
+		"faults_dropped":     c.InjectedDrops,
+		"faults_duplicated":  c.InjectedDups,
+		"faults_delayed":     c.InjectedDelays,
 
 		"crash_injected":           c.Crashes,
 		"crash_restarts":           c.NodeRestarts,

@@ -153,6 +153,7 @@ const (
 	DirBarrier
 	DirTask
 	DirTaskwait
+	DirTarget
 )
 
 func (d DirKind) String() string {
@@ -177,6 +178,8 @@ func (d DirKind) String() string {
 		return "task"
 	case DirTaskwait:
 		return "taskwait"
+	case DirTarget:
+		return "target"
 	default:
 		return "?"
 	}
@@ -185,6 +188,22 @@ func (d DirKind) String() string {
 // Reduction is one reduction(op:vars) clause entry.
 type Reduction struct {
 	Op   string // "+", "*", "max", "min"
+	Vars []string
+}
+
+// Depend is one depend(kind: list) clause entry. The data kinds
+// (in/out/inout) carry Items — Ident or Index expressions naming the
+// depended-on variables or array elements; the task kind carries Tasks —
+// the names of sibling tasks registered with name().
+type Depend struct {
+	Kind  string // "in", "out", "inout", "task"
+	Items []Expr
+	Tasks []string
+}
+
+// MapClause is one map(dir: vars) clause entry of a target directive.
+type MapClause struct {
+	Dir  string // "to", "from", "tofrom"
 	Vars []string
 }
 
@@ -200,6 +219,13 @@ type Directive struct {
 	Dynamic      bool // schedule(dynamic|guided) — the runtime extensions
 	Guided       bool // guided variant of Dynamic
 	ChunkSize    int  // dynamic chunk / guided minimum; 0 selects the default
+
+	// Task-graph and offload clauses (task and target directives).
+	Depends  []Depend    // depend(kind: list), in clause order
+	Maps     []MapClause // map(dir: vars) — target only
+	Device   int         // device(n) — target only; 0 when absent
+	TaskName string      // name(x) — registers the task for DepTask edges
+	Priority int         // priority(n); 0 when absent
 }
 
 // Expr is an expression node.

@@ -258,6 +258,11 @@ func (g *generator) genOmp(st *OmpStmt) error {
 		return nil
 	case DirTask:
 		return g.genTask(st)
+	case DirTarget:
+		if g.ctx != "tc" {
+			return fmt.Errorf("line %d: omp target outside a parallel region", st.Line)
+		}
+		return g.genTask(st)
 	case DirTaskwait:
 		if g.ctx != "tc" {
 			return fmt.Errorf("line %d: omp taskwait outside a parallel region", st.Line)
@@ -293,16 +298,13 @@ func (g *generator) genParallel(dir Directive, body *Block, loop *ForStmt) error
 	// the region (their combined value is identical on every thread), so
 	// they must not be shadowed either.
 	collectNestedReductions(body, reds)
+	// Declarations anywhere inside the region (including nested task and
+	// target bodies) are genuinely region-local: they need no firstprivate
+	// shadow, and the outer scope may not even have such a variable.
 	declared := map[string]bool{}
-	if body != nil {
-		for _, d := range body.Decls {
-			declared[d.Name] = true
-		}
-	}
+	collectDeclared(body, declared)
 	if loop != nil {
-		for _, d := range loop.Body.Decls {
-			declared[d.Name] = true
-		}
+		collectDeclared(loop.Body, declared)
 	}
 	var refs []string
 	for name := range g.collectScalarRefs(body, loop) {
@@ -473,16 +475,20 @@ func (g *generator) genOmpFor(dir Directive, loop *ForStmt) error {
 	return nil
 }
 
-// genTask lowers `#pragma omp task` onto the deferred-task runtime: the
-// body becomes a closure pushed on the spawning node's deque, executed
-// later by whichever thread (local or stealing remote) pops it, and
-// joined by the next taskwait or barrier. C task semantics capture
-// firstprivate variables by value at the spawn point; Go closures
-// capture by reference, so each firstprivate gets an explicit site-
-// numbered copy that the closure body is renamed to use.
+// genTask lowers `#pragma omp task` and `#pragma omp target` onto the
+// deferred-task runtime: the body becomes a closure pushed on the
+// spawning node's deque (or delivered to the device node's deque, for
+// target), executed later by whichever thread pops it, and joined by the
+// next taskwait or barrier. C task semantics capture firstprivate
+// variables by value at the spawn point; Go closures capture by
+// reference, so each firstprivate gets an explicit site-numbered copy
+// that the closure body is renamed to use. Depend/map/name/priority
+// clauses become functional options on the spawn call; subscripts in
+// depend items are rendered in the spawning scope, so the firstprivate
+// renames apply to them too (capture-at-spawn semantics).
 func (g *generator) genTask(st *OmpStmt) error {
 	if g.ctx != "tc" && g.ctx != "tt" {
-		return fmt.Errorf("line %d: omp task outside a parallel region", st.Line)
+		return fmt.Errorf("line %d: omp %v outside a parallel region", st.Line, st.Dir.Kind)
 	}
 	body := st.Body.(*Block)
 	g.siteSeq++
@@ -502,7 +508,15 @@ func (g *generator) genTask(st *OmpStmt) error {
 		g.renames[name] = cp
 		g.types[cp] = g.identType(name)
 	}
-	g.p("%s.Task(func(tt *parade.Thread) float64 {", g.ctx)
+	opts, err := g.taskOpts(st.Dir, st.Line)
+	if err != nil {
+		return err
+	}
+	head := fmt.Sprintf("%s.Task(", g.ctx)
+	if st.Dir.Kind == DirTarget {
+		head = fmt.Sprintf("%s.Target(%d, ", g.ctx, st.Dir.Device)
+	}
+	g.p("%sfunc(tt *parade.Thread) float64 {", head)
 	g.depth++
 	prevCtx := g.ctx
 	g.ctx = "tt"
@@ -510,11 +524,15 @@ func (g *generator) genTask(st *OmpStmt) error {
 		g.p("var %s %s // private", name, g.identType(name).GoType())
 		g.p("_ = %s", name)
 	}
-	err := g.genBlockInner(body)
+	err = g.genBlockInner(body)
 	g.ctx = prevCtx
 	g.p("return 0")
 	g.depth--
-	g.p("})")
+	if len(opts) > 0 {
+		g.p("}, %s)", strings.Join(opts, ", "))
+	} else {
+		g.p("})")
+	}
 	for name, prev := range saved {
 		delete(g.types, fmt.Sprintf("__task%d_%s", seq, name))
 		if prev == "" {
@@ -524,6 +542,67 @@ func (g *generator) genTask(st *OmpStmt) error {
 		}
 	}
 	return err
+}
+
+// taskOpts renders a task/target directive's graph and offload clauses
+// as parade option arguments.
+func (g *generator) taskOpts(dir Directive, line int) ([]string, error) {
+	var opts []string
+	for _, dep := range dir.Depends {
+		if dep.Kind == "task" {
+			hs := make([]string, len(dep.Tasks))
+			for i, n := range dep.Tasks {
+				hs[i] = fmt.Sprintf("parade.DepTask(%q)", n)
+			}
+			// Completion edges ignore the access kind; In is canonical.
+			opts = append(opts, fmt.Sprintf("parade.WithDepend(parade.In, %s)", strings.Join(hs, ", ")))
+			continue
+		}
+		kind := map[string]string{"in": "In", "out": "Out", "inout": "InOut"}[dep.Kind]
+		hs := make([]string, len(dep.Items))
+		for i, it := range dep.Items {
+			h, err := g.depHandle(it, line)
+			if err != nil {
+				return nil, err
+			}
+			hs[i] = h
+		}
+		opts = append(opts, fmt.Sprintf("parade.WithDepend(parade.%s, %s)", kind, strings.Join(hs, ", ")))
+	}
+	for _, mc := range dir.Maps {
+		md := map[string]string{"to": "MapTo", "from": "MapFrom", "tofrom": "MapToFrom"}[mc.Dir]
+		for _, v := range mc.Vars {
+			if g.arrays[v] == nil {
+				return nil, fmt.Errorf("line %d: map(%s: %s): only shared arrays are mappable", line, mc.Dir, v)
+			}
+		}
+		opts = append(opts, fmt.Sprintf("parade.WithMap(parade.%s, %s)", md, strings.Join(mc.Vars, ", ")))
+	}
+	if dir.TaskName != "" {
+		opts = append(opts, fmt.Sprintf("parade.WithTaskName(%q)", dir.TaskName))
+	}
+	if dir.Priority != 0 {
+		opts = append(opts, fmt.Sprintf("parade.WithPriority(%d)", dir.Priority))
+	}
+	return opts, nil
+}
+
+// depHandle renders one depend list item as a parade.DepHandle
+// expression: a whole variable becomes a named abstract object, an array
+// element becomes its shared-memory address.
+func (g *generator) depHandle(e Expr, line int) (string, error) {
+	switch x := e.(type) {
+	case *Ident:
+		return fmt.Sprintf("parade.DepName(%q)", x.Name), nil
+	case *Index:
+		arr := g.arrays[x.Base]
+		if arr == nil {
+			return "", fmt.Errorf("line %d: depend item %s is not a shared array", line, x.Base)
+		}
+		return fmt.Sprintf("parade.DepAddr(%s.Addr(%s))", x.Base, g.flatIndex(arr, x.Subs)), nil
+	default:
+		return "", fmt.Errorf("line %d: unsupported depend item %T", line, e)
+	}
 }
 
 func identityFor(op string, g *generator) string {
@@ -708,6 +787,43 @@ func sortStrings(s []string) {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {
 			s[j], s[j-1] = s[j-1], s[j]
 		}
+	}
+}
+
+// collectDeclared records every variable declared in b or any block
+// nested inside it (loop bodies, branches, task and target bodies).
+func collectDeclared(b *Block, declared map[string]bool) {
+	if b == nil {
+		return
+	}
+	for _, d := range b.Decls {
+		declared[d.Name] = true
+	}
+	var ws func(Stmt)
+	ws = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			collectDeclared(st, declared)
+		case *ForStmt:
+			collectDeclared(st.Body, declared)
+		case *WhileStmt:
+			collectDeclared(st.Body, declared)
+		case *IfStmt:
+			collectDeclared(st.Then, declared)
+			if st.Else != nil {
+				collectDeclared(st.Else, declared)
+			}
+		case *OmpStmt:
+			switch b := st.Body.(type) {
+			case *Block:
+				collectDeclared(b, declared)
+			case *ForStmt:
+				ws(b)
+			}
+		}
+	}
+	for _, s := range b.Stmts {
+		ws(s)
 	}
 }
 

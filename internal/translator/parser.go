@@ -424,10 +424,24 @@ func (p *Parser) ompStmt() (Stmt, error) {
 	}
 }
 
+// ClauseError is the typed error for an unknown or malformed directive
+// clause. Line is the pragma's source line; Col is the 1-based column of
+// the offending token within the directive text (the part after
+// `#pragma `, whose own indentation the preprocessor strips).
+type ClauseError struct {
+	Line, Col int
+	Clause    string // the clause being parsed ("depend", "map", ...)
+	Msg       string
+}
+
+func (e *ClauseError) Error() string {
+	return fmt.Sprintf("line %d, col %d: %s clause: %s", e.Line, e.Col, e.Clause, e.Msg)
+}
+
 // parseDirective parses the text after `#pragma`.
 func parseDirective(text string, line int) (Directive, error) {
 	var d Directive
-	words := tokenizePragma(text)
+	words, cols := tokenizePragma(text)
 	if len(words) == 0 || words[0] != "omp" {
 		return d, fmt.Errorf("line %d: only `#pragma omp` is supported (got %q)", line, text)
 	}
@@ -439,6 +453,20 @@ func parseDirective(text string, line int) (Directive, error) {
 			return w
 		}
 		return ""
+	}
+	// col reports the column of word idx (or just past the last word when
+	// the directive ended early), for ClauseError positions.
+	col := func(idx int) int {
+		if idx < len(cols) {
+			return cols[idx]
+		}
+		if len(cols) > 0 {
+			return cols[len(cols)-1] + len(words[len(words)-1])
+		}
+		return 1
+	}
+	cerr := func(clause string, at int, format string, args ...any) error {
+		return &ClauseError{Line: line, Col: col(at), Clause: clause, Msg: fmt.Sprintf(format, args...)}
 	}
 	switch w := next(); w {
 	case "parallel":
@@ -475,6 +503,8 @@ func parseDirective(text string, line int) (Directive, error) {
 	case "taskwait":
 		d.Kind = DirTaskwait
 		return d, nil
+	case "target":
+		d.Kind = DirTarget
 	default:
 		return d, fmt.Errorf("line %d: unsupported omp directive %q", line, w)
 	}
@@ -552,6 +582,160 @@ func parseDirective(text string, line int) (Directive, error) {
 			if next() != ")" {
 				return d, fmt.Errorf("line %d: malformed default clause", line)
 			}
+		case "depend":
+			kw := i - 1
+			if d.Kind != DirTask && d.Kind != DirTarget {
+				return d, cerr("depend", kw, "only task and target directives take depend")
+			}
+			if next() != "(" {
+				return d, cerr("depend", i-1, "expected (kind: list)")
+			}
+			mod := i
+			kind := next()
+			switch kind {
+			case "in", "out", "inout", "task":
+			default:
+				return d, cerr("depend", mod, "unknown dependence kind %q (want in, out, inout, or task)", kind)
+			}
+			if next() != ":" {
+				return d, cerr("depend", i-1, "expected `:` after %q", kind)
+			}
+			dep := Depend{Kind: kind}
+			for i < len(words) && words[i] != ")" {
+				if words[i] == "," {
+					i++
+					continue
+				}
+				at := i
+				name := next()
+				if !isIdent(name) {
+					return d, cerr("depend", at, "list item must start with an identifier (got %q)", name)
+				}
+				if kind == "task" {
+					dep.Tasks = append(dep.Tasks, name)
+					continue
+				}
+				var item Expr = &Ident{Name: name}
+				for i < len(words) && words[i] == "[" {
+					i++
+					sat := i
+					sub := next()
+					var se Expr
+					switch {
+					case isIdent(sub):
+						se = &Ident{Name: sub}
+					case sub != "" && sub[0] >= '0' && sub[0] <= '9':
+						se = &Number{Text: sub}
+					default:
+						return d, cerr("depend", sat, "array subscript must be an identifier or number (got %q)", sub)
+					}
+					if next() != "]" {
+						return d, cerr("depend", i-1, "unterminated subscript on %s", name)
+					}
+					if ix, ok := item.(*Index); ok {
+						ix.Subs = append(ix.Subs, se)
+					} else {
+						item = &Index{Base: name, Subs: []Expr{se}}
+					}
+				}
+				dep.Items = append(dep.Items, item)
+			}
+			if next() != ")" {
+				return d, cerr("depend", i-1, "unterminated depend clause")
+			}
+			if len(dep.Items)+len(dep.Tasks) == 0 {
+				return d, cerr("depend", kw, "empty dependence list")
+			}
+			d.Depends = append(d.Depends, dep)
+		case "map":
+			kw := i - 1
+			if d.Kind != DirTarget {
+				return d, cerr("map", kw, "only the target directive takes map")
+			}
+			if next() != "(" {
+				return d, cerr("map", i-1, "expected (dir: vars)")
+			}
+			mod := i
+			dir := next()
+			switch dir {
+			case "to", "from", "tofrom":
+			default:
+				return d, cerr("map", mod, "unknown map direction %q (want to, from, or tofrom)", dir)
+			}
+			if next() != ":" {
+				return d, cerr("map", i-1, "expected `:` after %q", dir)
+			}
+			mc := MapClause{Dir: dir}
+			for i < len(words) && words[i] != ")" {
+				if words[i] == "," {
+					i++
+					continue
+				}
+				at := i
+				v := next()
+				if !isIdent(v) {
+					return d, cerr("map", at, "map items must be whole variables (got %q)", v)
+				}
+				mc.Vars = append(mc.Vars, v)
+			}
+			if next() != ")" {
+				return d, cerr("map", i-1, "unterminated map clause")
+			}
+			if len(mc.Vars) == 0 {
+				return d, cerr("map", kw, "empty map list")
+			}
+			d.Maps = append(d.Maps, mc)
+		case "device":
+			kw := i - 1
+			if d.Kind != DirTarget {
+				return d, cerr("device", kw, "only the target directive takes device")
+			}
+			if next() != "(" {
+				return d, cerr("device", i-1, "expected (node)")
+			}
+			at := i
+			n, err := strconv.Atoi(next())
+			if err != nil || n < 0 {
+				return d, cerr("device", at, "device must be a non-negative integer node id")
+			}
+			if next() != ")" {
+				return d, cerr("device", i-1, "unterminated device clause")
+			}
+			d.Device = n
+		case "name":
+			kw := i - 1
+			if d.Kind != DirTask && d.Kind != DirTarget {
+				return d, cerr("name", kw, "only task and target directives take name")
+			}
+			if next() != "(" {
+				return d, cerr("name", i-1, "expected (identifier)")
+			}
+			at := i
+			nm := next()
+			if !isIdent(nm) {
+				return d, cerr("name", at, "task name must be an identifier (got %q)", nm)
+			}
+			if next() != ")" {
+				return d, cerr("name", i-1, "unterminated name clause")
+			}
+			d.TaskName = nm
+		case "priority":
+			kw := i - 1
+			if d.Kind != DirTask && d.Kind != DirTarget {
+				return d, cerr("priority", kw, "only task and target directives take priority")
+			}
+			if next() != "(" {
+				return d, cerr("priority", i-1, "expected (integer)")
+			}
+			at := i
+			n, err := strconv.Atoi(next())
+			if err != nil {
+				return d, cerr("priority", at, "priority must be an integer")
+			}
+			if next() != ")" {
+				return d, cerr("priority", i-1, "unterminated priority clause")
+			}
+			d.Priority = n
 		default:
 			return d, fmt.Errorf("line %d: unsupported clause %q", line, w)
 		}
@@ -578,29 +762,38 @@ func clauseVars(words []string, i *int, line int) ([]string, error) {
 	return vars, nil
 }
 
-// tokenizePragma splits a pragma line into words and punctuation.
-func tokenizePragma(text string) []string {
+// tokenizePragma splits a pragma line into words and punctuation, also
+// returning each word's 1-based column within the text (for the typed
+// clause errors).
+func tokenizePragma(text string) ([]string, []int) {
 	var out []string
+	var cols []int
 	cur := strings.Builder{}
+	start := 0
 	flush := func() {
 		if cur.Len() > 0 {
 			out = append(out, cur.String())
+			cols = append(cols, start+1)
 			cur.Reset()
 		}
 	}
-	for _, r := range text {
+	for pos, r := range text {
 		switch {
 		case r == ' ' || r == '\t':
 			flush()
-		case r == '(' || r == ')' || r == ',' || r == ':':
+		case r == '(' || r == ')' || r == ',' || r == ':' || r == '[' || r == ']':
 			flush()
 			out = append(out, string(r))
+			cols = append(cols, pos+1)
 		default:
+			if cur.Len() == 0 {
+				start = pos
+			}
 			cur.WriteRune(r)
 		}
 	}
 	flush()
-	return out
+	return out, cols
 }
 
 // Expression parsing: precedence climbing.

@@ -1,0 +1,60 @@
+/*
+ * Dependence and offload showcase: named tasks form a producer ->
+ * transformer pipeline over a shared array, ordered by depend clauses
+ * instead of taskwaits; element-granular depend items serialize a
+ * single-cell handoff; and a target region offloads a reduction pass to
+ * device node 1 with explicit to/from data maps.
+ */
+#include <stdio.h>
+
+double a[64];
+double out[8];
+
+int main() {
+    int i;
+    double sum;
+
+    #pragma omp parallel
+    {
+        #pragma omp master
+        {
+            #pragma omp task name(init) depend(out: a)
+            {
+                int j;
+                for (j = 0; j < 64; j++) {
+                    a[j] = j * 0.5;
+                }
+            }
+            #pragma omp task name(scale) depend(inout: a) depend(task: init) priority(1)
+            {
+                int j;
+                for (j = 0; j < 64; j++) {
+                    a[j] = a[j] * 2.0 + 1.0;
+                }
+            }
+            #pragma omp task depend(in: a[0]) depend(task: scale)
+            {
+                out[1] = a[0];
+            }
+            #pragma omp target device(1) map(to: a) map(from: out) depend(task: scale) name(off)
+            {
+                int j;
+                double acc;
+                acc = 0.0;
+                for (j = 0; j < 64; j++) {
+                    acc = acc + a[j];
+                }
+                out[0] = acc;
+            }
+        }
+        #pragma omp taskwait
+
+        #pragma omp for reduction(+:sum)
+        for (i = 0; i < 64; i++) {
+            sum += a[i];
+        }
+    }
+
+    printf("sum = %f offload = %f cell = %f\n", sum, out[0], out[1]);
+    return 0;
+}

@@ -1,6 +1,7 @@
 package translator
 
 import (
+	"errors"
 	"os"
 	"strings"
 	"testing"
@@ -550,6 +551,222 @@ int main() {
 }`, Options{})
 	if err == nil || !strings.Contains(err.Error(), "inside a task body") {
 		t.Fatalf("collective inside task should be rejected, got %v", err)
+	}
+}
+
+func TestParseTargetDirective(t *testing.T) {
+	d, err := parseDirective("omp target device(2) map(to: a, b) map(from: out) depend(task: prep) name(off) priority(3)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != DirTarget || d.Device != 2 || d.TaskName != "off" || d.Priority != 3 {
+		t.Fatalf("target parsed as %+v", d)
+	}
+	if len(d.Maps) != 2 || d.Maps[0].Dir != "to" || len(d.Maps[0].Vars) != 2 || d.Maps[1].Dir != "from" {
+		t.Fatalf("maps = %+v", d.Maps)
+	}
+	if len(d.Depends) != 1 || d.Depends[0].Kind != "task" || d.Depends[0].Tasks[0] != "prep" {
+		t.Fatalf("depends = %+v", d.Depends)
+	}
+}
+
+func TestParseDependClause(t *testing.T) {
+	d, err := parseDirective("omp task depend(in: x, a[3], b[i][j]) depend(out: a) depend(inout: y)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Depends) != 3 {
+		t.Fatalf("depends = %+v", d.Depends)
+	}
+	in := d.Depends[0]
+	if in.Kind != "in" || len(in.Items) != 3 {
+		t.Fatalf("in = %+v", in)
+	}
+	if id, ok := in.Items[0].(*Ident); !ok || id.Name != "x" {
+		t.Fatalf("item 0 = %#v", in.Items[0])
+	}
+	if ix, ok := in.Items[1].(*Index); !ok || ix.Base != "a" || len(ix.Subs) != 1 {
+		t.Fatalf("item 1 = %#v", in.Items[1])
+	}
+	if ix, ok := in.Items[2].(*Index); !ok || ix.Base != "b" || len(ix.Subs) != 2 {
+		t.Fatalf("item 2 = %#v", in.Items[2])
+	}
+	if d.Depends[1].Kind != "out" || d.Depends[2].Kind != "inout" {
+		t.Fatalf("kinds = %s %s", d.Depends[1].Kind, d.Depends[2].Kind)
+	}
+}
+
+// TestClauseErrors: unknown and malformed depend/map/device/name/priority
+// clauses produce the typed *ClauseError with the offending token's
+// line and column.
+func TestClauseErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		text   string
+		clause string
+		col    int
+	}{
+		{"unknown depend kind", "omp task depend(inoutset: x)", "depend", 17},
+		{"depend missing colon", "omp task depend(in x)", "depend", 20},
+		{"depend empty list", "omp task depend(in: )", "depend", 10},
+		{"depend unterminated", "omp task depend(in: x", "depend", 21},
+		{"depend bad subscript", "omp task depend(in: a[+])", "depend", 23},
+		{"depend on for", "omp for depend(in: x)", "depend", 9},
+		{"unknown map direction", "omp target map(alloc: a)", "map", 16},
+		{"map element item", "omp target map(to: a[0])", "map", 21},
+		{"map on task", "omp task map(to: a)", "map", 10},
+		{"device on task", "omp task device(1)", "device", 10},
+		{"device not a number", "omp target device(x)", "device", 19},
+		{"device negative", "omp target device(-1)", "device", 19},
+		{"name not an identifier", "omp task name(123)", "name", 15},
+		{"priority not a number", "omp task priority(soon)", "priority", 19},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseDirective(tc.text, 7)
+			var ce *ClauseError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err = %v, want *ClauseError", err)
+			}
+			if ce.Line != 7 || ce.Clause != tc.clause || ce.Col != tc.col {
+				t.Fatalf("got line %d col %d clause %q (%s), want line 7 col %d clause %q",
+					ce.Line, ce.Col, ce.Clause, ce.Msg, tc.col, tc.clause)
+			}
+		})
+	}
+}
+
+func TestTranslateDependLowering(t *testing.T) {
+	out := translate(t, `
+double a[32];
+int main() {
+#pragma omp parallel
+	{
+#pragma omp task name(w) depend(out: a)
+		{ a[0] = 1.0; }
+#pragma omp task depend(in: a[4]) depend(task: w) priority(2)
+		{ a[1] = a[4]; }
+#pragma omp taskwait
+	}
+}`)
+	for _, want := range []string{
+		`parade.WithDepend(parade.Out, parade.DepName("a")), parade.WithTaskName("w")`,
+		`parade.WithDepend(parade.In, parade.DepAddr(a.Addr((4)))), parade.WithDepend(parade.In, parade.DepTask("w")), parade.WithPriority(2)`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("depend lowering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTranslateTargetLowering(t *testing.T) {
+	out := translate(t, `
+double a[32];
+double r[4];
+int main() {
+#pragma omp parallel
+	{
+#pragma omp target device(1) map(to: a) map(from: r)
+		{ r[0] = a[0]; }
+#pragma omp taskwait
+	}
+}`)
+	for _, want := range []string{
+		"tc.Target(1, func(tt *parade.Thread) float64 {",
+		"parade.WithMap(parade.MapTo, a)",
+		"parade.WithMap(parade.MapFrom, r)",
+		"r.Set(tt, (0), a.Get(tt, (0)))",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("target lowering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTranslateTargetOutsideParallelRejected(t *testing.T) {
+	_, err := Translate(`
+double a[8];
+int main() {
+#pragma omp target map(to: a)
+	{ a[0] = 1.0; }
+}`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "target outside a parallel region") {
+		t.Fatalf("target outside parallel should be rejected, got %v", err)
+	}
+}
+
+func TestTranslateMapNonArrayRejected(t *testing.T) {
+	_, err := Translate(`
+int main() {
+	double x;
+#pragma omp parallel
+	{
+#pragma omp target map(to: x)
+		{ x = 1.0; }
+	}
+}`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "only shared arrays are mappable") {
+		t.Fatalf("mapping a scalar should be rejected, got %v", err)
+	}
+}
+
+// TestTranslateTaskCycleRejected mirrors the runtime's cycle-rejection
+// test: circular depend(task:) sets fail translation with the typed
+// *DepCycleError.
+func TestTranslateTaskCycleRejected(t *testing.T) {
+	wrap := func(tasks string) string {
+		return "int main() {\n#pragma omp parallel\n\t{\n" + tasks + "#pragma omp taskwait\n\t}\n}"
+	}
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"self cycle", wrap(
+			"#pragma omp task name(a) depend(task: a)\n\t{ }\n")},
+		{"two cycle", wrap(
+			"#pragma omp task name(a) depend(task: b)\n\t{ }\n" +
+				"#pragma omp task name(b) depend(task: a)\n\t{ }\n")},
+		{"three cycle", wrap(
+			"#pragma omp task name(a) depend(task: c)\n\t{ }\n" +
+				"#pragma omp task name(b) depend(task: a)\n\t{ }\n" +
+				"#pragma omp task name(c) depend(task: b)\n\t{ }\n")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Translate(tc.src, Options{})
+			var ce *DepCycleError
+			if !errors.As(err, &ce) {
+				t.Fatalf("err = %v, want *DepCycleError", err)
+			}
+			if ce.Name == "" || ce.Line == 0 {
+				t.Fatalf("cycle error incomplete: %+v", ce)
+			}
+		})
+	}
+	// A diamond (acyclic) over the same names must pass.
+	ok := wrap(
+		"#pragma omp task name(a)\n\t{ }\n" +
+			"#pragma omp task name(b) depend(task: a)\n\t{ }\n" +
+			"#pragma omp task name(c) depend(task: a)\n\t{ }\n" +
+			"#pragma omp task name(d) depend(task: b, c)\n\t{ }\n")
+	if _, err := Translate(ok, Options{}); err != nil {
+		t.Fatalf("diamond should translate: %v", err)
+	}
+}
+
+func TestTranslateGoldenDeps(t *testing.T) {
+	src, err := os.ReadFile("testdata/deps.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := translate(t, string(src))
+	golden, err := os.ReadFile("../../examples/translated-deps/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatal("examples/translated-deps/main.go is stale: regenerate with " +
+			"`go run ./cmd/parade-translate -o examples/translated-deps/main.go internal/translator/testdata/deps.c`")
 	}
 }
 

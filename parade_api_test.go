@@ -43,6 +43,8 @@ func surfaceTypes() map[string]reflect.Type {
 		"Op":           reflect.TypeOf(parade.OpSum),
 		"Mode":         reflect.TypeOf(parade.Hybrid),
 		"ScheduleKind": reflect.TypeOf(parade.Static),
+		"DepKind":      reflect.TypeOf(parade.In),
+		"MapDir":       reflect.TypeOf(parade.MapTo),
 	}
 }
 
